@@ -1,0 +1,111 @@
+// Microbenchmarks (google-benchmark) for the simulator's hot paths.
+//
+// Not a paper figure: these quantify the substrate itself — event queue
+// throughput, scheduler cost per simulated second, StepTrace integration,
+// DTW, and the accounting sweep — so regressions in the simulation engine
+// are caught independently of the experiment shapes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/accounting/power_splitter.h"
+#include "src/analysis/dtw.h"
+#include "src/base/rng.h"
+#include "src/sim/simulator.h"
+
+namespace psbox {
+namespace {
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.ScheduleAt(i * 100, [&sink] { ++sink; });
+    }
+    sim.RunToCompletion();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void BM_StepTraceIntegral(benchmark::State& state) {
+  StepTrace trace;
+  Rng rng(7);
+  TimeNs t = 0;
+  for (int i = 0; i < 10000; ++i) {
+    t += rng.UniformInt(1000, 100000);
+    trace.Set(t, rng.Uniform(0.0, 5.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace.IntegralOver(t / 4, 3 * t / 4));
+  }
+}
+BENCHMARK(BM_StepTraceIntegral);
+
+void BM_DtwDistance(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<double> a(n);
+  std::vector<double> b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.Uniform(0.0, 1.0);
+    b[i] = rng.Uniform(0.0, 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DtwDistance(a, b));
+  }
+}
+BENCHMARK(BM_DtwDistance)->Arg(120)->Arg(240);
+
+void BM_SimulatedCpuSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    Stack s;
+    AppOptions opts;
+    opts.deadline = Seconds(1);
+    SpawnCalib3d(s.kernel, "calib3d", opts);
+    SpawnBodytrack(s.kernel, "bodytrack", opts);
+    s.kernel.RunUntil(Seconds(1));
+    benchmark::DoNotOptimize(s.kernel.scheduler().stats().context_switches);
+  }
+}
+BENCHMARK(BM_SimulatedCpuSecond);
+
+void BM_SimulatedSandboxSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    Stack s;
+    AppOptions opts;
+    opts.deadline = Seconds(1);
+    opts.use_psbox = true;
+    SpawnCalib3d(s.kernel, "calib3d", opts);
+    AppOptions co;
+    co.deadline = Seconds(1);
+    SpawnBodytrack(s.kernel, "bodytrack", co);
+    s.kernel.RunUntil(Seconds(1));
+    benchmark::DoNotOptimize(s.kernel.scheduler().stats().balloons_started);
+  }
+}
+BENCHMARK(BM_SimulatedSandboxSecond);
+
+void BM_SplitterSweep(benchmark::State& state) {
+  Stack s;
+  AppOptions opts;
+  opts.deadline = Seconds(1);
+  SpawnCalib3d(s.kernel, "calib3d", opts);
+  SpawnBodytrack(s.kernel, "bodytrack", opts);
+  s.kernel.RunUntil(Seconds(1));
+  PowerSplitter splitter;
+  for (auto _ : state) {
+    auto shares = splitter.SplitEnergy(s.board.cpu_rail(),
+                                       s.kernel.ledger().records(HwComponent::kCpu),
+                                       0, Seconds(1));
+    benchmark::DoNotOptimize(shares);
+  }
+}
+BENCHMARK(BM_SplitterSweep);
+
+}  // namespace
+}  // namespace psbox
+
+BENCHMARK_MAIN();

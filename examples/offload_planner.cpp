@@ -1,0 +1,136 @@
+// Comparative power drives actions (§2.1): a power-aware app uses psbox to
+// quantitatively compare two execution plans — running its kernel on the CPU
+// versus offloading it to the DSP — and picks the cheaper one.
+//
+//   ./offload_planner
+//
+// The app probes each plan inside its psbox ("pay as you go"), reads the
+// insulated per-plan energy, and commits to the winner. Because the
+// observations are insulated and power states are virtualised, the decision
+// stays valid under co-running load.
+
+#include <cstdio>
+
+#include "src/hw/board.h"
+#include "src/kernel/kernel.h"
+#include "src/psbox/psbox_api.h"
+#include "src/psbox/psbox_manager.h"
+#include "src/workloads/table5_apps.h"
+
+namespace psbox {
+namespace {
+
+// The planner task: probe CPU plan, probe DSP plan, then run the chosen one.
+class PlannerBehavior : public Behavior {
+ public:
+  static constexpr int kProbeIterations = 10;
+  static constexpr int kProductionIterations = 40;
+
+  Action NextAction(TaskEnv& env) override {
+    if (!queue_.empty()) {
+      Action a = queue_.front();
+      queue_.pop_front();
+      return a;
+    }
+    switch (stage_) {
+      case 0: {  // set up: one psbox bound to both candidate components
+        box_ = psbox_create(env, {HwComponent::kCpu, HwComponent::kDsp});
+        psbox_enter(env, box_);
+        psbox_reset(env, box_);
+        stage_ = 1;
+        QueueCpuPlan(kProbeIterations);
+        break;
+      }
+      case 1: {  // CPU probe finished
+        cpu_energy_ = psbox_read(env, box_);
+        psbox_reset(env, box_);
+        stage_ = 2;
+        QueueDspPlan(kProbeIterations);
+        break;
+      }
+      case 2: {  // DSP probe finished: decide and leave the box
+        dsp_energy_ = psbox_read(env, box_);
+        psbox_leave(env, box_);
+        use_dsp_ = dsp_energy_ < cpu_energy_;
+        stage_ = 3;
+        if (use_dsp_) {
+          QueueDspPlan(kProductionIterations);
+        } else {
+          QueueCpuPlan(kProductionIterations);
+        }
+        break;
+      }
+      default:
+        done_ = true;
+        return Action::Exit();
+    }
+    Action a = queue_.front();
+    queue_.pop_front();
+    return a;
+  }
+
+  Joules cpu_energy() const { return cpu_energy_; }
+  Joules dsp_energy() const { return dsp_energy_; }
+  bool use_dsp() const { return use_dsp_; }
+  bool done() const { return done_; }
+
+ private:
+  void QueueCpuPlan(int iterations) {
+    for (int i = 0; i < iterations; ++i) {
+      // The kernel computed locally: one 6 ms vector-heavy burst.
+      queue_.push_back(Action::Compute(6 * kMillisecond, 1.2));
+    }
+  }
+  void QueueDspPlan(int iterations) {
+    for (int i = 0; i < iterations; ++i) {
+      // Offloaded: tiny CPU marshalling + an 8 ms DSP kernel.
+      queue_.push_back(Action::Compute(400 * kMicrosecond, 0.8));
+      queue_.push_back(Action::SubmitAccel(HwComponent::kDsp, 42, 8 * kMillisecond, 0.7));
+      queue_.push_back(Action::WaitAccel(1));
+    }
+  }
+
+  std::deque<Action> queue_;
+  int stage_ = 0;
+  int box_ = -1;
+  Joules cpu_energy_ = 0.0;
+  Joules dsp_energy_ = 0.0;
+  bool use_dsp_ = false;
+  bool done_ = false;
+};
+
+}  // namespace
+}  // namespace psbox
+
+int main() {
+  using namespace psbox;
+
+  Board board;
+  Kernel kernel(&board);
+  PsboxManager manager(&kernel);
+
+  // Background load on both components: the planner's insulated probes are
+  // unaffected by it.
+  AppOptions bg;
+  bg.deadline = Seconds(5);
+  SpawnBodytrack(kernel, "bg-cpu", bg);
+  SpawnMonte(kernel, "bg-dsp", bg);
+
+  const AppId app = kernel.CreateApp("planner");
+  auto behavior = std::make_unique<PlannerBehavior>();
+  PlannerBehavior* planner = behavior.get();
+  kernel.SpawnTask(app, "planner", std::move(behavior));
+
+  kernel.RunUntil(Seconds(6));
+
+  std::printf("offload planner (probes of %d iterations each, insulated by psbox):\n",
+              PlannerBehavior::kProbeIterations);
+  std::printf("  CPU plan energy: %7.1f mJ\n", planner->cpu_energy() * 1e3);
+  std::printf("  DSP plan energy: %7.1f mJ\n", planner->dsp_energy() * 1e3);
+  std::printf("  decision: run production on the %s\n",
+              planner->use_dsp() ? "DSP (offload)" : "CPU (local)");
+  std::printf("  production completed: %s\n", planner->done() ? "yes" : "no");
+  std::printf("\nThe comparison is quantitative and valid despite co-running\n"
+              "background load — the essential power knowledge of §2.1.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// The end-to-end power-aware app (§6.4): a VR scenario whose rendering task
+// observes its own power through a psbox and trades fidelity for power on
+// the fly, insulated from the gesture task's input-dependent load.
+//
+//   ./vr_adaptation [target_milliwatts]
+//
+// The optional argument sets the power budget the rendering task adapts to
+// (default 500 mW).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/hw/board.h"
+#include "src/kernel/kernel.h"
+#include "src/psbox/psbox_manager.h"
+#include "src/workloads/vr_app.h"
+
+int main(int argc, char** argv) {
+  using namespace psbox;
+
+  double target_mw = 500.0;
+  if (argc > 1) {
+    target_mw = std::atof(argv[1]);
+  }
+
+  Board board;
+  Kernel kernel(&board);
+  PsboxManager manager(&kernel);
+
+  VrConfig cfg;
+  cfg.target_high = target_mw / 1000.0;
+  cfg.target_low = cfg.target_high * 0.55;
+  cfg.deadline = Seconds(8);
+  VrHandles vr = SpawnVrScenario(kernel, cfg);
+
+  kernel.RunUntil(Seconds(8) + Millis(100));
+
+  std::printf("VR scenario: 8 s, power budget %.0f mW (band %.0f-%.0f mW)\n\n",
+              target_mw, cfg.target_low * 1e3, cfg.target_high * 1e3);
+  std::printf("%8s  %8s  %14s\n", "t (ms)", "fidelity", "observed (mW)");
+  for (size_t i = 0; i < vr.stats->windows.size(); i += 2) {
+    const VrWindow& w = vr.stats->windows[i];
+    std::printf("%8.0f  %8d  %14.0f\n", ToMillis(w.when), w.fidelity,
+                w.observed_power * 1e3);
+  }
+
+  std::printf("\nper-fidelity mean observed power:\n");
+  for (int f = 0; f < kVrFidelityLevels; ++f) {
+    const auto& st = vr.stats->active_power_by_fidelity[static_cast<size_t>(f)];
+    if (st.count() > 0) {
+      std::printf("  fidelity %d: %6.0f mW over %zu windows\n", f, st.mean() * 1e3,
+                  st.count());
+    }
+  }
+  std::printf("\nframes rendered: %llu; the rendering task settled where its\n"
+              "own (insulated) power meets the budget, regardless of the\n"
+              "gesture task's varying load.\n",
+              static_cast<unsigned long long>(vr.stats->frames));
+  return 0;
+}

@@ -1,0 +1,154 @@
+#include "src/accounting/power_splitter.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace psbox {
+
+PowerSplitter::PowerSplitter(SplitterConfig config) : config_(config) {
+  PSBOX_CHECK_GT(config_.window, 0);
+}
+
+template <typename Emit>
+void PowerSplitter::Sweep(const PowerRail& rail,
+                          const std::vector<UsageRecord>& records, TimeNs t0,
+                          TimeNs t1, Emit&& emit) const {
+  // Records are appended in completion order; sort by begin for the sweep.
+  std::vector<UsageRecord> sorted = records;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const UsageRecord& a, const UsageRecord& b) {
+                     return a.begin < b.begin;
+                   });
+  size_t next = 0;
+  std::vector<UsageRecord> active;
+  AppId last_user = kNoApp;
+  TimeNs last_user_end = -1;
+
+  std::map<AppId, double> weights;
+  for (TimeNs w = t0; w < t1; w += config_.window) {
+    const TimeNs wend = std::min(w + config_.window, t1);
+    // Admit records that start before the window ends.
+    while (next < sorted.size() && sorted[next].begin < wend) {
+      active.push_back(sorted[next]);
+      ++next;
+    }
+    // Retire records that ended before the window, remembering the most
+    // recent user for the tail heuristic.
+    for (size_t i = 0; i < active.size();) {
+      if (active[i].end <= w) {
+        if (active[i].end > last_user_end) {
+          last_user_end = active[i].end;
+          last_user = active[i].app;
+        }
+        active[i] = active.back();
+        active.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    weights.clear();
+    for (const UsageRecord& r : active) {
+      const TimeNs b = std::max(r.begin, w);
+      const TimeNs e = std::min(r.end, wend);
+      if (e > b) {
+        weights[r.app] += static_cast<double>(e - b) * r.weight;
+      }
+    }
+    const Watts mean_power = rail.trace().MeanOver(w, wend);
+    emit(w, wend, mean_power, weights, last_user);
+  }
+}
+
+std::map<AppId, Joules> PowerSplitter::SplitEnergy(
+    const PowerRail& rail, const std::vector<UsageRecord>& records, TimeNs t0,
+    TimeNs t1) const {
+  std::map<AppId, Joules> out;
+  const Watts idle = rail.idle_power();
+  Sweep(rail, records, t0, t1,
+        [&](TimeNs w, TimeNs wend, Watts power, const std::map<AppId, double>& weights,
+            AppId last_user) {
+          const Joules energy = power * ToSeconds(wend - w);
+          if (weights.empty()) {
+            // No usage this window: lingering (tail) power goes to the most
+            // recent user; true idle stays unattributed.
+            if (last_user != kNoApp && power > idle * config_.tail_factor) {
+              out[last_user] += energy;
+            } else {
+              out[kNoApp] += energy;
+            }
+            return;
+          }
+          switch (config_.policy) {
+            case AccountingPolicy::kUtilization: {
+              double total = 0.0;
+              for (const auto& [app, weight] : weights) {
+                total += weight;
+              }
+              for (const auto& [app, weight] : weights) {
+                out[app] += energy * (weight / total);
+              }
+              break;
+            }
+            case AccountingPolicy::kEvenSplit: {
+              const double share = energy / static_cast<double>(weights.size());
+              for (const auto& [app, weight] : weights) {
+                (void)weight;
+                out[app] += share;
+              }
+              break;
+            }
+            case AccountingPolicy::kLastTrigger: {
+              // Whole sample to the app whose usage extends furthest.
+              AppId chosen = weights.begin()->first;
+              out[chosen] += energy;
+              break;
+            }
+          }
+        });
+  return out;
+}
+
+std::vector<PowerSample> PowerSplitter::ShareSeries(
+    const PowerRail& rail, const std::vector<UsageRecord>& records, AppId app,
+    TimeNs t0, TimeNs t1) const {
+  std::vector<PowerSample> out;
+  out.reserve(static_cast<size_t>((t1 - t0) / config_.window) + 1);
+  const Watts idle = rail.idle_power();
+  Sweep(rail, records, t0, t1,
+        [&](TimeNs w, TimeNs wend, Watts power, const std::map<AppId, double>& weights,
+            AppId last_user) {
+          (void)wend;
+          Watts share = 0.0;
+          if (weights.empty()) {
+            if (last_user == app && power > idle * config_.tail_factor) {
+              share = power;
+            }
+          } else {
+            auto it = weights.find(app);
+            if (it != weights.end()) {
+              switch (config_.policy) {
+                case AccountingPolicy::kUtilization: {
+                  double total = 0.0;
+                  for (const auto& [a, weight] : weights) {
+                    (void)a;
+                    total += weight;
+                  }
+                  share = power * (it->second / total);
+                  break;
+                }
+                case AccountingPolicy::kEvenSplit:
+                  share = power / static_cast<double>(weights.size());
+                  break;
+                case AccountingPolicy::kLastTrigger:
+                  share = (weights.begin()->first == app) ? power : 0.0;
+                  break;
+              }
+            }
+          }
+          out.push_back({w, share});
+        });
+  return out;
+}
+
+}  // namespace psbox

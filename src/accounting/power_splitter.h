@@ -1,0 +1,74 @@
+// Prior-approach power accounting (the baseline psbox is compared against).
+//
+// These splitters implement the classic second step of OS power awareness
+// (§1, §2.3): divide each metered system-power sample among concurrent apps
+// using a heuristic chosen at OS development time. We implement the three
+// families the paper surveys:
+//   * kUtilization — AppScope-style [96]: each sample is divided
+//     proportionally to the apps' hardware usage within the sampling
+//     interval. Implemented favourably, at 10 µs granularity (§6.1).
+//   * kEvenSplit   — split evenly among apps active in the interval [94].
+//   * kLastTrigger — Eprof-style [70]: the whole sample goes to the app that
+//     used the hardware most recently (this is the one that charges WiFi
+//     tail energy to the last transmission).
+// All of them operate on the UsageLedger the kernel records; none of them
+// can undo power entanglement, which is the paper's point.
+
+#ifndef SRC_ACCOUNTING_POWER_SPLITTER_H_
+#define SRC_ACCOUNTING_POWER_SPLITTER_H_
+
+#include <map>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/base/types.h"
+#include "src/hw/power_meter.h"
+#include "src/hw/power_rail.h"
+#include "src/kernel/usage_ledger.h"
+
+namespace psbox {
+
+enum class AccountingPolicy { kUtilization, kEvenSplit, kLastTrigger };
+
+struct SplitterConfig {
+  AccountingPolicy policy = AccountingPolicy::kUtilization;
+  // Power-sampling interval over which usage shares are computed.
+  DurationNs window = 10 * kMicrosecond;
+  // A window with no usage whose power exceeds idle*|tail_factor| is deemed
+  // lingering (tail) power and attributed to the most recent user.
+  double tail_factor = 1.3;
+};
+
+class PowerSplitter {
+ public:
+  explicit PowerSplitter(SplitterConfig config = {});
+
+  // Divides the rail's energy over [t0, t1) among apps according to the
+  // ledger records for the component. Unattributed (idle) energy is returned
+  // under kNoApp.
+  std::map<AppId, Joules> SplitEnergy(const PowerRail& rail,
+                                      const std::vector<UsageRecord>& records,
+                                      TimeNs t0, TimeNs t1) const;
+
+  // The power time series attributed to |app| (one value per window) — what
+  // the app would "observe" under this accounting scheme (Fig 6, columns
+  // 4-5).
+  std::vector<PowerSample> ShareSeries(const PowerRail& rail,
+                                       const std::vector<UsageRecord>& records,
+                                       AppId app, TimeNs t0, TimeNs t1) const;
+
+  const SplitterConfig& config() const { return config_; }
+
+ private:
+  // Sweeps windows over [t0, t1), invoking |emit| with the window start, the
+  // window's mean power, and the per-app weights.
+  template <typename Emit>
+  void Sweep(const PowerRail& rail, const std::vector<UsageRecord>& records,
+             TimeNs t0, TimeNs t1, Emit&& emit) const;
+
+  SplitterConfig config_;
+};
+
+}  // namespace psbox
+
+#endif  // SRC_ACCOUNTING_POWER_SPLITTER_H_

@@ -1,0 +1,71 @@
+#include "src/analysis/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/base/check.h"
+
+namespace psbox {
+
+void ZNormalize(std::vector<double>* series) {
+  if (series->empty()) {
+    return;
+  }
+  double mean = 0.0;
+  for (double v : *series) {
+    mean += v;
+  }
+  mean /= static_cast<double>(series->size());
+  double var = 0.0;
+  for (double v : *series) {
+    var += (v - mean) * (v - mean);
+  }
+  var /= static_cast<double>(series->size());
+  const double stddev = std::sqrt(var);
+  for (double& v : *series) {
+    v = stddev > 1e-12 ? (v - mean) / stddev : 0.0;
+  }
+}
+
+double DtwDistance(const std::vector<double>& a, const std::vector<double>& b,
+                   const DtwConfig& config) {
+  if (a.empty() || b.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  std::vector<double> x = a;
+  std::vector<double> y = b;
+  if (config.z_normalize) {
+    ZNormalize(&x);
+    ZNormalize(&y);
+  }
+  const size_t n = x.size();
+  const size_t m = y.size();
+  const double inf = std::numeric_limits<double>::infinity();
+  size_t band = std::max(n, m);
+  if (config.band_fraction > 0.0) {
+    band = static_cast<size_t>(config.band_fraction *
+                               static_cast<double>(std::max(n, m)));
+    // The band must at least cover the length difference.
+    band = std::max(band, (n > m ? n - m : m - n) + 1);
+  }
+  std::vector<double> prev(m + 1, inf);
+  std::vector<double> curr(m + 1, inf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), inf);
+    const size_t lo = i > band ? i - band : 1;
+    const size_t hi = std::min(m, i + band);
+    for (size_t j = lo; j <= hi; ++j) {
+      const double d = x[i - 1] - y[j - 1];
+      const double cost = d * d;
+      const double best =
+          std::min({prev[j], prev[j - 1], curr[j - 1]});
+      curr[j] = cost + best;
+    }
+    std::swap(prev, curr);
+  }
+  return std::sqrt(prev[m]);
+}
+
+}  // namespace psbox

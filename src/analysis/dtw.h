@@ -1,0 +1,33 @@
+// Dynamic Time Warping distance for power-trace similarity (§2.5).
+//
+// The paper's side-channel attacker measures similarity between observed and
+// reference GPU power traces with DTW. We implement the classic quadratic DP
+// with an optional Sakoe-Chiba band and optional z-normalisation.
+
+#ifndef SRC_ANALYSIS_DTW_H_
+#define SRC_ANALYSIS_DTW_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace psbox {
+
+struct DtwConfig {
+  // Sakoe-Chiba band half-width as a fraction of the longer series length;
+  // <= 0 disables the band.
+  double band_fraction = 0.15;
+  bool z_normalize = true;
+};
+
+// DTW distance between |a| and |b|; returns +infinity when the band admits
+// no path. Cost is squared pointwise difference; the result is the square
+// root of the accumulated cost.
+double DtwDistance(const std::vector<double>& a, const std::vector<double>& b,
+                   const DtwConfig& config = {});
+
+// In-place z-normalisation (mean 0, stddev 1); constant series become zeros.
+void ZNormalize(std::vector<double>* series);
+
+}  // namespace psbox
+
+#endif  // SRC_ANALYSIS_DTW_H_

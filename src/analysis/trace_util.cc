@@ -1,0 +1,78 @@
+#include "src/analysis/trace_util.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace psbox {
+
+std::vector<double> DownsampleSamples(const std::vector<PowerSample>& samples,
+                                      TimeNs t0, TimeNs t1, size_t bins) {
+  PSBOX_CHECK_GT(bins, 0u);
+  PSBOX_CHECK_LT(t0, t1);
+  std::vector<double> sums(bins, 0.0);
+  std::vector<size_t> counts(bins, 0);
+  const double span = static_cast<double>(t1 - t0);
+  for (const PowerSample& s : samples) {
+    if (s.timestamp < t0 || s.timestamp >= t1) {
+      continue;
+    }
+    const auto bin = static_cast<size_t>(
+        static_cast<double>(s.timestamp - t0) / span * static_cast<double>(bins));
+    const size_t clamped = std::min(bin, bins - 1);
+    sums[clamped] += s.watts;
+    ++counts[clamped];
+  }
+  std::vector<double> out(bins, 0.0);
+  double last = 0.0;
+  for (size_t i = 0; i < bins; ++i) {
+    if (counts[i] > 0) {
+      last = sums[i] / static_cast<double>(counts[i]);
+    }
+    out[i] = last;
+  }
+  return out;
+}
+
+std::vector<double> DownsampleTrace(const StepTrace& trace, TimeNs t0, TimeNs t1,
+                                    size_t bins) {
+  PSBOX_CHECK_GT(bins, 0u);
+  PSBOX_CHECK_LT(t0, t1);
+  std::vector<double> out(bins, 0.0);
+  const DurationNs width = (t1 - t0) / static_cast<DurationNs>(bins);
+  PSBOX_CHECK_GT(width, 0);
+  for (size_t i = 0; i < bins; ++i) {
+    const TimeNs b = t0 + static_cast<DurationNs>(i) * width;
+    out[i] = trace.MeanOver(b, b + width);
+  }
+  return out;
+}
+
+Joules SampleEnergy(const std::vector<PowerSample>& samples, DurationNs period) {
+  Joules total = 0.0;
+  for (const PowerSample& s : samples) {
+    total += s.watts * ToSeconds(period);
+  }
+  return total;
+}
+
+std::string Sparkline(const std::vector<double>& series, double vmax) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  if (series.empty()) {
+    return "";
+  }
+  double top = vmax;
+  if (top <= 0.0) {
+    top = *std::max_element(series.begin(), series.end());
+  }
+  std::string out;
+  out.reserve(series.size());
+  for (double v : series) {
+    int level = top > 0.0 ? static_cast<int>(v / top * 7.0 + 0.5) : 0;
+    level = std::clamp(level, 0, 7);
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace psbox

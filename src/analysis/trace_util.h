@@ -1,0 +1,33 @@
+// Power-trace utilities shared by benches, tests and the attacker.
+
+#ifndef SRC_ANALYSIS_TRACE_UTIL_H_
+#define SRC_ANALYSIS_TRACE_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/step_trace.h"
+#include "src/base/time.h"
+#include "src/hw/power_meter.h"
+
+namespace psbox {
+
+// Bins |samples| into |bins| equal-duration means over [t0, t1); empty bins
+// repeat the previous value.
+std::vector<double> DownsampleSamples(const std::vector<PowerSample>& samples,
+                                      TimeNs t0, TimeNs t1, size_t bins);
+
+// Bins a step trace into |bins| exact window means over [t0, t1).
+std::vector<double> DownsampleTrace(const StepTrace& trace, TimeNs t0, TimeNs t1,
+                                    size_t bins);
+
+// Riemann-sum energy from uniform samples.
+Joules SampleEnergy(const std::vector<PowerSample>& samples, DurationNs period);
+
+// Renders a coarse ASCII sparkline of a series (benches use this to "plot"
+// the paper's figures on stdout).
+std::string Sparkline(const std::vector<double>& series, double vmax = 0.0);
+
+}  // namespace psbox
+
+#endif  // SRC_ANALYSIS_TRACE_UTIL_H_

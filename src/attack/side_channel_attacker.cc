@@ -1,0 +1,44 @@
+#include "src/attack/side_channel_attacker.h"
+
+#include <limits>
+
+#include "src/base/check.h"
+
+namespace psbox {
+
+SideChannelAttacker::SideChannelAttacker(DtwConfig config) : config_(config) {}
+
+void SideChannelAttacker::Train(const std::string& label, std::vector<double> trace) {
+  PSBOX_CHECK(!trace.empty());
+  references_.push_back({label, std::move(trace)});
+}
+
+std::string SideChannelAttacker::Infer(const std::vector<double>& trace) const {
+  PSBOX_CHECK(!references_.empty());
+  double best = std::numeric_limits<double>::infinity();
+  const Reference* winner = &references_.front();
+  for (const Reference& ref : references_) {
+    const double d = DtwDistance(trace, ref.trace, config_);
+    if (d < best) {
+      best = d;
+      winner = &ref;
+    }
+  }
+  return winner->label;
+}
+
+double SideChannelAttacker::SuccessRate(
+    const std::vector<std::pair<std::string, std::vector<double>>>& probes) const {
+  if (probes.empty()) {
+    return 0.0;
+  }
+  size_t hits = 0;
+  for (const auto& [truth, trace] : probes) {
+    if (Infer(trace) == truth) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(probes.size());
+}
+
+}  // namespace psbox

@@ -1,0 +1,14 @@
+#include "src/base/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace psbox {
+
+void CheckFail(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "[psbox] %s:%d: %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace psbox

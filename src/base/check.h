@@ -1,0 +1,54 @@
+// Fail-fast assertion macros.
+//
+// The simulator is deterministic, so any internal inconsistency is a plain
+// bug; we abort loudly instead of limping on. CHECK is always on; DCHECK
+// compiles out in NDEBUG builds.
+
+#ifndef SRC_BASE_CHECK_H_
+#define SRC_BASE_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace psbox {
+
+// Aborts the process after printing |message| with source location.
+[[noreturn]] void CheckFail(const char* file, int line, const std::string& message);
+
+}  // namespace psbox
+
+#define PSBOX_CHECK(cond)                                                 \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::psbox::CheckFail(__FILE__, __LINE__, "CHECK failed: " #cond);     \
+    }                                                                     \
+  } while (0)
+
+#define PSBOX_CHECK_OP(op, a, b)                                              \
+  do {                                                                        \
+    auto va_ = (a);                                                           \
+    auto vb_ = (b);                                                           \
+    if (!(va_ op vb_)) {                                                      \
+      std::ostringstream oss_;                                                \
+      oss_ << "CHECK failed: " #a " " #op " " #b " (" << va_ << " vs " << vb_ \
+           << ")";                                                            \
+      ::psbox::CheckFail(__FILE__, __LINE__, oss_.str());                     \
+    }                                                                         \
+  } while (0)
+
+#define PSBOX_CHECK_EQ(a, b) PSBOX_CHECK_OP(==, a, b)
+#define PSBOX_CHECK_NE(a, b) PSBOX_CHECK_OP(!=, a, b)
+#define PSBOX_CHECK_LT(a, b) PSBOX_CHECK_OP(<, a, b)
+#define PSBOX_CHECK_LE(a, b) PSBOX_CHECK_OP(<=, a, b)
+#define PSBOX_CHECK_GT(a, b) PSBOX_CHECK_OP(>, a, b)
+#define PSBOX_CHECK_GE(a, b) PSBOX_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define PSBOX_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define PSBOX_DCHECK(cond) PSBOX_CHECK(cond)
+#endif
+
+#endif  // SRC_BASE_CHECK_H_

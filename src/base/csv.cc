@@ -1,0 +1,62 @@
+#include "src/base/csv.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/base/check.h"
+
+namespace psbox {
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      out_ << ',';
+    }
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return std::string(buf);
+}
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  PSBOX_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::Print(std::ostream& out) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << (i == 0 ? "| " : " | ");
+      out << row[i];
+      out << std::string(widths[i] - row[i].size(), ' ');
+    }
+    out << " |\n";
+  };
+  print_row(header_);
+  out << '|';
+  for (size_t i = 0; i < header_.size(); ++i) {
+    out << std::string(widths[i] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+}  // namespace psbox

@@ -1,0 +1,43 @@
+// Small CSV / table output helpers for benches and examples.
+
+#ifndef SRC_BASE_CSV_H_
+#define SRC_BASE_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace psbox {
+
+// Streams rows of a CSV file; quoting is not needed for our numeric output.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void WriteRow(const std::vector<std::string>& cells);
+  void WriteHeader(const std::vector<std::string>& names) { WriteRow(names); }
+
+ private:
+  std::ostream& out_;
+};
+
+// Formats a double with |digits| decimals.
+std::string FormatDouble(double v, int digits = 3);
+
+// Renders a compact fixed-width text table (benches print these so that each
+// binary regenerates a paper table on stdout).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace psbox
+
+#endif  // SRC_BASE_CSV_H_

@@ -1,0 +1,75 @@
+#include "src/base/interval_set.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace psbox {
+
+void IntervalSet::Add(TimeNs begin, TimeNs end) {
+  PSBOX_CHECK_LE(begin, end);
+  if (begin == end) {
+    return;
+  }
+  // Fast path: appended in order, not touching the previous interval.
+  if (intervals_.empty() || begin > intervals_.back().end) {
+    intervals_.push_back({begin, end});
+    return;
+  }
+  // Fast path: extends the last interval.
+  if (begin >= intervals_.back().begin) {
+    intervals_.back().end = std::max(intervals_.back().end, end);
+    return;
+  }
+  // General (rare) path: insert and merge.
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), begin,
+      [](const Interval& iv, TimeNs t) { return iv.end < t; });
+  Interval merged{begin, end};
+  auto first = it;
+  while (it != intervals_.end() && it->begin <= merged.end) {
+    merged.begin = std::min(merged.begin, it->begin);
+    merged.end = std::max(merged.end, it->end);
+    ++it;
+  }
+  it = intervals_.erase(first, it);
+  intervals_.insert(it, merged);
+}
+
+bool IntervalSet::Contains(TimeNs t) const {
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](TimeNs time, const Interval& iv) { return time < iv.begin; });
+  if (it == intervals_.begin()) {
+    return false;
+  }
+  --it;
+  return t >= it->begin && t < it->end;
+}
+
+DurationNs IntervalSet::CoveredWithin(TimeNs t0, TimeNs t1) const {
+  if (t1 <= t0) {
+    return 0;
+  }
+  DurationNs covered = 0;
+  for (const Interval& iv : intervals_) {
+    if (iv.end <= t0) {
+      continue;
+    }
+    if (iv.begin >= t1) {
+      break;
+    }
+    covered += std::min(iv.end, t1) - std::max(iv.begin, t0);
+  }
+  return covered;
+}
+
+DurationNs IntervalSet::TotalCovered() const {
+  DurationNs covered = 0;
+  for (const Interval& iv : intervals_) {
+    covered += iv.end - iv.begin;
+  }
+  return covered;
+}
+
+}  // namespace psbox

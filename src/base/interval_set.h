@@ -1,0 +1,47 @@
+// Sorted set of disjoint half-open time intervals.
+//
+// Used for resource-balloon ownership windows (which instants of the hardware
+// belong to a psbox) and for the baseline accounting usage ledgers.
+
+#ifndef SRC_BASE_INTERVAL_SET_H_
+#define SRC_BASE_INTERVAL_SET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace psbox {
+
+class IntervalSet {
+ public:
+  struct Interval {
+    TimeNs begin;
+    TimeNs end;  // exclusive
+  };
+
+  // Adds [begin, end); merges with adjacent/overlapping intervals. Intervals
+  // are typically appended in time order (amortised O(1)); out-of-order adds
+  // are supported but O(n).
+  void Add(TimeNs begin, TimeNs end);
+
+  bool Contains(TimeNs t) const;
+
+  // Total covered duration within [t0, t1).
+  DurationNs CoveredWithin(TimeNs t0, TimeNs t1) const;
+
+  // Total covered duration.
+  DurationNs TotalCovered() const;
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+  bool empty() const { return intervals_.empty(); }
+  size_t size() const { return intervals_.size(); }
+  void Clear() { intervals_.clear(); }
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace psbox
+
+#endif  // SRC_BASE_INTERVAL_SET_H_

@@ -1,0 +1,41 @@
+// Small statistics helpers used by benches and tests.
+
+#ifndef SRC_BASE_STATS_H_
+#define SRC_BASE_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace psbox {
+
+// Welford running mean/variance plus min/max.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Percentile over a copy of |values| (p in [0, 100]); linear interpolation.
+double Percentile(std::vector<double> values, double p);
+
+// Relative difference (b - a) / a, in percent; 0 if a == 0.
+double PercentDelta(double a, double b);
+
+}  // namespace psbox
+
+#endif  // SRC_BASE_STATS_H_

@@ -1,0 +1,77 @@
+#include "src/base/step_trace.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace psbox {
+
+void StepTrace::Set(TimeNs time, double value) {
+  if (!steps_.empty()) {
+    PSBOX_CHECK_GE(time, steps_.back().time);
+    if (steps_.back().time == time) {
+      steps_.back().value = value;
+      return;
+    }
+    if (steps_.back().value == value) {
+      return;  // No change; keep the trace compact.
+    }
+  }
+  steps_.push_back({time, value});
+}
+
+ptrdiff_t StepTrace::FindIndex(TimeNs time) const {
+  // Last step with step.time <= time.
+  auto it = std::upper_bound(
+      steps_.begin(), steps_.end(), time,
+      [](TimeNs t, const Step& s) { return t < s.time; });
+  return static_cast<ptrdiff_t>(it - steps_.begin()) - 1;
+}
+
+double StepTrace::ValueAt(TimeNs time) const {
+  const ptrdiff_t idx = FindIndex(time);
+  if (idx < 0) {
+    return 0.0;
+  }
+  return steps_[static_cast<size_t>(idx)].value;
+}
+
+double StepTrace::IntegralOver(TimeNs t0, TimeNs t1) const {
+  PSBOX_CHECK_LE(t0, t1);
+  if (steps_.empty() || t0 == t1) {
+    return 0.0;
+  }
+  double total = 0.0;
+  ptrdiff_t idx = FindIndex(t0);
+  TimeNs cursor = t0;
+  while (cursor < t1) {
+    const double value = idx < 0 ? 0.0 : steps_[static_cast<size_t>(idx)].value;
+    const TimeNs next_step = (static_cast<size_t>(idx + 1) < steps_.size())
+                                 ? steps_[static_cast<size_t>(idx + 1)].time
+                                 : t1;
+    const TimeNs segment_end = std::min(next_step, t1);
+    total += value * ToSeconds(segment_end - cursor);
+    cursor = segment_end;
+    ++idx;
+  }
+  return total;
+}
+
+double StepTrace::MeanOver(TimeNs t0, TimeNs t1) const {
+  if (t1 <= t0) {
+    return 0.0;
+  }
+  return IntegralOver(t0, t1) / ToSeconds(t1 - t0);
+}
+
+std::vector<double> StepTrace::Resample(TimeNs t0, TimeNs t1, DurationNs period) const {
+  PSBOX_CHECK_GT(period, 0);
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(std::max<int64_t>(0, (t1 - t0) / period)));
+  for (TimeNs t = t0; t < t1; t += period) {
+    out.push_back(ValueAt(t));
+  }
+  return out;
+}
+
+}  // namespace psbox

@@ -1,0 +1,62 @@
+// Piecewise-constant time series.
+//
+// Hardware power in the simulator is piecewise constant: it only changes when
+// some component changes state (a task is scheduled, a command starts, a
+// frequency steps). A StepTrace records those steps as (time, value) pairs and
+// supports exact value lookup, exact energy integration, and uniform
+// resampling — the primitive behind both the in-situ power meter and the
+// per-psbox virtual power meters.
+
+#ifndef SRC_BASE_STEP_TRACE_H_
+#define SRC_BASE_STEP_TRACE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace psbox {
+
+class StepTrace {
+ public:
+  struct Step {
+    TimeNs time;
+    double value;
+  };
+
+  // Appends a step at |time| with |value|. Times must be non-decreasing; a
+  // step at the same time as the previous one overwrites it (the last write
+  // within one simulated instant wins).
+  void Set(TimeNs time, double value);
+
+  // Value in effect at |time| (0.0 before the first step).
+  double ValueAt(TimeNs time) const;
+
+  // Exact integral of the trace over [t0, t1), in value·seconds (i.e. joules
+  // when the trace is in watts).
+  double IntegralOver(TimeNs t0, TimeNs t1) const;
+
+  // Mean value over [t0, t1).
+  double MeanOver(TimeNs t0, TimeNs t1) const;
+
+  // Uniformly resamples the trace at |period| starting at |t0|, up to but not
+  // including |t1|.
+  std::vector<double> Resample(TimeNs t0, TimeNs t1, DurationNs period) const;
+
+  bool empty() const { return steps_.empty(); }
+  size_t size() const { return steps_.size(); }
+  const std::vector<Step>& steps() const { return steps_; }
+  TimeNs last_time() const { return steps_.empty() ? 0 : steps_.back().time; }
+
+  void Clear() { steps_.clear(); }
+
+ private:
+  // Index of the last step with time <= |time|, or -1.
+  ptrdiff_t FindIndex(TimeNs time) const;
+
+  std::vector<Step> steps_;
+};
+
+}  // namespace psbox
+
+#endif  // SRC_BASE_STEP_TRACE_H_

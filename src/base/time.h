@@ -1,0 +1,40 @@
+// Simulated-time primitives.
+//
+// The whole system runs on a single simulated clock with nanosecond
+// resolution, mirroring the paper's setup where the power meter and the CPU
+// synchronise their clocks so that power samples can be aligned with software
+// activities (§5). Durations and instants are plain signed 64-bit nanosecond
+// counts; helpers below construct them readably.
+
+#ifndef SRC_BASE_TIME_H_
+#define SRC_BASE_TIME_H_
+
+#include <cstdint>
+
+namespace psbox {
+
+// An instant on the simulated clock, in nanoseconds since simulation start.
+using TimeNs = int64_t;
+// A span of simulated time, in nanoseconds.
+using DurationNs = int64_t;
+
+constexpr DurationNs kNanosecond = 1;
+constexpr DurationNs kMicrosecond = 1'000;
+constexpr DurationNs kMillisecond = 1'000'000;
+constexpr DurationNs kSecond = 1'000'000'000;
+
+constexpr DurationNs Micros(int64_t n) { return n * kMicrosecond; }
+constexpr DurationNs Millis(int64_t n) { return n * kMillisecond; }
+constexpr DurationNs Seconds(int64_t n) { return n * kSecond; }
+
+constexpr double ToSeconds(DurationNs d) { return static_cast<double>(d) / kSecond; }
+constexpr double ToMillis(DurationNs d) { return static_cast<double>(d) / kMillisecond; }
+constexpr double ToMicros(DurationNs d) { return static_cast<double>(d) / kMicrosecond; }
+
+// Energy in joules accumulated by integrating watts over simulated seconds.
+using Joules = double;
+using Watts = double;
+
+}  // namespace psbox
+
+#endif  // SRC_BASE_TIME_H_

@@ -1,0 +1,57 @@
+// Shared identifier types.
+
+#ifndef SRC_BASE_TYPES_H_
+#define SRC_BASE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace psbox {
+
+// An app is one or a group of user processes (the unit a psbox encloses).
+using AppId = int32_t;
+constexpr AppId kNoApp = -1;
+// The idle/dummy pseudo-app: occupies hardware on behalf of a balloon.
+constexpr AppId kIdleApp = -2;
+
+using TaskId = int32_t;
+using CoreId = int32_t;
+using PsboxId = int32_t;
+constexpr PsboxId kNoPsbox = -1;
+
+// Hardware components a psbox can bind to (psbox_create(HW_CPU | ...)).
+// Display and GPS follow §7: the display (OLED) is free of power
+// entanglement (per-pixel additive), and GPS operating power can be safely
+// revealed without virtualisation.
+enum class HwComponent : uint8_t {
+  kCpu = 0,
+  kGpu = 1,
+  kDsp = 2,
+  kWifi = 3,
+  kDisplay = 4,
+  kGps = 5,
+};
+
+constexpr size_t kNumHwComponents = 6;
+
+inline const char* HwComponentName(HwComponent hw) {
+  switch (hw) {
+    case HwComponent::kCpu:
+      return "CPU";
+    case HwComponent::kGpu:
+      return "GPU";
+    case HwComponent::kDsp:
+      return "DSP";
+    case HwComponent::kWifi:
+      return "WiFi";
+    case HwComponent::kDisplay:
+      return "Display";
+    case HwComponent::kGps:
+      return "GPS";
+  }
+  return "?";
+}
+
+}  // namespace psbox
+
+#endif  // SRC_BASE_TYPES_H_

@@ -1,0 +1,44 @@
+#include "src/hw/board.h"
+
+#include "src/base/check.h"
+
+namespace psbox {
+
+Board::Board(BoardConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  cpu_rail_ = std::make_unique<PowerRail>(&sim_, "cpu", config_.cpu.idle_power);
+  gpu_rail_ = std::make_unique<PowerRail>(&sim_, "gpu", config_.gpu.idle_power);
+  dsp_rail_ = std::make_unique<PowerRail>(&sim_, "dsp", config_.dsp.idle_power);
+  wifi_rail_ = std::make_unique<PowerRail>(&sim_, "wifi", config_.wifi.idle_power);
+  display_rail_ =
+      std::make_unique<PowerRail>(&sim_, "display", config_.display.base_power);
+  gps_rail_ = std::make_unique<PowerRail>(&sim_, "gps", config_.gps.off_power);
+  cpu_ = std::make_unique<CpuDevice>(&sim_, cpu_rail_.get(), config_.cpu);
+  gpu_ = std::make_unique<AccelDevice>(&sim_, gpu_rail_.get(), config_.gpu);
+  dsp_ = std::make_unique<AccelDevice>(&sim_, dsp_rail_.get(), config_.dsp);
+  wifi_ = std::make_unique<WifiDevice>(&sim_, wifi_rail_.get(), config_.wifi);
+  display_ = std::make_unique<DisplayDevice>(&sim_, display_rail_.get(),
+                                             config_.display);
+  gps_ = std::make_unique<GpsDevice>(&sim_, gps_rail_.get(), config_.gps);
+  meter_ = std::make_unique<PowerMeter>(rng_.Fork(), config_.meter);
+}
+
+PowerRail& Board::RailFor(HwComponent hw) {
+  switch (hw) {
+    case HwComponent::kCpu:
+      return *cpu_rail_;
+    case HwComponent::kGpu:
+      return *gpu_rail_;
+    case HwComponent::kDsp:
+      return *dsp_rail_;
+    case HwComponent::kWifi:
+      return *wifi_rail_;
+    case HwComponent::kDisplay:
+      return *display_rail_;
+    case HwComponent::kGps:
+      return *gps_rail_;
+  }
+  PSBOX_CHECK(false);
+}
+
+}  // namespace psbox

@@ -1,0 +1,68 @@
+// OLED display model (§7 "Support psbox on extra hardware").
+//
+// Modern OLED panels are free of power entanglement: every pixel contributes
+// to total power independently, with little lingering state. Apps composite
+// surfaces onto the panel; each surface's power contribution is a separable
+// function of its area and brightness, so the OS can divide display power
+// among apps exactly — a psbox bound to the display needs no resource
+// balloons at all. The device keeps a per-app contribution trace that the
+// psbox virtual power meter reads directly.
+
+#ifndef SRC_HW_DISPLAY_DEVICE_H_
+#define SRC_HW_DISPLAY_DEVICE_H_
+
+#include <map>
+
+#include "src/base/step_trace.h"
+#include "src/base/types.h"
+#include "src/hw/power_rail.h"
+#include "src/sim/simulator.h"
+
+namespace psbox {
+
+struct DisplayConfig {
+  // Panel controller draw with the panel on but all pixels black.
+  Watts base_power = 0.08;
+  // Draw of the full panel lit at brightness 1.0.
+  Watts full_panel_power = 1.10;
+};
+
+class DisplayDevice {
+ public:
+  DisplayDevice(Simulator* sim, PowerRail* rail, DisplayConfig config);
+
+  // Composites (or updates) |app|'s surface: |area| in [0, 1] of the panel,
+  // |brightness| in [0, 1] mean emitted luminance.
+  void SetSurface(AppId app, double area, double brightness);
+  void RemoveSurface(AppId app);
+
+  // Instantaneous contribution of |app|'s surface.
+  Watts AppPower(AppId app) const;
+  // Historical contribution of |app|'s surface at time |t|.
+  Watts AppPowerAt(AppId app, TimeNs t) const;
+  // Exact energy of |app|'s own pixels over [t0, t1) — directly attributable
+  // per §7, no accounting heuristics needed.
+  Joules AppEnergy(AppId app, TimeNs t0, TimeNs t1) const;
+
+  Watts ModelPower() const;
+  const DisplayConfig& config() const { return config_; }
+
+ private:
+  struct Surface {
+    double area = 0.0;
+    double brightness = 0.0;
+  };
+
+  void Update();
+
+  Simulator* sim_;
+  PowerRail* rail_;
+  DisplayConfig config_;
+  std::map<AppId, Surface> surfaces_;
+  // Per-app contribution traces (the per-pixel separability of OLED).
+  std::map<AppId, StepTrace> app_traces_;
+};
+
+}  // namespace psbox
+
+#endif  // SRC_HW_DISPLAY_DEVICE_H_

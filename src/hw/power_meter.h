@@ -1,0 +1,55 @@
+// In-situ power meter (DAQ model).
+//
+// Models the paper's measurement rig: an MCCDAQ USB1608G sampling four
+// distinct power rails at up to 100 kHz, clock-synchronised with the target
+// CPU so every sample is timestamped on the shared simulated clock (§5).
+// Samples carry Gaussian measurement noise; exact (noise-free) energy queries
+// are also provided for ground truth in tests.
+
+#ifndef SRC_HW_POWER_METER_H_
+#define SRC_HW_POWER_METER_H_
+
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/time.h"
+#include "src/hw/power_rail.h"
+
+namespace psbox {
+
+struct PowerSample {
+  TimeNs timestamp;
+  Watts watts;
+};
+
+struct PowerMeterConfig {
+  DurationNs sample_period = 10 * kMicrosecond;  // 100 kHz
+  Watts noise_stddev = 0.004;                    // ~4 mW per-sample noise
+};
+
+class PowerMeter {
+ public:
+  PowerMeter(Rng rng, PowerMeterConfig config);
+
+  // Timestamped samples of |rail| over [t0, t1) at the configured rate.
+  std::vector<PowerSample> SampleRail(const PowerRail& rail, TimeNs t0, TimeNs t1);
+
+  // Noise-free energy over [t0, t1) (the DAQ integrates far above the
+  // sampling rate; treated as exact).
+  Joules MeasureEnergy(const PowerRail& rail, TimeNs t0, TimeNs t1) const;
+
+  // Trapezoid-free summation of sampled power; what an app computing energy
+  // from samples would get.
+  static Joules EnergyFromSamples(const std::vector<PowerSample>& samples,
+                                  DurationNs sample_period);
+
+  const PowerMeterConfig& config() const { return config_; }
+
+ private:
+  Rng rng_;
+  PowerMeterConfig config_;
+};
+
+}  // namespace psbox
+
+#endif  // SRC_HW_POWER_METER_H_

@@ -1,0 +1,20 @@
+#include "src/hw/power_rail.h"
+
+#include "src/sim/simulator.h"
+
+namespace psbox {
+
+PowerRail::PowerRail(Simulator* sim, std::string name, Watts idle_power)
+    : sim_(sim), name_(std::move(name)), idle_power_(idle_power) {
+  trace_.Set(0, idle_power_);
+}
+
+void PowerRail::SetPower(Watts watts) { trace_.Set(sim_->Now(), watts); }
+
+Watts PowerRail::PowerAt(TimeNs t) const { return trace_.ValueAt(t); }
+
+Joules PowerRail::EnergyOver(TimeNs t0, TimeNs t1) const {
+  return trace_.IntegralOver(t0, t1);
+}
+
+}  // namespace psbox

@@ -1,0 +1,97 @@
+#include "src/hw/wifi_device.h"
+
+#include <cmath>
+
+#include "src/base/check.h"
+
+namespace psbox {
+
+WifiDevice::WifiDevice(Simulator* sim, PowerRail* rail, WifiConfig config)
+    : sim_(sim), rail_(rail), config_(std::move(config)) {
+  UpdateRail();
+}
+
+DurationNs WifiDevice::FrameAirtime(size_t bytes) const {
+  const double rate_mbps = power_state_.tx_power_level > 0 ? config_.rate_mbps_high
+                                                           : config_.rate_mbps_low;
+  const double bits = static_cast<double>(bytes) * 8.0;
+  const auto payload_ns = static_cast<DurationNs>(bits / rate_mbps * 1000.0);
+  return config_.per_frame_overhead + payload_ns;
+}
+
+void WifiDevice::SubmitFrame(const WifiFrame& frame) {
+  queue_.push_back(frame);
+  if (!busy_) {
+    StartNextFrame();
+  }
+}
+
+void WifiDevice::StartNextFrame() {
+  PSBOX_CHECK(!busy_);
+  if (queue_.empty()) {
+    return;
+  }
+  if (tail_event_ != kInvalidEventId) {
+    sim_->Cancel(tail_event_);
+    tail_event_ = kInvalidEventId;
+  }
+  in_tail_ = false;
+  busy_ = true;
+  current_frame_ = queue_.front();
+  queue_.pop_front();
+  current_start_ = sim_->Now();
+  frame_event_ = sim_->ScheduleAfter(FrameAirtime(current_frame_.bytes),
+                                     [this] { OnFrameComplete(); });
+  UpdateRail();
+}
+
+void WifiDevice::OnFrameComplete() {
+  frame_event_ = kInvalidEventId;
+  busy_ = false;
+  const WifiFrameDone done{current_frame_, current_start_, sim_->Now()};
+  if (!queue_.empty()) {
+    StartNextFrame();
+  } else {
+    // Lingering power state: stay awake in the tail until the PS timer fires.
+    in_tail_ = true;
+    tail_event_ = sim_->ScheduleAfter(power_state_.ps_timeout, [this] { OnTailExpire(); });
+    UpdateRail();
+  }
+  if (on_frame_done_) {
+    on_frame_done_(done);
+  }
+}
+
+void WifiDevice::OnTailExpire() {
+  tail_event_ = kInvalidEventId;
+  in_tail_ = false;
+  UpdateRail();
+}
+
+void WifiDevice::SetPowerState(const WifiPowerState& state) {
+  power_state_ = state;
+  if (in_tail_) {
+    // Re-arm the tail timer under the new timeout.
+    if (tail_event_ != kInvalidEventId) {
+      sim_->Cancel(tail_event_);
+    }
+    tail_event_ = sim_->ScheduleAfter(power_state_.ps_timeout, [this] { OnTailExpire(); });
+  }
+  UpdateRail();
+}
+
+void WifiDevice::UpdateRail() {
+  Watts p = config_.idle_power;
+  if (busy_) {
+    if (current_frame_.is_rx) {
+      p = config_.rx_power;
+    } else {
+      p = power_state_.tx_power_level > 0 ? config_.tx_power_high : config_.tx_power_low;
+    }
+  } else if (in_tail_) {
+    p = config_.tail_power;
+  }
+  rail_->SetPower(p);
+}
+
+}  // namespace psbox

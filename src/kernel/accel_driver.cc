@@ -1,0 +1,352 @@
+#include "src/kernel/accel_driver.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/base/check.h"
+#include "src/kernel/kernel.h"
+
+namespace psbox {
+
+AccelDriver::AccelDriver(Simulator* sim, AccelDevice* device, HwComponent kind,
+                         Kernel* kernel, AccelDriverConfig config)
+    : sim_(sim), device_(device), kind_(kind), kernel_(kernel), config_(config) {
+  context_opp_[0] = device_->opp_index();
+  device_->set_on_complete([this](const AccelCompletion& c) { OnComplete(c); });
+  last_ctx_mark_ = sim_->Now();
+  sim_->ScheduleAfter(config_.governor_period, [this] { OnGovernorTick(); });
+}
+
+void AccelDriver::MarkContextTime() {
+  const TimeNs now = sim_->Now();
+  if (busy_since_ >= 0) {
+    ctx_busy_[current_context_] += now - busy_since_;
+    busy_since_ = now;
+  }
+  ctx_wall_[current_context_] += now - last_ctx_mark_;
+  last_ctx_mark_ = now;
+}
+
+AccelDriver::AppQueue& AccelDriver::QueueFor(AppId app) { return queues_[app]; }
+
+void AccelDriver::Submit(Task* task, AccelCommand cmd) {
+  cmd.id = next_cmd_id_++;
+  cmd.app = task->app();
+  ++stats_.submitted;
+  AppQueue& q = QueueFor(cmd.app);
+  q.q.push_back(Pending{cmd, task, sim_->Now()});
+  q.last_seen = sim_->Now();
+  Pump();
+}
+
+double AccelDriver::MinRecentCompetitorVruntime(AppId owner) const {
+  constexpr DurationNs kRecency = 50 * kMillisecond;
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& [app, q] : queues_) {
+    if (app == owner) {
+      continue;
+    }
+    const bool recent =
+        q.last_seen >= 0 && sim_->Now() - q.last_seen <= kRecency;
+    if (!q.q.empty() || recent) {
+      best = std::min(best, q.vruntime);
+    }
+  }
+  return best;
+}
+
+AppId AccelDriver::BestPendingApp(bool exclude_sandboxed_owner) const {
+  AppId best = kNoApp;
+  double best_vr = std::numeric_limits<double>::infinity();
+  for (const auto& [app, q] : queues_) {
+    if (q.q.empty()) {
+      continue;
+    }
+    if (exclude_sandboxed_owner && app == serving_) {
+      continue;
+    }
+    if (q.vruntime < best_vr) {
+      best_vr = q.vruntime;
+      best = app;
+    }
+  }
+  return best;
+}
+
+void AccelDriver::Pump() {
+  // Busy-state bookkeeping for the frequency governor.
+  auto update_busy = [this] {
+    if (device_->in_flight() > 0 && busy_since_ < 0) {
+      busy_since_ = sim_->Now();
+    } else if (device_->in_flight() == 0 && busy_since_ >= 0) {
+      ctx_busy_[current_context_] += sim_->Now() - busy_since_;
+      busy_since_ = -1;
+    }
+  };
+
+  while (true) {
+    switch (phase_) {
+      case Phase::kNormal: {
+        if (!device_->CanDispatch()) {
+          update_busy();
+          return;
+        }
+        AppId best = BestPendingApp(false);
+        if (best == kNoApp) {
+          update_busy();
+          return;
+        }
+        if (QueueFor(best).sandboxed) {
+          // A sandboxed app only takes the device when it is not still
+          // repaying its previous balloon relative to apps that will be back
+          // momentarily (non-work-conserving toward the sandbox; this is
+          // what confines the loss to the sandboxed app, §6.3).
+          const double competitor = MinRecentCompetitorVruntime(best);
+          if (QueueFor(best).vruntime >
+              competitor + static_cast<double>(config_.switch_lead)) {
+            // Try the best non-sandboxed pending app instead.
+            AppId fallback = kNoApp;
+            double fallback_vr = std::numeric_limits<double>::infinity();
+            for (const auto& [app, q2] : queues_) {
+              if (q2.q.empty() || q2.sandboxed) {
+                continue;
+              }
+              if (q2.vruntime < fallback_vr) {
+                fallback_vr = q2.vruntime;
+                fallback = app;
+              }
+            }
+            if (fallback == kNoApp) {
+              // Idle on purpose; retry once the competition catches up.
+              if (retry_event_ == kInvalidEventId) {
+                retry_event_ = sim_->ScheduleAfter(1 * kMillisecond, [this] {
+                  retry_event_ = kInvalidEventId;
+                  Pump();
+                });
+              }
+              update_busy();
+              return;
+            }
+            best = fallback;
+          } else {
+            // Phase 1 — drain others: buffer everything until the device is
+            // empty, then the balloon owns it.
+            serving_ = best;
+            phase_ = Phase::kDrainOthers;
+            balloon_start_ = sim_->Now();
+            ++stats_.balloons;
+            continue;
+          }
+        }
+        AppQueue& q = QueueFor(best);
+        Pending p = q.q.front();
+        q.q.pop_front();
+        const DurationNs lat = sim_->Now() - p.submit_time;
+        stats_.total_dispatch_latency += lat;
+        stats_.max_dispatch_latency = std::max(stats_.max_dispatch_latency, lat);
+        device_->Dispatch(p.cmd);
+        in_flight_[p.cmd.id] = p;
+        update_busy();
+        continue;
+      }
+      case Phase::kDrainOthers: {
+        if (device_->in_flight() > 0) {
+          update_busy();
+          return;
+        }
+        // Balloon-in: exclusive ownership begins; restore the sandbox's
+        // virtualised operating frequency.
+        balloon_notified_ = true;
+        if (config_.virtualize_freq) {
+          SwitchOppContext(QueueFor(serving_).opp_context);
+        }
+        if (observer_ != nullptr) {
+          observer_->OnBalloonIn(QueueFor(serving_).box, kind_, sim_->Now());
+        }
+        phase_ = Phase::kServePsbox;
+        continue;
+      }
+      case Phase::kServePsbox: {
+        AppQueue& sq = QueueFor(serving_);
+        const AppId contender = BestPendingApp(/*exclude_sandboxed_owner=*/true);
+        const bool grant_over = sim_->Now() - balloon_start_ >= config_.min_grant;
+        const bool owner_idle = sq.q.empty() && device_->in_flight() == 0;
+        if (owner_idle) {
+          if (owner_idle_since_ < 0) {
+            owner_idle_since_ = sim_->Now();
+            sim_->ScheduleAfter(config_.idle_release, [this] { Pump(); });
+          }
+        } else {
+          owner_idle_since_ = -1;
+        }
+        const bool idle_expired =
+            owner_idle && sim_->Now() - owner_idle_since_ >= config_.idle_release;
+        // The owner's accrued-so-far billing for this balloon counts toward
+        // the lead check — otherwise a single long balloon (whose billing
+        // only lands at balloon end) could hold the device forever.
+        const double accrued =
+            static_cast<double>(sim_->Now() - balloon_start_) * device_->slots();
+        const bool lead_exceeded =
+            contender != kNoApp &&
+            sq.vruntime + (config_.bill_balloon ? accrued : 0.0) -
+                    QueueFor(contender).vruntime >
+                static_cast<double>(config_.switch_lead);
+        if ((contender != kNoApp && grant_over && (owner_idle || lead_exceeded)) ||
+            idle_expired) {
+          owner_idle_since_ = -1;
+          phase_ = Phase::kDrainPsbox;  // phase 4
+          continue;
+        }
+        if (!device_->CanDispatch() || sq.q.empty()) {
+          // Nothing to do now. If a contender is waiting for the grant to
+          // expire, make sure we come back then.
+          if (contender != kNoApp && !grant_over) {
+            const TimeNs when = balloon_start_ + config_.min_grant;
+            sim_->ScheduleAt(std::max(when, sim_->Now()), [this] { Pump(); });
+          }
+          update_busy();
+          return;
+        }
+        // Phases 2-3 — flush & serve the sandboxed app.
+        Pending p = sq.q.front();
+        sq.q.pop_front();
+        const DurationNs lat = sim_->Now() - p.submit_time;
+        stats_.total_dispatch_latency += lat;
+        stats_.max_dispatch_latency = std::max(stats_.max_dispatch_latency, lat);
+        device_->Dispatch(p.cmd);
+        in_flight_[p.cmd.id] = p;
+        update_busy();
+        continue;
+      }
+      case Phase::kDrainPsbox: {
+        if (device_->in_flight() > 0) {
+          update_busy();
+          return;
+        }
+        // Balloon-out: bill the *whole* accelerator for the whole balloon to
+        // the sandboxed app (drain stalls and idle slots included).
+        AppQueue& sq = QueueFor(serving_);
+        const DurationNs held = sim_->Now() - balloon_start_;
+        if (config_.bill_balloon) {
+          sq.vruntime += static_cast<double>(held) * device_->slots();
+        }
+        stats_.total_balloon_time += held;
+        if (config_.virtualize_freq) {
+          SwitchOppContext(0);
+        }
+        if (observer_ != nullptr && balloon_notified_) {
+          observer_->OnBalloonOut(sq.box, kind_, sim_->Now());
+        }
+        balloon_notified_ = false;
+        serving_ = kNoApp;
+        owner_idle_since_ = -1;
+        phase_ = Phase::kNormal;  // phase 5: flush others in queueing order
+        continue;
+      }
+    }
+  }
+}
+
+void AccelDriver::OnComplete(const AccelCompletion& completion) {
+  auto it = in_flight_.find(completion.cmd.id);
+  PSBOX_CHECK(it != in_flight_.end());
+  const Pending p = it->second;
+  in_flight_.erase(it);
+  ++stats_.completed;
+  AppQueue& q = QueueFor(completion.cmd.app);
+  ++q.completed;
+  q.last_seen = sim_->Now();
+  if (completion.cmd.app != serving_) {
+    // Normal billing: the span the command occupied the device, as visible
+    // to the CPU side (dispatch to completion interrupt).
+    q.vruntime +=
+        static_cast<double>(completion.end_time - completion.dispatch_time);
+  }
+  if (ledger_ != nullptr) {
+    ledger_->Add(kind_, completion.cmd.app, completion.dispatch_time,
+                 completion.end_time);
+  }
+  // Deliver the completion to the submitting task (may wake it).
+  if (p.task != nullptr) {
+    ++p.task->pending_accel_completions;
+    kernel_->DeliverAccelCompletion(p.task);
+  }
+  Pump();
+}
+
+void AccelDriver::SetSandboxed(AppId app, PsboxId box) {
+  AppQueue& q = QueueFor(app);
+  q.sandboxed = true;
+  q.box = box;
+  if (q.opp_context < 0) {
+    q.opp_context = CreateOppContext();
+  }
+  Pump();
+}
+
+void AccelDriver::ClearSandboxed(AppId app) {
+  AppQueue& q = QueueFor(app);
+  q.sandboxed = false;
+  if (serving_ == app) {
+    if (phase_ == Phase::kDrainOthers) {
+      // Balloon never took ownership; just unwind.
+      serving_ = kNoApp;
+      phase_ = Phase::kNormal;
+    } else if (phase_ == Phase::kServePsbox) {
+      phase_ = Phase::kDrainPsbox;
+    }
+  }
+  Pump();
+}
+
+int AccelDriver::CreateOppContext() {
+  const int ctx = next_context_++;
+  context_opp_[ctx] = 0;
+  return ctx;
+}
+
+void AccelDriver::SwitchOppContext(int ctx) {
+  PSBOX_CHECK(context_opp_.count(ctx) > 0);
+  if (ctx == current_context_) {
+    return;
+  }
+  MarkContextTime();
+  context_opp_[current_context_] = device_->opp_index();
+  current_context_ = ctx;
+  device_->SetOppIndex(context_opp_[ctx]);
+}
+
+void AccelDriver::OnGovernorTick() {
+  MarkContextTime();
+  // Update every context that owned the device long enough this window,
+  // judging each by the utilisation measured while it was in charge.
+  for (auto& [ctx, wall] : ctx_wall_) {
+    if (wall >= 2 * kMillisecond) {
+      const double util =
+          static_cast<double>(ctx_busy_[ctx]) / static_cast<double>(wall);
+      int opp = context_opp_[ctx];
+      if (ctx == current_context_) {
+        opp = device_->opp_index();
+      }
+      if (util > config_.governor_up) {
+        opp = device_->num_opps() - 1;
+      } else if (util < config_.governor_down) {
+        opp = std::max(0, opp - 1);
+      }
+      context_opp_[ctx] = opp;
+      if (ctx == current_context_) {
+        device_->SetOppIndex(opp);
+      }
+    }
+    wall = 0;
+    ctx_busy_[ctx] = 0;
+  }
+  sim_->ScheduleAfter(config_.governor_period, [this] { OnGovernorTick(); });
+}
+
+uint64_t AccelDriver::CompletedFor(AppId app) const {
+  auto it = queues_.find(app);
+  return it == queues_.end() ? 0 : it->second.completed;
+}
+
+}  // namespace psbox

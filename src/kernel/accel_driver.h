@@ -1,0 +1,162 @@
+// Accelerator driver: fair command scheduling + psbox temporal balloons.
+//
+// Baseline behaviour is a fair-queueing command scheduler in the spirit of
+// CFS (§5): per-app pending queues, a per-app virtual accelerator runtime,
+// and dispatch always favouring the app with the minimum virtual runtime.
+//
+// psbox extension (§4.2 "Accelerators") — the five-phase temporal balloon:
+//   1. Drain others : stop dispatching; wait for in-flight commands to end.
+//   2. Flush psbox  : dispatch the sandboxed app's buffered commands.
+//   3. Serve psbox  : only the sandboxed app reaches the device.
+//   4. Drain psbox  : stop dispatching; wait for its commands to end.
+//   5. Flush others : resume normal fair dispatch in queueing order.
+// While a balloon holds the device (phases 1-4), the *entire* accelerator —
+// under-utilised slots included — is billed to the sandboxed app. The driver
+// also virtualises the accelerator's operating frequency per psbox.
+
+#ifndef SRC_KERNEL_ACCEL_DRIVER_H_
+#define SRC_KERNEL_ACCEL_DRIVER_H_
+
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "src/base/types.h"
+#include "src/hw/accel_device.h"
+#include "src/kernel/balloon_observer.h"
+#include "src/kernel/task.h"
+#include "src/kernel/usage_ledger.h"
+#include "src/sim/simulator.h"
+
+namespace psbox {
+
+class Kernel;
+
+struct AccelDriverConfig {
+  // Minimum service period a balloon holds the device before the scheduler
+  // considers switching away (avoids drain thrash).
+  DurationNs min_grant = 2 * kMillisecond;
+  // The sandboxed app loses the device once its virtual runtime leads the
+  // best competitor by this much.
+  DurationNs switch_lead = 1 * kMillisecond;
+  // A balloon with no pending or in-flight work is released after this long
+  // even without a contender, so the ownership windows an app observes are
+  // the same whether or not it co-runs ("pay as you go").
+  DurationNs idle_release = 500 * kMicrosecond;
+  // Simple ondemand frequency governor for the accelerator.
+  DurationNs governor_period = 10 * kMillisecond;
+  double governor_up = 0.60;
+  double governor_down = 0.20;
+  // Ablation knobs (DESIGN.md §4); both default to the paper's design.
+  bool bill_balloon = true;      // charge the whole device for the balloon
+  bool virtualize_freq = true;   // per-psbox frequency contexts
+};
+
+class AccelDriver {
+ public:
+  AccelDriver(Simulator* sim, AccelDevice* device, HwComponent kind, Kernel* kernel,
+              AccelDriverConfig config = {});
+
+  // Syscall path: enqueues a command on behalf of |task|.
+  void Submit(Task* task, AccelCommand cmd);
+
+  // --- psbox temporal balloons ---
+  void SetSandboxed(AppId app, PsboxId box);
+  void ClearSandboxed(AppId app);
+
+  void set_balloon_observer(BalloonObserver* observer) { observer_ = observer; }
+  void set_ledger(UsageLedger* ledger) { ledger_ = ledger; }
+
+  // Per-psbox virtualised frequency context management.
+  int CreateOppContext();
+
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t balloons = 0;
+    DurationNs total_dispatch_latency = 0;  // submit -> device dispatch
+    DurationNs max_dispatch_latency = 0;
+    DurationNs total_balloon_time = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  uint64_t CompletedFor(AppId app) const;
+  HwComponent kind() const { return kind_; }
+  const AccelDriverConfig& config() const { return config_; }
+
+  // Exposed for tests: current balloon owner (kNoApp when none).
+  AppId balloon_owner() const { return serving_; }
+
+ private:
+  enum class Phase { kNormal, kDrainOthers, kServePsbox, kDrainPsbox };
+
+  struct Pending {
+    AccelCommand cmd;
+    Task* task;
+    TimeNs submit_time;
+  };
+
+  struct AppQueue {
+    std::deque<Pending> q;
+    double vruntime = 0.0;
+    bool sandboxed = false;
+    PsboxId box = kNoPsbox;
+    int opp_context = -1;
+    uint64_t completed = 0;
+    TimeNs last_seen = -1;  // last submit/completion; recency for fairness
+  };
+
+  AppQueue& QueueFor(AppId app);
+  // Dispatch loop; runs after every submit and completion.
+  void Pump();
+  // Smallest virtual runtime among apps other than |owner| that used the
+  // device recently (they will be back within a service round); +infinity
+  // when there is none. A sandboxed app may only take a balloon when it does
+  // not lead this by more than switch_lead — otherwise it is still repaying
+  // its previous exclusive occupation.
+  double MinRecentCompetitorVruntime(AppId owner) const;
+  void OnComplete(const AccelCompletion& completion);
+  // Smallest vruntime among apps with pending commands; kNoApp when none.
+  AppId BestPendingApp(bool exclude_sandboxed_owner) const;
+  void BeginBalloon(AppId app);
+  void FinishBalloonIfDrained();
+  void SwitchOppContext(int ctx);
+  void OnGovernorTick();
+
+  Simulator* sim_;
+  AccelDevice* device_;
+  HwComponent kind_;
+  Kernel* kernel_;
+  AccelDriverConfig config_;
+  BalloonObserver* observer_ = nullptr;
+  UsageLedger* ledger_ = nullptr;
+
+  std::map<AppId, AppQueue> queues_;
+  std::unordered_map<uint64_t, Pending> in_flight_;
+  uint64_t next_cmd_id_ = 1;
+
+  Phase phase_ = Phase::kNormal;
+  AppId serving_ = kNoApp;  // balloon owner during phases 1-4
+  TimeNs balloon_start_ = 0;
+  TimeNs owner_idle_since_ = -1;
+  bool balloon_notified_ = false;
+  EventId retry_event_ = kInvalidEventId;
+
+  // Frequency virtualisation contexts; context 0 is global.
+  std::unordered_map<int, int> context_opp_;
+  int next_context_ = 1;
+  int current_context_ = 0;
+
+  // Governor busy tracking, attributed per frequency context so a sandbox's
+  // virtual frequency is driven by its own demand only.
+  void MarkContextTime();
+  TimeNs busy_since_ = -1;
+  TimeNs last_ctx_mark_ = 0;
+  std::unordered_map<int, DurationNs> ctx_busy_;
+  std::unordered_map<int, DurationNs> ctx_wall_;
+
+  Stats stats_;
+};
+
+}  // namespace psbox
+
+#endif  // SRC_KERNEL_ACCEL_DRIVER_H_

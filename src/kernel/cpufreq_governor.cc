@@ -1,0 +1,72 @@
+#include "src/kernel/cpufreq_governor.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace psbox {
+
+CpufreqGovernor::CpufreqGovernor(Simulator* sim, CpuScheduler* sched, CpuDevice* cpu,
+                                 GovernorConfig config)
+    : sim_(sim), sched_(sched), cpu_(cpu), config_(config) {
+  context_opp_[kGlobalContext] = 0;
+}
+
+void CpufreqGovernor::Start() {
+  sim_->ScheduleAfter(config_.sample_period, [this] { OnSample(); });
+}
+
+int CpufreqGovernor::NextOpp(int opp, double util) const {
+  if (util > config_.up_threshold) {
+    return cpu_->num_opps() - 1;  // ondemand: jump to max under load
+  }
+  if (util < config_.down_threshold) {
+    return std::max(0, opp - 1);  // decay one step at a time (lingering state)
+  }
+  return opp;
+}
+
+void CpufreqGovernor::OnSample() {
+  const CpuScheduler::UtilizationSample sample = sched_->ConsumeUtilization();
+  // The currently-applied context's stored OPP follows the hardware.
+  context_opp_[current_context_] = cpu_->opp_index();
+
+  // Global context: driven by the utilisation outside any balloon.
+  context_opp_[kGlobalContext] =
+      NextOpp(context_opp_[kGlobalContext], sample.global);
+
+  // Each sandbox context: driven by the utilisation inside its balloons.
+  for (const auto& [box, util] : sample.per_box) {
+    auto it = context_of_box_.find(box);
+    if (it == context_of_box_.end()) {
+      continue;
+    }
+    context_opp_[it->second] = NextOpp(context_opp_[it->second], util);
+  }
+
+  sched_->SetOpp(context_opp_[current_context_]);
+  sim_->ScheduleAfter(config_.sample_period, [this] { OnSample(); });
+}
+
+int CpufreqGovernor::ContextForBox(PsboxId box) {
+  auto it = context_of_box_.find(box);
+  if (it != context_of_box_.end()) {
+    return it->second;
+  }
+  const int ctx = next_context_++;
+  context_opp_[ctx] = 0;
+  context_of_box_[box] = ctx;
+  return ctx;
+}
+
+void CpufreqGovernor::SwitchContext(int ctx) {
+  PSBOX_CHECK(context_opp_.count(ctx) > 0);
+  if (ctx == current_context_) {
+    return;
+  }
+  context_opp_[current_context_] = cpu_->opp_index();
+  current_context_ = ctx;
+  sched_->SetOpp(context_opp_[ctx]);
+}
+
+}  // namespace psbox

@@ -1,0 +1,117 @@
+// Kernel facade: assembles the scheduler, governor, drivers and network
+// stack over a Board, owns apps/tasks, and routes syscalls and interrupts.
+//
+// This is the simulated equivalent of the Linux 4.4 kernel the paper
+// extends: CFS + cgroups (cpu_scheduler), cpufreq ondemand
+// (cpufreq_governor), GPU/DSP command-queue drivers (accel_driver), and the
+// fair packet scheduler (net_stack) — each carrying the ~2250-SLoC psbox
+// extensions described in §4/§5.
+
+#ifndef SRC_KERNEL_KERNEL_H_
+#define SRC_KERNEL_KERNEL_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hw/board.h"
+#include "src/kernel/accel_driver.h"
+#include "src/kernel/balloon_observer.h"
+#include "src/kernel/cpu_scheduler.h"
+#include "src/kernel/cpufreq_governor.h"
+#include "src/kernel/net_stack.h"
+#include "src/kernel/psbox_service.h"
+#include "src/kernel/task.h"
+#include "src/kernel/usage_ledger.h"
+
+namespace psbox {
+
+struct KernelConfig {
+  SchedConfig sched;
+  GovernorConfig governor;
+  AccelDriverConfig gpu_driver;
+  AccelDriverConfig dsp_driver;
+  NetConfig net;
+  // Ablation: when false, CPU balloons do not switch DVFS contexts (the
+  // sandbox sees whatever operating point the system happens to be in).
+  bool virtualize_cpu_freq = true;
+};
+
+class Kernel : public BalloonObserver {
+ public:
+  explicit Kernel(Board* board, KernelConfig config = {});
+  ~Kernel() override;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- apps & tasks -----------------------------------------------------
+  AppId CreateApp(std::string name);
+  const std::string& AppName(AppId app) const;
+  Task* SpawnTask(AppId app, std::string name, std::unique_ptr<Behavior> behavior,
+                  CoreId core = -1);
+  const std::vector<Task*>& AppTasks(AppId app) const;
+  // True once every task of |app| has exited.
+  bool AppFinished(AppId app) const;
+
+  // --- subsystem access ---------------------------------------------------
+  Board& board() { return *board_; }
+  Simulator& sim() { return board_->sim(); }
+  TimeNs Now() const { return board_->sim().Now(); }
+  CpuScheduler& scheduler() { return *scheduler_; }
+  CpufreqGovernor& governor() { return *governor_; }
+  AccelDriver& gpu_driver() { return *gpu_driver_; }
+  AccelDriver& dsp_driver() { return *dsp_driver_; }
+  AccelDriver& DriverFor(HwComponent hw);
+  NetStack& net() { return *net_; }
+  UsageLedger& ledger() { return ledger_; }
+
+  // --- psbox integration ----------------------------------------------
+  void set_psbox_service(PsboxService* service) { psbox_service_ = service; }
+  PsboxService* psbox_service() { return psbox_service_; }
+  // External observer (the psbox manager) notified after the kernel's own
+  // balloon handling (power-state context switches).
+  void set_balloon_observer(BalloonObserver* observer) { external_observer_ = observer; }
+  // Creates the psbox's CPU frequency context; must be called before the
+  // psbox's first CPU balloon.
+  void RegisterCpuContext(PsboxId box);
+
+  // BalloonObserver (internal dispatch from scheduler/drivers):
+  void OnBalloonIn(PsboxId box, HwComponent hw, TimeNs when) override;
+  void OnBalloonOut(PsboxId box, HwComponent hw, TimeNs when) override;
+
+  // --- syscall & interrupt plumbing (used by the scheduler/drivers) ----
+  void ScheduleTaskWake(Task* task, DurationNs delay);
+  void HandleSubmitAccel(Task* task, const Action& action);
+  void HandleSend(Task* task, const Action& action);
+  void DeliverAccelCompletion(Task* task);
+  void DeliverNetDone(Task* task);
+  void ExpectRx(Task* task, size_t bytes);
+  void DeliverRx(AppId app, size_t bytes);
+
+  // Runs the simulation until |deadline| (convenience passthrough).
+  void RunUntil(TimeNs deadline) { board_->sim().RunUntil(deadline); }
+
+ private:
+  Board* board_;
+  KernelConfig config_;
+  UsageLedger ledger_;
+  std::unique_ptr<CpuScheduler> scheduler_;
+  std::unique_ptr<CpufreqGovernor> governor_;
+  std::unique_ptr<AccelDriver> gpu_driver_;
+  std::unique_ptr<AccelDriver> dsp_driver_;
+  std::unique_ptr<NetStack> net_;
+  PsboxService* psbox_service_ = nullptr;
+  BalloonObserver* external_observer_ = nullptr;
+
+  std::vector<std::string> app_names_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::unordered_map<AppId, std::vector<Task*>> app_tasks_;
+  std::unordered_map<PsboxId, int> cpu_context_of_box_;
+  std::unordered_map<AppId, std::deque<Task*>> rx_waiters_;
+  TaskId next_task_id_ = 1;
+};
+
+}  // namespace psbox
+
+#endif  // SRC_KERNEL_KERNEL_H_

@@ -1,0 +1,340 @@
+#include "src/kernel/net_stack.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/base/check.h"
+#include "src/kernel/kernel.h"
+
+namespace psbox {
+
+NetStack::NetStack(Simulator* sim, WifiDevice* device, Kernel* kernel, NetConfig config)
+    : sim_(sim), device_(device), kernel_(kernel), config_(config) {
+  device_->set_on_frame_done([this](const WifiFrameDone& d) { OnFrameDone(d); });
+}
+
+NetStack::Socket& NetStack::SockFor(AppId app) { return socks_[app]; }
+
+void NetStack::Send(Task* task, const Action& action) {
+  Socket& s = SockFor(task->app());
+  WifiFrame frame;
+  frame.id = next_frame_id_++;
+  frame.app = task->app();
+  frame.bytes = action.bytes;
+  frame.is_rx = false;
+  ++task->net_inflight;
+  s.q.push_back(SockPacket{frame, task, action.response_bytes, action.response_delay,
+                           action.response_count, sim_->Now()});
+  Pump();
+}
+
+void NetStack::InjectRx(AppId app, size_t bytes) {
+  // Reception defers to nobody: straight to the NIC (§5 limitation).
+  WifiFrame frame;
+  frame.id = next_frame_id_++;
+  frame.app = app;
+  frame.bytes = bytes;
+  frame.is_rx = true;
+  ++stats_.rx_frames;
+  device_->SubmitFrame(frame);
+}
+
+AppId NetStack::BestPendingApp(bool exclude_owner) const {
+  AppId best = kNoApp;
+  double best_credit = std::numeric_limits<double>::infinity();
+  for (const auto& [app, s] : socks_) {
+    // Queued TX demands the medium; so does a sandboxed app's outstanding
+    // reception (its balloon must cover the responses, §4.2/§5).
+    const bool wants_nic = !s.q.empty() || (s.sandboxed && s.expected_rx > 0);
+    if (!wants_nic) {
+      continue;
+    }
+    if (exclude_owner && app == serving_) {
+      continue;
+    }
+    if (s.credit_bytes < best_credit) {
+      best_credit = s.credit_bytes;
+      best = app;
+    }
+  }
+  return best;
+}
+
+double NetStack::MinRecentCompetitorCredit(AppId owner) const {
+  constexpr DurationNs kRecency = 200 * kMillisecond;
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& [app, s] : socks_) {
+    if (app == owner) {
+      continue;
+    }
+    const bool recent =
+        s.last_activity >= 0 && sim_->Now() - s.last_activity <= kRecency;
+    if (!s.q.empty() || recent) {
+      best = std::min(best, s.credit_bytes);
+    }
+  }
+  return best;
+}
+
+void NetStack::DispatchFrom(AppId app) {
+  Socket& s = SockFor(app);
+  PSBOX_CHECK(!s.q.empty());
+  SockPacket p = s.q.front();
+  s.q.pop_front();
+  const DurationNs lat = sim_->Now() - p.enqueue_time;
+  stats_.total_tx_latency += lat;
+  stats_.max_tx_latency = std::max(stats_.max_tx_latency, lat);
+  ++stats_.tx_frames;
+  our_tx_pending_ = true;
+  tx_in_flight_[p.frame.id] = p;
+  device_->SubmitFrame(p.frame);
+}
+
+void NetStack::Pump() {
+  while (true) {
+    // Only one TX of ours on the NIC at a time; the medium may also be busy
+    // with RX, which we cannot pre-empt.
+    const bool nic_free = !our_tx_pending_ && !device_->busy() &&
+                          device_->queued_frames() == 0;
+    switch (phase_) {
+      case Phase::kNormal: {
+        if (!nic_free) {
+          return;
+        }
+        AppId best = BestPendingApp(false);
+        if (best == kNoApp) {
+          return;
+        }
+        if (!SockFor(best).sandboxed && SockFor(best).q.empty()) {
+          return;  // nothing dispatchable (awaiting-RX candidates are boxed)
+        }
+        if (SockFor(best).sandboxed) {
+          const double competitor = MinRecentCompetitorCredit(best);
+          if (SockFor(best).credit_bytes >
+              competitor + static_cast<double>(config_.switch_lead_bytes)) {
+            // Still repaying the previous balloon; serve someone else or
+            // hold the NIC idle until the competition catches up.
+            AppId fallback = kNoApp;
+            double fallback_credit = std::numeric_limits<double>::infinity();
+            for (const auto& [app, sock] : socks_) {
+              if (sock.q.empty() || sock.sandboxed) {
+                continue;
+              }
+              if (sock.credit_bytes < fallback_credit) {
+                fallback_credit = sock.credit_bytes;
+                fallback = app;
+              }
+            }
+            if (fallback == kNoApp) {
+              if (retry_event_ == kInvalidEventId) {
+                retry_event_ = sim_->ScheduleAfter(2 * kMillisecond, [this] {
+                  retry_event_ = kInvalidEventId;
+                  Pump();
+                });
+              }
+              return;
+            }
+            best = fallback;
+          } else {
+            serving_ = best;
+            phase_ = Phase::kDrainOthers;
+            balloon_start_ = sim_->Now();
+            penalty_bytes_ = 0.0;
+            ++stats_.balloons;
+            continue;
+          }
+        }
+        DispatchFrom(best);
+        return;
+      }
+      case Phase::kDrainOthers: {
+        if (!nic_free) {
+          return;
+        }
+        // Balloon-in: apply the sandbox's virtualised NIC power state.
+        Socket& s = SockFor(serving_);
+        if (config_.virtualize_power_state) {
+          global_state_ = device_->power_state();
+          device_->SetPowerState(s.vstate);
+        }
+        balloon_notified_ = true;
+        if (observer_ != nullptr) {
+          observer_->OnBalloonIn(s.box, HwComponent::kWifi, sim_->Now());
+        }
+        phase_ = Phase::kServePsbox;
+        continue;
+      }
+      case Phase::kServePsbox: {
+        Socket& s = SockFor(serving_);
+        const AppId contender = BestPendingApp(/*exclude_owner=*/true);
+        const bool grant_over = sim_->Now() - balloon_start_ >= config_.min_grant;
+        // The owner's NIC session covers queued TX, in-flight TX, responses
+        // the channel still owes it, and its power-save tail afterwards.
+        const bool owner_active =
+            !s.q.empty() || our_tx_pending_ || s.expected_rx > 0;
+        const TimeNs tail_deadline =
+            s.last_activity >= 0
+                ? s.last_activity + device_->power_state().ps_timeout
+                : sim_->Now();
+        const bool in_tail = !owner_active && sim_->Now() < tail_deadline;
+        const bool owner_idle = !owner_active && !in_tail;
+        const bool lead_exceeded =
+            contender != kNoApp &&
+            s.credit_bytes - SockFor(contender).credit_bytes >
+                static_cast<double>(config_.switch_lead_bytes);
+        // Release rules: (a) the owner went fully idle — its power-save tail
+        // has expired, so the observation window is complete; or (b) a
+        // credit blow-out while the owner still has TX queued — cutting it
+        // then loses no energy (its next balloon resumes the transfer). An
+        // owner awaiting responses or sitting in its tail is never cut:
+        // those are its own reception and lingering power state (§4.1), and
+        // competitors are compensated through penalty_bytes_.
+        const bool owner_transmitting = !s.q.empty() || our_tx_pending_;
+        if (owner_idle ||
+            (contender != kNoApp && grant_over && lead_exceeded &&
+             owner_transmitting)) {
+          phase_ = Phase::kDrainPsbox;
+          continue;
+        }
+        if (!nic_free || s.q.empty()) {
+          if (contender != kNoApp && !grant_over) {
+            const TimeNs when = balloon_start_ + config_.min_grant;
+            sim_->ScheduleAt(std::max(when, sim_->Now()), [this] { Pump(); });
+          } else if (in_tail && contender == kNoApp) {
+            // Come back when the tail expires to release the idle balloon.
+            sim_->ScheduleAt(std::max(tail_deadline, sim_->Now()),
+                             [this] { Pump(); });
+          }
+          // Lost sharing opportunity: a competitor's head packet could have
+          // used this free slot (§4.2); its bytes discount the owner.
+          if (nic_free && contender != kNoApp) {
+            penalty_bytes_ +=
+                static_cast<double>(SockFor(contender).q.front().frame.bytes);
+          }
+          return;
+        }
+        if (contender != kNoApp) {
+          // The owner transmits while a competitor's packet waits: the
+          // displaced airtime is a lost opportunity charged to the owner.
+          penalty_bytes_ += static_cast<double>(
+              std::min(s.q.front().frame.bytes,
+                       SockFor(contender).q.front().frame.bytes));
+        }
+        DispatchFrom(serving_);
+        return;
+      }
+      case Phase::kDrainPsbox: {
+        if (our_tx_pending_) {
+          return;
+        }
+        Socket& s = SockFor(serving_);
+        // Balloon-out: restore the global power state, charge the lost
+        // opportunities to the sandboxed app.
+        if (config_.virtualize_power_state) {
+          s.vstate = device_->power_state();
+          device_->SetPowerState(global_state_);
+        }
+        if (config_.charge_lost_opportunity) {
+          s.credit_bytes += penalty_bytes_;
+        }
+        penalty_bytes_ = 0.0;
+        stats_.total_balloon_time += sim_->Now() - balloon_start_;
+        if (observer_ != nullptr && balloon_notified_) {
+          observer_->OnBalloonOut(s.box, HwComponent::kWifi, sim_->Now());
+        }
+        balloon_notified_ = false;
+        serving_ = kNoApp;
+        phase_ = Phase::kNormal;
+        continue;
+      }
+    }
+  }
+}
+
+void NetStack::OnFrameDone(const WifiFrameDone& done) {
+  if (ledger_ != nullptr) {
+    ledger_->Add(HwComponent::kWifi, done.frame.app, done.start_time, done.end_time);
+  }
+  if (done.frame.is_rx) {
+    Socket& s = SockFor(done.frame.app);
+    s.bytes_delivered += done.frame.bytes;
+    s.last_activity = done.end_time;
+    // Reception is airtime the app consumed; it counts toward its credit so
+    // heavy downloaders cannot hide behind tiny TX requests.
+    s.credit_bytes += static_cast<double>(done.frame.bytes);
+    // RX landing inside the app's own balloon while others wait is likewise
+    // a lost sharing opportunity; the charge is capped by what the displaced
+    // competitor could actually have sent.
+    if ((phase_ == Phase::kServePsbox || phase_ == Phase::kDrainPsbox) &&
+        done.frame.app == serving_) {
+      const AppId contender = BestPendingApp(/*exclude_owner=*/true);
+      if (contender != kNoApp) {
+        penalty_bytes_ += static_cast<double>(
+            std::min(done.frame.bytes, SockFor(contender).q.front().frame.bytes));
+      }
+    }
+    if (s.expected_rx > 0) {
+      --s.expected_rx;
+    }
+    kernel_->DeliverRx(done.frame.app, done.frame.bytes);
+    Pump();
+    return;
+  }
+  auto it = tx_in_flight_.find(done.frame.id);
+  PSBOX_CHECK(it != tx_in_flight_.end());
+  const SockPacket p = it->second;
+  tx_in_flight_.erase(it);
+  our_tx_pending_ = false;
+  Socket& s = SockFor(done.frame.app);
+  s.credit_bytes += static_cast<double>(done.frame.bytes);
+  s.bytes_delivered += done.frame.bytes;
+  s.last_activity = done.end_time;
+  if (p.resp_bytes > 0 && p.resp_count > 0) {
+    // Channel model: the peer answers with |resp_count| chunks spaced
+    // |resp_delay| apart (a streaming download when > 1).
+    s.expected_rx += p.resp_count;
+    const size_t resp_bytes = p.resp_bytes;
+    const AppId app = done.frame.app;
+    for (int i = 0; i < p.resp_count; ++i) {
+      sim_->ScheduleAfter(std::max<DurationNs>(p.resp_delay, 0) * (i + 1),
+                          [this, app, resp_bytes] { InjectRx(app, resp_bytes); });
+      kernel_->ExpectRx(p.task, resp_bytes);
+    }
+    // The task's in-flight unit is retired when the last chunk lands.
+    if (p.task != nullptr) {
+      p.task->net_inflight += p.resp_count - 1;
+    }
+  } else if (p.task != nullptr) {
+    --p.task->net_inflight;
+    kernel_->DeliverNetDone(p.task);
+  }
+  Pump();
+}
+
+void NetStack::SetSandboxed(AppId app, PsboxId box) {
+  Socket& s = SockFor(app);
+  s.sandboxed = true;
+  s.box = box;
+  Pump();
+}
+
+void NetStack::ClearSandboxed(AppId app) {
+  Socket& s = SockFor(app);
+  s.sandboxed = false;
+  if (serving_ == app) {
+    if (phase_ == Phase::kDrainOthers) {
+      serving_ = kNoApp;
+      phase_ = Phase::kNormal;
+    } else if (phase_ == Phase::kServePsbox) {
+      phase_ = Phase::kDrainPsbox;
+    }
+  }
+  Pump();
+}
+
+size_t NetStack::BytesDelivered(AppId app) const {
+  auto it = socks_.find(app);
+  return it == socks_.end() ? 0 : it->second.bytes_delivered;
+}
+
+}  // namespace psbox

@@ -1,0 +1,136 @@
+// Network stack: per-app socket buffers, a fair packet scheduler, and psbox
+// temporal balloons for the WiFi NIC (§4.2 "Wireless interfaces").
+//
+// Apps trap into the kernel to deposit packets into their buffers; the
+// packet scheduler dispatches one frame at a time to the NIC, favouring the
+// app with the least bytes of credit (fq-style fairness). psbox extensions:
+//   * temporal balloons with drain phases, holding back competitors'
+//     packets in their per-socket buffers while the sandbox owns the NIC;
+//   * lost-opportunity tracking — buffered packets that could have flown
+//     without the balloon discount the sandboxed app's credit;
+//   * per-psbox virtualised NIC power state (tx power level, PS timeout).
+// Packet *reception* cannot be deferred (the WiLink8 MAC limitation, §5):
+// RX frames reach the NIC regardless of balloon ownership, which is the
+// paper's acknowledged leak in the Fig 6 WiFi row.
+
+#ifndef SRC_KERNEL_NET_STACK_H_
+#define SRC_KERNEL_NET_STACK_H_
+
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "src/base/types.h"
+#include "src/hw/wifi_device.h"
+#include "src/kernel/balloon_observer.h"
+#include "src/kernel/task.h"
+#include "src/kernel/usage_ledger.h"
+#include "src/sim/simulator.h"
+
+namespace psbox {
+
+class Kernel;
+
+struct NetConfig {
+  DurationNs min_grant = 5 * kMillisecond;
+  // The balloon releases the NIC once the owner's byte credit leads the best
+  // competitor by this much.
+  size_t switch_lead_bytes = 24 * 1024;
+  // Ablation knobs (DESIGN.md §4); both default to the paper's design.
+  bool charge_lost_opportunity = true;
+  bool virtualize_power_state = true;
+};
+
+class NetStack {
+ public:
+  NetStack(Simulator* sim, WifiDevice* device, Kernel* kernel, NetConfig config = {});
+
+  // Syscall path: enqueue |action.bytes| for transmission on |task|'s app
+  // socket; optionally the channel answers with action.response_bytes of RX
+  // after action.response_delay.
+  void Send(Task* task, const Action& action);
+
+  // Channel-model path: unsolicited RX traffic destined to |app| (cannot be
+  // deferred by the driver).
+  void InjectRx(AppId app, size_t bytes);
+
+  // --- psbox temporal balloons ---
+  void SetSandboxed(AppId app, PsboxId box);
+  void ClearSandboxed(AppId app);
+
+  void set_balloon_observer(BalloonObserver* observer) { observer_ = observer; }
+  void set_ledger(UsageLedger* ledger) { ledger_ = ledger; }
+
+  struct Stats {
+    uint64_t tx_frames = 0;
+    uint64_t rx_frames = 0;
+    uint64_t balloons = 0;
+    DurationNs total_tx_latency = 0;  // enqueue -> airtime start
+    DurationNs max_tx_latency = 0;
+    DurationNs total_balloon_time = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  size_t BytesDelivered(AppId app) const;
+  AppId balloon_owner() const { return serving_; }
+
+ private:
+  enum class Phase { kNormal, kDrainOthers, kServePsbox, kDrainPsbox };
+
+  struct SockPacket {
+    WifiFrame frame;
+    Task* task;
+    size_t resp_bytes;
+    DurationNs resp_delay;
+    int resp_count;
+    TimeNs enqueue_time;
+  };
+
+  struct Socket {
+    std::deque<SockPacket> q;
+    double credit_bytes = 0.0;
+    bool sandboxed = false;
+    PsboxId box = kNoPsbox;
+    WifiPowerState vstate;  // virtualised NIC power state for the sandbox
+    size_t bytes_delivered = 0;
+    // Responses the channel still owes this app (in-flight request/response
+    // exchanges); a balloon stays open while any are outstanding.
+    int expected_rx = 0;
+    TimeNs last_activity = -1;
+  };
+
+  Socket& SockFor(AppId app);
+  void Pump();
+  void OnFrameDone(const WifiFrameDone& done);
+  AppId BestPendingApp(bool exclude_owner) const;
+  // Least byte-credit among recently-active competitors of |owner|;
+  // +infinity when none. Gates balloon (re)entry like the CPU/accelerator
+  // repayment rules.
+  double MinRecentCompetitorCredit(AppId owner) const;
+  void DispatchFrom(AppId app);
+
+  Simulator* sim_;
+  WifiDevice* device_;
+  Kernel* kernel_;
+  NetConfig config_;
+  BalloonObserver* observer_ = nullptr;
+  UsageLedger* ledger_ = nullptr;
+
+  std::map<AppId, Socket> socks_;
+  std::unordered_map<uint64_t, SockPacket> tx_in_flight_;
+  uint64_t next_frame_id_ = 1;
+  bool our_tx_pending_ = false;  // a TX frame of ours occupies the NIC queue
+
+  Phase phase_ = Phase::kNormal;
+  AppId serving_ = kNoApp;
+  TimeNs balloon_start_ = 0;
+  bool balloon_notified_ = false;
+  EventId retry_event_ = kInvalidEventId;
+  double penalty_bytes_ = 0.0;  // lost sharing opportunity during the balloon
+  WifiPowerState global_state_;
+
+  Stats stats_;
+};
+
+}  // namespace psbox
+
+#endif  // SRC_KERNEL_NET_STACK_H_

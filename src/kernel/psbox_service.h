@@ -1,0 +1,45 @@
+// App-facing psbox service interface (the syscall surface of Listing 1).
+//
+// The kernel exposes this hook so that app behaviours can reach the psbox
+// user API without the kernel depending on the psbox library; the psbox
+// PsboxManager implements it. All calls are made from task context.
+
+#ifndef SRC_KERNEL_PSBOX_SERVICE_H_
+#define SRC_KERNEL_PSBOX_SERVICE_H_
+
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/base/types.h"
+#include "src/hw/power_meter.h"
+
+namespace psbox {
+
+class PsboxService {
+ public:
+  virtual ~PsboxService() = default;
+
+  // psbox_create(): creates a sandbox for |app| bound to |hw|; returns a
+  // box handle (>= 0).
+  virtual int CreateBox(AppId app, const std::vector<HwComponent>& hw) = 0;
+
+  // psbox_enter()/psbox_leave(). Mode changes take effect at the kernel's
+  // next scheduling decision.
+  virtual void EnterBox(int box) = 0;
+  virtual void LeaveBox(int box) = 0;
+
+  // psbox_read(): accumulated energy observed by the box's virtual power
+  // meter since creation (or since the last ResetEnergy).
+  virtual Joules ReadEnergy(int box) = 0;
+  virtual void ResetEnergy(int box) = 0;
+
+  // psbox_sample(): drains up to |max_samples| timestamped power samples
+  // from the box's virtual power meter into |buf|. Only legal in the box.
+  virtual size_t Sample(int box, std::vector<PowerSample>* buf, size_t max_samples) = 0;
+
+  virtual bool InBox(int box) const = 0;
+};
+
+}  // namespace psbox
+
+#endif  // SRC_KERNEL_PSBOX_SERVICE_H_

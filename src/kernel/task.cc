@@ -1,0 +1,60 @@
+#include "src/kernel/task.h"
+
+namespace psbox {
+
+Action Action::Compute(DurationNs d, double intensity) {
+  Action a;
+  a.kind = ActionKind::kCompute;
+  a.duration = d;
+  a.intensity = intensity;
+  return a;
+}
+
+Action Action::Sleep(DurationNs d) {
+  Action a;
+  a.kind = ActionKind::kSleep;
+  a.duration = d;
+  return a;
+}
+
+Action Action::SubmitAccel(HwComponent accel, int type, DurationNs work, Watts power) {
+  Action a;
+  a.kind = ActionKind::kSubmitAccel;
+  a.accel = accel;
+  a.cmd.type = type;
+  a.cmd.nominal_work = work;
+  a.cmd.active_power = power;
+  return a;
+}
+
+Action Action::WaitAccel(int count) {
+  Action a;
+  a.kind = ActionKind::kWaitAccel;
+  a.count = count;
+  return a;
+}
+
+Action Action::Send(size_t bytes, size_t response_bytes, DurationNs response_delay,
+                    int response_count) {
+  Action a;
+  a.kind = ActionKind::kSend;
+  a.bytes = bytes;
+  a.response_bytes = response_bytes;
+  a.response_delay = response_delay;
+  a.response_count = response_count;
+  return a;
+}
+
+Action Action::WaitNet() {
+  Action a;
+  a.kind = ActionKind::kWaitNet;
+  return a;
+}
+
+Action Action::Exit() {
+  Action a;
+  a.kind = ActionKind::kExit;
+  return a;
+}
+
+}  // namespace psbox

@@ -1,0 +1,22 @@
+#include "src/kernel/usage_ledger.h"
+
+#include "src/base/check.h"
+
+namespace psbox {
+
+void UsageLedger::Add(HwComponent hw, AppId app, TimeNs begin, TimeNs end,
+                      double weight) {
+  if (end <= begin) {
+    return;
+  }
+  PSBOX_CHECK_GE(weight, 0.0);
+  records_[static_cast<size_t>(hw)].push_back({app, begin, end, weight});
+}
+
+void UsageLedger::Clear() {
+  for (auto& v : records_) {
+    v.clear();
+  }
+}
+
+}  // namespace psbox

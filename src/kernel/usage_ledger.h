@@ -1,0 +1,48 @@
+// Per-app hardware usage ledger.
+//
+// The kernel logs which app occupied which hardware and when — the raw
+// input of the *prior-approach* accounting mechanisms (accounting/) that the
+// paper compares psbox against (§6.1). Usage is tracked at the lowest
+// software level and at fine granularity, deliberately giving the baseline
+// its best shot (the paper tracks at 10 µs, 10x finer than prior work).
+// Records may overlap in time (in-flight accelerator commands of different
+// apps), which is exactly the entanglement accounting cannot undo.
+
+#ifndef SRC_KERNEL_USAGE_LEDGER_H_
+#define SRC_KERNEL_USAGE_LEDGER_H_
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/base/types.h"
+
+namespace psbox {
+
+struct UsageRecord {
+  AppId app;
+  TimeNs begin;
+  TimeNs end;
+  // Relative capacity of the component occupied (e.g. 1 core of N); the
+  // splitter weighs shares by usage_time x weight.
+  double weight;
+};
+
+class UsageLedger {
+ public:
+  void Add(HwComponent hw, AppId app, TimeNs begin, TimeNs end, double weight = 1.0);
+
+  const std::vector<UsageRecord>& records(HwComponent hw) const {
+    return records_[static_cast<size_t>(hw)];
+  }
+
+  void Clear();
+
+ private:
+  std::array<std::vector<UsageRecord>, kNumHwComponents> records_;
+};
+
+}  // namespace psbox
+
+#endif  // SRC_KERNEL_USAGE_LEDGER_H_

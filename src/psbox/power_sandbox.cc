@@ -1,0 +1,95 @@
+#include "src/psbox/power_sandbox.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace psbox {
+
+PowerSandbox::PowerSandbox(PsboxId id, AppId app, std::vector<HwComponent> hw,
+                           TimeNs created)
+    : id_(id), app_(app), hw_(std::move(hw)), meter_start_(created),
+      sample_cursor_(created) {}
+
+bool PowerSandbox::BoundTo(HwComponent hw) const {
+  return std::find(hw_.begin(), hw_.end(), hw) != hw_.end();
+}
+
+void PowerSandbox::OnOwnershipStart(HwComponent hw, TimeNs when) {
+  auto& since = open_since_[static_cast<size_t>(hw)];
+  PSBOX_CHECK_EQ(since, -1);
+  since = when;
+}
+
+void PowerSandbox::OnOwnershipEnd(HwComponent hw, TimeNs when) {
+  auto& since = open_since_[static_cast<size_t>(hw)];
+  PSBOX_CHECK_GE(since, 0);
+  owned_[static_cast<size_t>(hw)].Add(since, when);
+  since = -1;
+}
+
+bool PowerSandbox::OwnedAt(HwComponent hw, TimeNs t) const {
+  const TimeNs since = open_since_[static_cast<size_t>(hw)];
+  if (since >= 0 && t >= since) {
+    return true;
+  }
+  return owned_[static_cast<size_t>(hw)].Contains(t);
+}
+
+DurationNs PowerSandbox::OwnedWithin(HwComponent hw, TimeNs t0, TimeNs t1) const {
+  DurationNs covered = owned_[static_cast<size_t>(hw)].CoveredWithin(t0, t1);
+  const TimeNs since = open_since_[static_cast<size_t>(hw)];
+  if (since >= 0 && since < t1) {
+    covered += t1 - std::max(since, t0);
+  }
+  return covered;
+}
+
+Joules PowerSandbox::ObservedEnergy(const PowerRail& rail, HwComponent hw,
+                                    TimeNs now) const {
+  PSBOX_CHECK(BoundTo(hw));
+  const TimeNs t0 = meter_start_;
+  if (now <= t0) {
+    return 0.0;
+  }
+  // Accumulated energy is the energy metered for the psbox's resource
+  // balloons: rail energy inside the owned intervals. Outside of them the
+  // hardware belongs to others and contributes nothing to the app's account
+  // (the sample stream shows idle power there, but idle time is not billed —
+  // this is what keeps the observation consistent when co-running stretches
+  // the app's wall time, Fig 6).
+  Joules energy = 0.0;
+  const auto& intervals = owned_[static_cast<size_t>(hw)].intervals();
+  for (const auto& iv : intervals) {
+    const TimeNs b = std::max(iv.begin, t0);
+    const TimeNs e = std::min(iv.end, now);
+    if (e > b) {
+      energy += rail.EnergyOver(b, e);
+    }
+  }
+  const TimeNs since = open_since_[static_cast<size_t>(hw)];
+  if (since >= 0 && since < now) {
+    energy += rail.EnergyOver(std::max(since, t0), now);
+  }
+  return energy;
+}
+
+std::vector<PowerSample> PowerSandbox::ObservedSamples(
+    const PowerRail& rail, HwComponent hw, TimeNs t0, TimeNs t1, DurationNs period,
+    Watts noise_stddev, Rng* rng) const {
+  PSBOX_CHECK(BoundTo(hw));
+  std::vector<PowerSample> out;
+  if (t1 <= t0) {
+    return out;
+  }
+  out.reserve(static_cast<size_t>((t1 - t0) / period) + 1);
+  for (TimeNs t = t0; t < t1; t += period) {
+    const Watts truth = OwnedAt(hw, t) ? rail.PowerAt(t) : rail.idle_power();
+    const Watts noisy =
+        std::max(0.0, truth + (rng != nullptr ? rng->Gaussian(0.0, noise_stddev) : 0.0));
+    out.push_back({t, noisy});
+  }
+  return out;
+}
+
+}  // namespace psbox

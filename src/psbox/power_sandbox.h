@@ -1,0 +1,86 @@
+// PowerSandbox: one psbox instance and its virtual power meter.
+//
+// A psbox encloses one app and is bound to a set of hardware components
+// (§3). Whenever the kernel grants the psbox a resource balloon on a bound
+// component, the ownership interval is recorded here; the virtual power
+// meter then exposes:
+//   * inside an owned interval  — the component's true rail power (the app
+//     plus its vertical environment; power states already virtualised by
+//     the kernel, so no residue from other apps);
+//   * outside owned intervals   — the component's idle power (the only
+//     possible contribution of concurrent apps, §3; also what off/suspended
+//     periods are reported as, closing that side channel, §4.1).
+
+#ifndef SRC_PSBOX_POWER_SANDBOX_H_
+#define SRC_PSBOX_POWER_SANDBOX_H_
+
+#include <array>
+#include <vector>
+
+#include "src/base/interval_set.h"
+#include "src/base/rng.h"
+#include "src/base/types.h"
+#include "src/hw/power_meter.h"
+#include "src/hw/power_rail.h"
+
+namespace psbox {
+
+class PowerSandbox {
+ public:
+  PowerSandbox(PsboxId id, AppId app, std::vector<HwComponent> hw, TimeNs created);
+
+  PsboxId id() const { return id_; }
+  AppId app() const { return app_; }
+  const std::vector<HwComponent>& hardware() const { return hw_; }
+  bool BoundTo(HwComponent hw) const;
+
+  bool inside() const { return inside_; }
+  void set_inside(bool inside) { inside_ = inside; }
+
+  // Kernel balloon-edge notifications (via the manager).
+  void OnOwnershipStart(HwComponent hw, TimeNs when);
+  void OnOwnershipEnd(HwComponent hw, TimeNs when);
+
+  // Energy observed by the virtual power meter for |hw| over
+  // [meter_start, now): rail energy inside owned intervals + idle power
+  // elsewhere.
+  Joules ObservedEnergy(const PowerRail& rail, HwComponent hw, TimeNs now) const;
+
+  // Timestamped virtual-meter samples for |hw| over [t0, t1).
+  std::vector<PowerSample> ObservedSamples(const PowerRail& rail, HwComponent hw,
+                                           TimeNs t0, TimeNs t1,
+                                           DurationNs period, Watts noise_stddev,
+                                           Rng* rng) const;
+
+  TimeNs meter_start() const { return meter_start_; }
+  void ResetMeter(TimeNs now) { meter_start_ = now; }
+
+  TimeNs sample_cursor() const { return sample_cursor_; }
+  void set_sample_cursor(TimeNs t) { sample_cursor_ = t; }
+
+  const IntervalSet& owned(HwComponent hw) const {
+    return owned_[static_cast<size_t>(hw)];
+  }
+
+  // Whether the sandbox owned |hw| at instant |t| (closed intervals plus a
+  // still-open balloon).
+  bool OwnedAt(HwComponent hw, TimeNs t) const;
+
+ private:
+  // Owned duration within [t0, t1), treating a still-open balloon as
+  // extending to t1.
+  DurationNs OwnedWithin(HwComponent hw, TimeNs t0, TimeNs t1) const;
+
+  PsboxId id_;
+  AppId app_;
+  std::vector<HwComponent> hw_;
+  bool inside_ = false;
+  TimeNs meter_start_;
+  TimeNs sample_cursor_;
+  std::array<IntervalSet, kNumHwComponents> owned_;
+  std::array<TimeNs, kNumHwComponents> open_since_{-1, -1, -1, -1, -1, -1};
+};
+
+}  // namespace psbox
+
+#endif  // SRC_PSBOX_POWER_SANDBOX_H_

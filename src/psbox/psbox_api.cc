@@ -1,0 +1,39 @@
+#include "src/psbox/psbox_api.h"
+
+#include "src/base/check.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/psbox_service.h"
+
+namespace psbox {
+
+namespace {
+PsboxService& ServiceOf(TaskEnv& env) {
+  PSBOX_CHECK(env.kernel != nullptr);
+  PsboxService* service = env.kernel->psbox_service();
+  PSBOX_CHECK(service != nullptr);
+  return *service;
+}
+}  // namespace
+
+int psbox_create(TaskEnv& env, const std::vector<HwComponent>& hw) {
+  return ServiceOf(env).CreateBox(env.task->app(), hw);
+}
+
+void psbox_enter(TaskEnv& env, int box) { ServiceOf(env).EnterBox(box); }
+
+void psbox_leave(TaskEnv& env, int box) { ServiceOf(env).LeaveBox(box); }
+
+Joules psbox_read(TaskEnv& env, int box) { return ServiceOf(env).ReadEnergy(box); }
+
+void psbox_reset(TaskEnv& env, int box) { ServiceOf(env).ResetEnergy(box); }
+
+size_t psbox_sample(TaskEnv& env, int box, std::vector<PowerSample>* buf,
+                    size_t num_samples) {
+  return ServiceOf(env).Sample(box, buf, num_samples);
+}
+
+bool psbox_inside(TaskEnv& env, int box) { return ServiceOf(env).InBox(box); }
+
+TimeNs psbox_gettime(TaskEnv& env) { return env.kernel->Now(); }
+
+}  // namespace psbox

@@ -1,0 +1,53 @@
+// The psbox user API (Listing 1 of the paper).
+//
+//   box = psbox_create(env, {HwComponent::kCpu});
+//   psbox_enter(env, box);
+//   psbox_sample(env, box, &buf, NUM_SAMPLES);
+//   energy = psbox_read(env, box);
+//   psbox_leave(env, box);
+//
+// These are thin wrappers over the kernel's PsboxService hook, callable from
+// any Behavior via its TaskEnv. All power readings are timestamped against
+// the same clock tasks read with psbox_gettime() (the clock_gettime()
+// analogue), so apps can map power to their own activities.
+
+#ifndef SRC_PSBOX_PSBOX_API_H_
+#define SRC_PSBOX_PSBOX_API_H_
+
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/hw/power_meter.h"
+#include "src/kernel/task.h"
+
+namespace psbox {
+
+// Creates a power sandbox for the calling task's app, bound to |hw|.
+int psbox_create(TaskEnv& env, const std::vector<HwComponent>& hw);
+
+// Enters/leaves the sandbox; effective at the kernel's next scheduling point.
+void psbox_enter(TaskEnv& env, int box);
+void psbox_leave(TaskEnv& env, int box);
+
+// One-time query of accumulated energy (joules) observed by the box's
+// virtual power meter.
+Joules psbox_read(TaskEnv& env, int box);
+
+// Restarts the box's energy accumulator (e.g. at the start of a phase of
+// interest).
+void psbox_reset(TaskEnv& env, int box);
+
+// Continuous collection of power samples into a user buffer; returns the
+// number of samples appended. Only delivers data while inside the box.
+size_t psbox_sample(TaskEnv& env, int box, std::vector<PowerSample>* buf,
+                    size_t num_samples);
+
+// Whether the app is currently inside the box.
+bool psbox_inside(TaskEnv& env, int box);
+
+// The standard clock psbox timestamps come from.
+TimeNs psbox_gettime(TaskEnv& env);
+
+}  // namespace psbox
+
+#endif  // SRC_PSBOX_PSBOX_API_H_

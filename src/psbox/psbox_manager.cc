@@ -1,0 +1,219 @@
+#include "src/psbox/psbox_manager.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace psbox {
+
+PsboxManager::PsboxManager(Kernel* kernel)
+    : kernel_(kernel), rng_(kernel->board().rng().Fork()) {
+  kernel_->set_psbox_service(this);
+  kernel_->set_balloon_observer(this);
+}
+
+PsboxManager::~PsboxManager() = default;
+
+PowerSandbox& PsboxManager::sandbox(int box) {
+  PSBOX_CHECK_GE(box, 0);
+  PSBOX_CHECK_LT(static_cast<size_t>(box), boxes_.size());
+  return *boxes_[static_cast<size_t>(box)];
+}
+
+const PowerSandbox& PsboxManager::sandbox(int box) const {
+  PSBOX_CHECK_GE(box, 0);
+  PSBOX_CHECK_LT(static_cast<size_t>(box), boxes_.size());
+  return *boxes_[static_cast<size_t>(box)];
+}
+
+int PsboxManager::CreateBox(AppId app, const std::vector<HwComponent>& hw) {
+  PSBOX_CHECK(!hw.empty());
+  const PsboxId id = static_cast<PsboxId>(boxes_.size());
+  boxes_.push_back(std::make_unique<PowerSandbox>(id, app, hw, kernel_->Now()));
+  for (HwComponent component : hw) {
+    if (component == HwComponent::kCpu) {
+      kernel_->RegisterCpuContext(id);
+      cpu_groups_[id] = kernel_->scheduler().CreateGroup(app, id);
+    }
+  }
+  return id;
+}
+
+void PsboxManager::EnterBox(int box) {
+  PowerSandbox& sb = sandbox(box);
+  if (sb.inside()) {
+    return;
+  }
+  sb.set_inside(true);
+  // Defer the kernel mode switch to the next scheduling point: EnterBox is
+  // called from task context (the behaviour is mid-dispatch) and the group
+  // move preempts the caller.
+  kernel_->sim().ScheduleAfter(0, [this, box] { ApplyEnter(box); });
+}
+
+void PsboxManager::ApplyEnter(int box) {
+  PowerSandbox& sb = sandbox(box);
+  if (!sb.inside()) {
+    return;  // left again before the switch applied
+  }
+  for (HwComponent hw : sb.hardware()) {
+    switch (hw) {
+      case HwComponent::kCpu:
+        kernel_->scheduler().EnterGroup(cpu_groups_.at(sb.id()),
+                                        kernel_->AppTasks(sb.app()));
+        break;
+      case HwComponent::kGpu:
+      case HwComponent::kDsp:
+        kernel_->DriverFor(hw).SetSandboxed(sb.app(), sb.id());
+        break;
+      case HwComponent::kWifi:
+        kernel_->net().SetSandboxed(sb.app(), sb.id());
+        break;
+      case HwComponent::kDisplay:
+      case HwComponent::kGps:
+        // Entanglement-free hardware (§7): no balloons to arm.
+        break;
+    }
+  }
+}
+
+void PsboxManager::LeaveBox(int box) {
+  PowerSandbox& sb = sandbox(box);
+  if (!sb.inside()) {
+    return;
+  }
+  sb.set_inside(false);
+  kernel_->sim().ScheduleAfter(0, [this, box] { ApplyLeave(box); });
+}
+
+void PsboxManager::ApplyLeave(int box) {
+  PowerSandbox& sb = sandbox(box);
+  if (sb.inside()) {
+    return;  // re-entered before the switch applied
+  }
+  for (HwComponent hw : sb.hardware()) {
+    switch (hw) {
+      case HwComponent::kCpu: {
+        TaskGroup* group = cpu_groups_.at(sb.id());
+        // The group may already be disarmed if the app never ran sandboxed.
+        kernel_->scheduler().LeaveGroup(group);
+        break;
+      }
+      case HwComponent::kGpu:
+      case HwComponent::kDsp:
+        kernel_->DriverFor(hw).ClearSandboxed(sb.app());
+        break;
+      case HwComponent::kWifi:
+        kernel_->net().ClearSandboxed(sb.app());
+        break;
+      case HwComponent::kDisplay:
+      case HwComponent::kGps:
+        break;
+    }
+  }
+}
+
+Joules PsboxManager::ComponentEnergy(PowerSandbox& sb, HwComponent hw, TimeNs now) {
+  Board& board = kernel_->board();
+  switch (hw) {
+    case HwComponent::kDisplay:
+      // OLED pixels are separable (§7): the sandbox reads exactly its app's
+      // own surface energy; no balloons involved.
+      return board.display().AppEnergy(sb.app(), sb.meter_start(), now);
+    case HwComponent::kGps: {
+      // While the device operates, its power may be safely revealed to every
+      // psbox; off/acquiring periods read as idle power so that no sandbox
+      // can infer other apps' (past) GPS usage (§4.1, §7).
+      const double operating_s =
+          board.gps().operating_trace().IntegralOver(sb.meter_start(), now);
+      const double window_s = ToSeconds(now - sb.meter_start());
+      return board.gps().config().on_power * operating_s +
+             board.gps().config().off_power * (window_s - operating_s);
+    }
+    default:
+      return sb.ObservedEnergy(board.RailFor(hw), hw, now);
+  }
+}
+
+Joules PsboxManager::ReadEnergy(int box) {
+  PowerSandbox& sb = sandbox(box);
+  Joules total = 0.0;
+  for (HwComponent hw : sb.hardware()) {
+    total += ComponentEnergy(sb, hw, kernel_->Now());
+  }
+  return total;
+}
+
+Joules PsboxManager::ReadEnergyFor(int box, HwComponent hw) {
+  PowerSandbox& sb = sandbox(box);
+  PSBOX_CHECK(sb.BoundTo(hw));
+  return ComponentEnergy(sb, hw, kernel_->Now());
+}
+
+void PsboxManager::ResetEnergy(int box) { sandbox(box).ResetMeter(kernel_->Now()); }
+
+size_t PsboxManager::Sample(int box, std::vector<PowerSample>* buf,
+                            size_t max_samples) {
+  PowerSandbox& sb = sandbox(box);
+  if (!sb.inside()) {
+    return 0;  // psbox is the only way to observe power — and only inside
+  }
+  PSBOX_CHECK(buf != nullptr);
+  const PowerMeterConfig& meter = kernel_->board().config().meter;
+  const TimeNs now = kernel_->Now();
+  // Aggregate across bound components by summing per-component samples at
+  // the same timestamps (a multi-rail virtual meter).
+  const TimeNs t0 = sb.sample_cursor();
+  TimeNs t1 = now;
+  const auto available = static_cast<size_t>(
+      std::max<int64_t>(0, (t1 - t0) / meter.sample_period));
+  if (available > max_samples) {
+    t1 = t0 + static_cast<DurationNs>(max_samples) * meter.sample_period;
+  }
+  std::vector<PowerSample> sum;
+  for (HwComponent hw : sb.hardware()) {
+    std::vector<PowerSample> samples;
+    if (hw == HwComponent::kDisplay || hw == HwComponent::kGps) {
+      // Entanglement-free hardware (§7): sample the directly-attributable
+      // series instead of balloon-gated rail power.
+      samples.reserve(static_cast<size_t>((t1 - t0) / meter.sample_period) + 1);
+      for (TimeNs t = t0; t < t1; t += meter.sample_period) {
+        Watts truth = 0.0;
+        if (hw == HwComponent::kDisplay) {
+          truth = kernel_->board().display().AppPowerAt(sb.app(), t);
+        } else {
+          truth = kernel_->board().gps().operating_trace().ValueAt(t) > 0.5
+                      ? kernel_->board().gps().config().on_power
+                      : kernel_->board().gps().config().off_power;
+        }
+        samples.push_back(
+            {t, std::max(0.0, truth + rng_.Gaussian(0.0, meter.noise_stddev))});
+      }
+    } else {
+      samples = sb.ObservedSamples(kernel_->board().RailFor(hw), hw, t0, t1,
+                                   meter.sample_period, meter.noise_stddev, &rng_);
+    }
+    if (sum.empty()) {
+      sum = std::move(samples);
+    } else {
+      for (size_t i = 0; i < sum.size() && i < samples.size(); ++i) {
+        sum[i].watts += samples[i].watts;
+      }
+    }
+  }
+  sb.set_sample_cursor(t1);
+  buf->insert(buf->end(), sum.begin(), sum.end());
+  return sum.size();
+}
+
+bool PsboxManager::InBox(int box) const { return sandbox(box).inside(); }
+
+void PsboxManager::OnBalloonIn(PsboxId box, HwComponent hw, TimeNs when) {
+  sandbox(box).OnOwnershipStart(hw, when);
+}
+
+void PsboxManager::OnBalloonOut(PsboxId box, HwComponent hw, TimeNs when) {
+  sandbox(box).OnOwnershipEnd(hw, when);
+}
+
+}  // namespace psbox

@@ -1,0 +1,66 @@
+// PsboxManager: the psbox OS principal's control plane.
+//
+// Implements the kernel's PsboxService (the psbox_* syscall surface of
+// Listing 1) and receives balloon-edge notifications as the kernel's
+// external BalloonObserver. It owns every PowerSandbox, arms/disarms the
+// kernel extensions when apps enter/leave, and serves virtual-power-meter
+// reads.
+
+#ifndef SRC_PSBOX_PSBOX_MANAGER_H_
+#define SRC_PSBOX_PSBOX_MANAGER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/kernel/balloon_observer.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/psbox_service.h"
+#include "src/psbox/power_sandbox.h"
+
+namespace psbox {
+
+class PsboxManager : public PsboxService, public BalloonObserver {
+ public:
+  explicit PsboxManager(Kernel* kernel);
+  ~PsboxManager() override;
+  PsboxManager(const PsboxManager&) = delete;
+  PsboxManager& operator=(const PsboxManager&) = delete;
+
+  // PsboxService:
+  int CreateBox(AppId app, const std::vector<HwComponent>& hw) override;
+  void EnterBox(int box) override;
+  void LeaveBox(int box) override;
+  Joules ReadEnergy(int box) override;
+  void ResetEnergy(int box) override;
+  size_t Sample(int box, std::vector<PowerSample>* buf, size_t max_samples) override;
+  bool InBox(int box) const override;
+
+  // BalloonObserver (forwarded by the kernel after its own context switch):
+  void OnBalloonIn(PsboxId box, HwComponent hw, TimeNs when) override;
+  void OnBalloonOut(PsboxId box, HwComponent hw, TimeNs when) override;
+
+  // Per-component observed energy (benches/tests need the split).
+  Joules ReadEnergyFor(int box, HwComponent hw);
+
+  PowerSandbox& sandbox(int box);
+  const PowerSandbox& sandbox(int box) const;
+  size_t box_count() const { return boxes_.size(); }
+
+ private:
+  void ApplyEnter(int box);
+  void ApplyLeave(int box);
+  // Per-component observed energy over [meter_start, now); dispatches on the
+  // component kind (balloon-metered vs. entanglement-free §7 hardware).
+  Joules ComponentEnergy(PowerSandbox& sb, HwComponent hw, TimeNs now);
+
+  Kernel* kernel_;
+  Rng rng_;
+  std::vector<std::unique_ptr<PowerSandbox>> boxes_;
+  std::unordered_map<PsboxId, TaskGroup*> cpu_groups_;
+};
+
+}  // namespace psbox
+
+#endif  // SRC_PSBOX_PSBOX_MANAGER_H_

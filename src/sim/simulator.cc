@@ -1,0 +1,66 @@
+#include "src/sim/simulator.h"
+
+namespace psbox {
+
+EventId Simulator::ScheduleAt(TimeNs when, std::function<void()> fn) {
+  PSBOX_CHECK_GE(when, now_);
+  const EventId id = ++next_id_;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (id == kInvalidEventId) {
+    return false;
+  }
+  auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    return false;
+  }
+  if (cancelled_.count(id) > 0) {
+    return false;
+  }
+  cancelled_.insert(id);
+  return true;
+}
+
+size_t Simulator::RunUntil(TimeNs deadline) {
+  size_t fired = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    pending_.erase(pending_.find(ev.id));
+    if (cancelled_.erase(ev.id) > 0) {
+      continue;
+    }
+    PSBOX_CHECK_GE(ev.when, now_);
+    now_ = ev.when;
+    ++total_fired_;
+    ++fired;
+    ev.fn();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return fired;
+}
+
+size_t Simulator::RunToCompletion() {
+  size_t fired = 0;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    pending_.erase(pending_.find(ev.id));
+    if (cancelled_.erase(ev.id) > 0) {
+      continue;
+    }
+    now_ = ev.when;
+    ++total_fired_;
+    ++fired;
+    ev.fn();
+  }
+  return fired;
+}
+
+}  // namespace psbox

@@ -1,0 +1,88 @@
+// Discrete-event simulation core.
+//
+// A Simulator owns the simulated clock and a priority queue of events. All
+// hardware and kernel models are callback-driven: they schedule events, and
+// the simulator fires them in (time, insertion-order) order so that runs are
+// deterministic. Events can be cancelled via the EventId handle, which the
+// schedulers use for pending-preemption and timer management.
+
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/time.h"
+
+namespace psbox {
+
+using EventId = uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimeNs Now() const { return now_; }
+
+  // Schedules |fn| to run at absolute simulated time |when| (>= Now()).
+  EventId ScheduleAt(TimeNs when, std::function<void()> fn);
+
+  // Schedules |fn| to run |delay| after Now().
+  EventId ScheduleAfter(DurationNs delay, std::function<void()> fn) {
+    PSBOX_CHECK_GE(delay, 0);
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Cancels a pending event. Cancelling an already-fired or already-cancelled
+  // event is a no-op; returns whether anything was cancelled.
+  bool Cancel(EventId id);
+
+  // Runs events until the queue drains or the clock would pass |deadline|.
+  // Events scheduled exactly at |deadline| do run. Returns the number of
+  // events fired.
+  size_t RunUntil(TimeNs deadline);
+
+  // Runs until the queue is empty.
+  size_t RunToCompletion();
+
+  // True if an event with |id| is still pending.
+  bool IsPending(EventId id) const { return cancelled_.find(id) == cancelled_.end() && pending_.count(id) > 0; }
+
+  size_t pending_events() const { return pending_.size(); }
+  uint64_t total_fired() const { return total_fired_; }
+
+ private:
+  struct Event {
+    TimeNs when;
+    uint64_t seq;  // tie-break: FIFO among same-time events
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  TimeNs now_ = 0;
+  uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  uint64_t total_fired_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_multiset<EventId> pending_;
+};
+
+}  // namespace psbox
+
+#endif  // SRC_SIM_SIMULATOR_H_

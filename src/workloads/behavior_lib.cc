@@ -1,0 +1,85 @@
+#include "src/workloads/behavior_lib.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/psbox/psbox_api.h"
+
+namespace psbox {
+
+LoopBehavior::LoopBehavior(std::shared_ptr<WorkloadStats> stats, StepFn step,
+                           uint64_t max_iterations, TimeNs deadline, Rng rng)
+    : stats_(std::move(stats)), step_(std::move(step)),
+      max_iterations_(max_iterations), deadline_(deadline), rng_(rng) {
+  PSBOX_CHECK(stats_ != nullptr);
+}
+
+Action LoopBehavior::NextAction(TaskEnv& env) {
+  if (finished_) {
+    return Action::Exit();
+  }
+  if (queue_.empty()) {
+    if (!started_) {
+      started_ = true;
+      // Stats may be shared by several worker threads: the app starts with
+      // its first worker and finishes with its last.
+      if (stats_->start_time < 0) {
+        stats_->start_time = env.now;
+      }
+    } else {
+      ++stats_->iterations;  // the previous iteration's actions all completed
+    }
+    const bool over_iters = max_iterations_ > 0 && iter_ >= max_iterations_;
+    const bool over_deadline = deadline_ > 0 && env.now >= deadline_;
+    if (over_iters || over_deadline) {
+      finished_ = true;
+      stats_->finish_time = std::max(stats_->finish_time, env.now);
+      return Action::Exit();
+    }
+    std::vector<Action> actions = step_(env, iter_, rng_);
+    ++iter_;
+    if (actions.empty()) {
+      finished_ = true;
+      stats_->finish_time = std::max(stats_->finish_time, env.now);
+      return Action::Exit();
+    }
+    queue_.assign(actions.begin(), actions.end());
+  }
+  Action a = queue_.front();
+  queue_.pop_front();
+  return a;
+}
+
+PsboxWrapBehavior::PsboxWrapBehavior(std::unique_ptr<Behavior> inner,
+                                     std::vector<HwComponent> hw,
+                                     std::shared_ptr<WorkloadStats> stats)
+    : inner_(std::move(inner)), hw_(std::move(hw)), stats_(std::move(stats)) {
+  PSBOX_CHECK(inner_ != nullptr);
+  PSBOX_CHECK(!hw_.empty());
+}
+
+Action PsboxWrapBehavior::NextAction(TaskEnv& env) {
+  if (box_ < 0) {
+    box_ = psbox_create(env, hw_);
+    stats_->box = box_;
+    psbox_enter(env, box_);
+    psbox_reset(env, box_);
+  }
+  Action a = inner_->NextAction(env);
+  if (a.kind == ActionKind::kExit && !finished_) {
+    finished_ = true;
+    stats_->psbox_energy = psbox_read(env, box_);
+    psbox_leave(env, box_);
+  }
+  return a;
+}
+
+DurationNs Jitter(Rng& rng, DurationNs value, double frac) {
+  if (frac <= 0.0) {
+    return value;
+  }
+  const double scaled = static_cast<double>(value) * rng.Uniform(1.0 - frac, 1.0 + frac);
+  return static_cast<DurationNs>(scaled);
+}
+
+}  // namespace psbox

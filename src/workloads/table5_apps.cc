@@ -1,0 +1,377 @@
+#include "src/workloads/table5_apps.h"
+
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace psbox {
+namespace {
+
+// Shared factory plumbing: builds one LoopBehavior per worker thread
+// (optionally psbox-wrapped on the first) and spawns them as one app.
+AppHandle SpawnLoopApp(Kernel& kernel, const std::string& name,
+                       std::vector<HwComponent> psbox_hw, const AppOptions& opts,
+                       LoopBehavior::StepFn step) {
+  PSBOX_CHECK_GE(opts.threads, 1);
+  AppHandle handle;
+  handle.stats = std::make_shared<WorkloadStats>();
+  handle.app = kernel.CreateApp(name);
+  const auto threads = static_cast<uint64_t>(opts.threads);
+  for (uint64_t t = 0; t < threads; ++t) {
+    // Iterations are split across workers (first workers take the remainder).
+    uint64_t iters = 0;
+    if (opts.iterations > 0) {
+      iters = opts.iterations / threads + (t < opts.iterations % threads ? 1 : 0);
+    }
+    std::unique_ptr<Behavior> behavior = std::make_unique<LoopBehavior>(
+        handle.stats, step, iters, opts.deadline, kernel.board().rng().Fork());
+    if (opts.use_psbox && t == 0) {
+      behavior = std::make_unique<PsboxWrapBehavior>(std::move(behavior), psbox_hw,
+                                                     handle.stats);
+    }
+    Task* task = kernel.SpawnTask(
+        handle.app, threads > 1 ? name + "/" + std::to_string(t) : name,
+        std::move(behavior));
+    if (t == 0) {
+      handle.task = task;
+    }
+  }
+  return handle;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CPU apps. One iteration = one processed frame / chunk.
+// ---------------------------------------------------------------------------
+
+AppHandle SpawnCalib3d(Kernel& kernel, const std::string& name, AppOptions opts) {
+  const double j = opts.jitter;
+  return SpawnLoopApp(
+      kernel, name, {HwComponent::kCpu}, opts,
+      [j](TaskEnv&, uint64_t, Rng& rng) {
+        // Camera calibration: a vector-heavy corner-detection burst, a
+        // moderate solver burst, then an I/O gap.
+        return std::vector<Action>{
+            Action::Compute(Jitter(rng, 2200 * kMicrosecond, j), 1.25),
+            Action::Compute(Jitter(rng, 1400 * kMicrosecond, j), 0.95),
+            Action::Sleep(Jitter(rng, 700 * kMicrosecond, j)),
+        };
+      });
+}
+
+AppHandle SpawnBodytrack(Kernel& kernel, const std::string& name, AppOptions opts) {
+  const double j = opts.jitter;
+  return SpawnLoopApp(
+      kernel, name, {HwComponent::kCpu}, opts,
+      [j](TaskEnv&, uint64_t, Rng& rng) {
+        // Particle-filter tracking: CPU-saturating with mild phase change.
+        return std::vector<Action>{
+            Action::Compute(Jitter(rng, 3000 * kMicrosecond, j), 1.05),
+            Action::Compute(Jitter(rng, 1000 * kMicrosecond, j), 0.85),
+        };
+      });
+}
+
+AppHandle SpawnDedup(Kernel& kernel, const std::string& name, AppOptions opts) {
+  const double j = opts.jitter;
+  return SpawnLoopApp(
+      kernel, name, {HwComponent::kCpu}, opts,
+      [j](TaskEnv&, uint64_t, Rng& rng) {
+        // Stream compression: memory-bound (low switching intensity) bursts
+        // interleaved with pipeline stalls.
+        return std::vector<Action>{
+            Action::Compute(Jitter(rng, 1200 * kMicrosecond, j), 0.65),
+            Action::Compute(Jitter(rng, 1200 * kMicrosecond, j), 0.70),
+            Action::Sleep(Jitter(rng, 400 * kMicrosecond, j)),
+        };
+      });
+}
+
+// ---------------------------------------------------------------------------
+// GPU apps. Command types: 1=layout, 2=paint, 3=render, 4=post, 5=spam.
+// ---------------------------------------------------------------------------
+
+AppHandle SpawnGpuBrowser(Kernel& kernel, const std::string& name, AppOptions opts) {
+  const double j = opts.jitter;
+  return SpawnLoopApp(
+      kernel, name, {HwComponent::kGpu}, opts,
+      [j](TaskEnv&, uint64_t iter, Rng& rng) {
+        // Page load: a heavy first paint, then progressively lighter frames.
+        const bool first = iter == 0;
+        const DurationNs layout = first ? 4 * kMillisecond : 1500 * kMicrosecond;
+        const DurationNs paint = first ? 6 * kMillisecond : 2500 * kMicrosecond;
+        return std::vector<Action>{
+            Action::Compute(Jitter(rng, 600 * kMicrosecond, j), 0.9),
+            Action::SubmitAccel(HwComponent::kGpu, 1, Jitter(rng, layout, j), 0.55),
+            Action::SubmitAccel(HwComponent::kGpu, 2, Jitter(rng, paint, j), 0.80),
+            Action::WaitAccel(2),
+            Action::Sleep(Jitter(rng, 7 * kMillisecond, j)),
+        };
+      });
+}
+
+AppHandle SpawnBrowserStream(Kernel& kernel, const std::string& name, AppOptions opts) {
+  const double j = opts.jitter;
+  const auto work = static_cast<DurationNs>(3.0 * kMillisecond * opts.work_scale);
+  return SpawnLoopApp(
+      kernel, name, {HwComponent::kGpu}, opts,
+      [j, work](TaskEnv&, uint64_t iter, Rng& rng) {
+        // Continuous rendering: a standing two-deep queue of paint commands.
+        if (iter == 0) {
+          return std::vector<Action>{
+              Action::SubmitAccel(HwComponent::kGpu, 2, Jitter(rng, work, j), 0.80),
+              Action::SubmitAccel(HwComponent::kGpu, 2, Jitter(rng, work, j), 0.80),
+          };
+        }
+        return std::vector<Action>{
+            Action::WaitAccel(1),
+            Action::Compute(Jitter(rng, 200 * kMicrosecond, j), 0.9),
+            Action::SubmitAccel(HwComponent::kGpu, 2, Jitter(rng, work, j), 0.80),
+        };
+      });
+}
+
+AppHandle SpawnMagic(Kernel& kernel, const std::string& name, AppOptions opts) {
+  const double j = opts.jitter;
+  return SpawnLoopApp(
+      kernel, name, {HwComponent::kGpu}, opts,
+      [j](TaskEnv&, uint64_t, Rng& rng) {
+        // "Magic lantern" at 60 fps: a render pass plus a post pass.
+        return std::vector<Action>{
+            Action::Compute(Jitter(rng, 800 * kMicrosecond, j), 0.9),
+            Action::SubmitAccel(HwComponent::kGpu, 3, Jitter(rng, 6 * kMillisecond, j), 0.95),
+            Action::SubmitAccel(HwComponent::kGpu, 4, Jitter(rng, 2 * kMillisecond, j), 0.60),
+            Action::WaitAccel(2),
+            Action::Sleep(Jitter(rng, 8 * kMillisecond, j)),
+        };
+      });
+}
+
+AppHandle SpawnCube(Kernel& kernel, const std::string& name, AppOptions opts) {
+  const double j = opts.jitter;
+  const auto render =
+      static_cast<DurationNs>(11.0 * kMillisecond * opts.work_scale);
+  return SpawnLoopApp(
+      kernel, name, {HwComponent::kGpu}, opts,
+      [j, render](TaskEnv&, uint64_t, Rng& rng) {
+        // Rotating cube targeting 60 fps: one render command per frame;
+        // heavy enough that two instances contend for the GPU (Fig 8c).
+        return std::vector<Action>{
+            Action::Compute(Jitter(rng, 400 * kMicrosecond, j), 0.8),
+            Action::SubmitAccel(HwComponent::kGpu, 3, Jitter(rng, render, j), 0.70),
+            Action::WaitAccel(1),
+            Action::Sleep(Jitter(rng, 4 * kMillisecond, j)),
+        };
+      });
+}
+
+AppHandle SpawnTriangle(Kernel& kernel, const std::string& name, AppOptions opts) {
+  const double j = opts.jitter;
+  const auto work =
+      static_cast<DurationNs>(5.0 * kMillisecond * opts.work_scale);
+  return SpawnLoopApp(
+      kernel, name, {HwComponent::kGpu}, opts,
+      [j, work](TaskEnv&, uint64_t iter, Rng& rng) {
+        // Synthetic offscreen spam: keeps a standing two-deep command queue
+        // so the GPU pipeline never drains on its own (no vsync).
+        if (iter == 0) {
+          return std::vector<Action>{
+              Action::SubmitAccel(HwComponent::kGpu, 5, Jitter(rng, work, j), 1.00),
+              Action::SubmitAccel(HwComponent::kGpu, 5, Jitter(rng, work, j), 1.00),
+          };
+        }
+        return std::vector<Action>{
+            Action::WaitAccel(1),
+            Action::Compute(Jitter(rng, 150 * kMicrosecond, j), 0.9),
+            Action::SubmitAccel(HwComponent::kGpu, 5, Jitter(rng, work, j), 1.00),
+        };
+      });
+}
+
+// ---------------------------------------------------------------------------
+// DSP apps. One iteration = one offloaded kernel.
+// ---------------------------------------------------------------------------
+
+AppHandle SpawnSgemm(Kernel& kernel, const std::string& name, AppOptions opts) {
+  const double j = opts.jitter;
+  return SpawnLoopApp(
+      kernel, name, {HwComponent::kDsp}, opts,
+      [j](TaskEnv&, uint64_t, Rng& rng) {
+        // The OpenCL kernel splits the multiply across two DSP cores.
+        return std::vector<Action>{
+            Action::Compute(Jitter(rng, 500 * kMicrosecond, j), 0.8),
+            Action::SubmitAccel(HwComponent::kDsp, 10, Jitter(rng, 9 * kMillisecond, j), 0.48),
+            Action::SubmitAccel(HwComponent::kDsp, 10, Jitter(rng, 9 * kMillisecond, j), 0.48),
+            Action::WaitAccel(2),
+        };
+      });
+}
+
+AppHandle SpawnDgemm(Kernel& kernel, const std::string& name, AppOptions opts) {
+  const double j = opts.jitter;
+  return SpawnLoopApp(
+      kernel, name, {HwComponent::kDsp}, opts,
+      [j](TaskEnv&, uint64_t, Rng& rng) {
+        return std::vector<Action>{
+            Action::Compute(Jitter(rng, 500 * kMicrosecond, j), 0.8),
+            Action::SubmitAccel(HwComponent::kDsp, 11, Jitter(rng, 18 * kMillisecond, j), 0.58),
+            Action::SubmitAccel(HwComponent::kDsp, 11, Jitter(rng, 18 * kMillisecond, j), 0.58),
+            Action::WaitAccel(2),
+        };
+      });
+}
+
+AppHandle SpawnMonte(Kernel& kernel, const std::string& name, AppOptions opts) {
+  const double j = opts.jitter;
+  return SpawnLoopApp(
+      kernel, name, {HwComponent::kDsp}, opts,
+      [j](TaskEnv&, uint64_t, Rng& rng) {
+        return std::vector<Action>{
+            Action::Compute(Jitter(rng, 300 * kMicrosecond, j), 0.7),
+            Action::SubmitAccel(HwComponent::kDsp, 12, Jitter(rng, 8 * kMillisecond, j), 0.65),
+            Action::WaitAccel(1),
+            Action::Sleep(Jitter(rng, 2 * kMillisecond, j)),
+        };
+      });
+}
+
+// ---------------------------------------------------------------------------
+// WiFi apps. One iteration = one request / transfer window.
+// ---------------------------------------------------------------------------
+
+AppHandle SpawnWifiBrowser(Kernel& kernel, const std::string& name, AppOptions opts) {
+  const double j = opts.jitter;
+  return SpawnLoopApp(
+      kernel, name, {HwComponent::kWifi}, opts,
+      [j](TaskEnv&, uint64_t, Rng& rng) {
+        // Page fetch: a small request, a sizeable response, then think time
+        // longer than the NIC power-save tail (the NIC dozes between pages).
+        return std::vector<Action>{
+            Action::Send(700, /*response_bytes=*/48 * 1024,
+                         /*response_delay=*/Jitter(rng, 9 * kMillisecond, j)),
+            Action::WaitNet(),
+            Action::Sleep(Jitter(rng, 60 * kMillisecond, j)),
+        };
+      });
+}
+
+AppHandle SpawnScp(Kernel& kernel, const std::string& name, AppOptions opts) {
+  const double j = opts.jitter;
+  return SpawnLoopApp(
+      kernel, name, {HwComponent::kWifi}, opts,
+      [j](TaskEnv&, uint64_t, Rng& rng) {
+        // Bulk upload: a TX window of 8 x 24 KiB, then a tiny protocol ack.
+        std::vector<Action> actions;
+        for (int i = 0; i < 8; ++i) {
+          actions.push_back(Action::Send(24 * 1024));
+        }
+        actions.push_back(Action::Send(512, /*response_bytes=*/128,
+                                       /*response_delay=*/Jitter(rng, 3 * kMillisecond, j)));
+        actions.push_back(Action::WaitNet());
+        return actions;
+      });
+}
+
+AppHandle SpawnWget(Kernel& kernel, const std::string& name, AppOptions opts) {
+  const double j = opts.jitter;
+  return SpawnLoopApp(
+      kernel, name, {HwComponent::kWifi}, opts,
+      [j](TaskEnv&, uint64_t, Rng& rng) {
+        // HTTP download of a 50 MB file: small range requests answered by
+        // large RX chunks. Reception cannot be deferred by the driver (§5),
+        // so these chunks land inside other apps' balloons — the traffic
+        // behind the Fig 6 +17 % browser outlier.
+        return std::vector<Action>{
+            Action::Send(400, /*response_bytes=*/30 * 1024,
+                         /*response_delay=*/Jitter(rng, 12 * kMillisecond, j),
+                         /*response_count=*/6),
+            Action::WaitNet(),
+        };
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Websites & attacker camouflage (§2.5)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct SiteProfile {
+  int num_frames;         // page-load frames
+  DurationNs layout_work; // per-frame layout command
+  DurationNs paint_work;  // per-frame paint command
+  Watts layout_power;
+  Watts paint_power;
+  DurationNs frame_gap;
+  int heavy_every;        // every k-th frame is ~2x heavier (ads/videos)
+};
+
+// Ten distinct page profiles: different frame counts, command weights and
+// cadences give each site a distinguishable GPU power signature.
+constexpr SiteProfile kSites[kNumWebsites] = {
+    {8, 1500 * kMicrosecond, 2500 * kMicrosecond, 0.50, 0.75, 7 * kMillisecond, 0},
+    {14, 900 * kMicrosecond, 1800 * kMicrosecond, 0.45, 0.65, 4 * kMillisecond, 3},
+    {6, 3500 * kMicrosecond, 5000 * kMicrosecond, 0.60, 0.95, 11 * kMillisecond, 0},
+    {20, 600 * kMicrosecond, 1000 * kMicrosecond, 0.40, 0.55, 3 * kMillisecond, 5},
+    {10, 2000 * kMicrosecond, 1500 * kMicrosecond, 0.70, 0.50, 8 * kMillisecond, 2},
+    {12, 1200 * kMicrosecond, 3200 * kMicrosecond, 0.48, 0.88, 6 * kMillisecond, 4},
+    {7, 2800 * kMicrosecond, 2800 * kMicrosecond, 0.65, 0.65, 14 * kMillisecond, 0},
+    {16, 800 * kMicrosecond, 2400 * kMicrosecond, 0.42, 0.78, 5 * kMillisecond, 2},
+    {9, 1800 * kMicrosecond, 4200 * kMicrosecond, 0.55, 0.92, 9 * kMillisecond, 3},
+    {13, 1100 * kMicrosecond, 1300 * kMicrosecond, 0.52, 0.58, 4500 * kMicrosecond, 6},
+};
+
+}  // namespace
+
+AppHandle SpawnWebsiteVisit(Kernel& kernel, const std::string& name, int site,
+                            AppOptions opts) {
+  PSBOX_CHECK_GE(site, 0);
+  PSBOX_CHECK_LT(site, kNumWebsites);
+  const SiteProfile profile = kSites[site];
+  const double j = opts.jitter;
+  if (opts.iterations == 0) {
+    opts.iterations = static_cast<uint64_t>(profile.num_frames);
+  }
+  return SpawnLoopApp(
+      kernel, name, {HwComponent::kGpu}, opts,
+      [profile, j](TaskEnv&, uint64_t iter, Rng& rng) {
+        double scale = 1.0;
+        if (profile.heavy_every > 0 &&
+            iter % static_cast<uint64_t>(profile.heavy_every) == 0) {
+          scale = 2.0;
+        }
+        const auto layout =
+            static_cast<DurationNs>(static_cast<double>(profile.layout_work) * scale);
+        const auto paint =
+            static_cast<DurationNs>(static_cast<double>(profile.paint_work) * scale);
+        return std::vector<Action>{
+            Action::Compute(Jitter(rng, 400 * kMicrosecond, j), 0.9),
+            Action::SubmitAccel(HwComponent::kGpu, 1, Jitter(rng, layout, j),
+                                profile.layout_power),
+            Action::SubmitAccel(HwComponent::kGpu, 2, Jitter(rng, paint, j),
+                                profile.paint_power),
+            Action::WaitAccel(2),
+            Action::Sleep(Jitter(rng, profile.frame_gap, j)),
+        };
+      });
+}
+
+AppHandle SpawnAttackerCamouflage(Kernel& kernel, const std::string& name,
+                                  AppOptions opts) {
+  const double j = opts.jitter;
+  return SpawnLoopApp(
+      kernel, name, {HwComponent::kGpu}, opts,
+      [j](TaskEnv&, uint64_t, Rng& rng) {
+        // Light periodic GPU work so the attacker looks like a normal app
+        // while it samples power. Its own commands overlap the victim's and
+        // partially corrupt the observed signature.
+        return std::vector<Action>{
+            Action::SubmitAccel(HwComponent::kGpu, 9, Jitter(rng, 800 * kMicrosecond, j), 0.30),
+            Action::WaitAccel(1),
+            Action::Sleep(Jitter(rng, 7 * kMillisecond, j)),
+        };
+      });
+}
+
+}  // namespace psbox

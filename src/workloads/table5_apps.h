@@ -1,0 +1,84 @@
+// The benchmark apps of the paper's Table 5 (Figure 5), as workload models.
+//
+//   CPU : bodytrack (PARSEC), calib3d (OpenCV), dedup (PARSEC)
+//   GPU : browser (webkit page load), magic (PowerVR demo), cube (Qt demo),
+//         triangle (synthetic offscreen spam)
+//   DSP : sgemm, dgemm, monte (TI AM57 SDK kernels)
+//   WiFi: browser (Links page load), scp (50 MB over ssh), wget (50 MB over
+//         http — generates the RX traffic behind the Fig 6 +17 % outlier)
+//
+// Each factory spawns one app (one task) running a LoopBehavior whose
+// actions approximate the real app's power/timing signature: CPU burst
+// lengths and intensities, accelerator command streams, packet trains.
+// Durations are nominal (top OPP); `iterations` bounds the work (0 = run
+// until the deadline), `deadline` bounds wall time (0 = unbounded), and
+// `use_psbox` wraps the workload in a psbox bound to its component.
+
+#ifndef SRC_WORKLOADS_TABLE5_APPS_H_
+#define SRC_WORKLOADS_TABLE5_APPS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/kernel/kernel.h"
+#include "src/workloads/behavior_lib.h"
+
+namespace psbox {
+
+struct AppHandle {
+  AppId app = kNoApp;
+  Task* task = nullptr;
+  std::shared_ptr<WorkloadStats> stats;
+};
+
+struct AppOptions {
+  uint64_t iterations = 0;
+  TimeNs deadline = 0;
+  bool use_psbox = false;
+  double jitter = 0.05;    // per-action duration jitter fraction
+  double work_scale = 1.0; // scales per-iteration work (stress variants)
+  // Worker threads (tasks) per app; iterations are split across them and
+  // progress is aggregated in the shared WorkloadStats. With use_psbox, the
+  // first worker drives the psbox lifecycle; siblings join its task group
+  // automatically when it enters (the box encloses the whole app).
+  int threads = 1;
+};
+
+// --- CPU apps -------------------------------------------------------------
+AppHandle SpawnCalib3d(Kernel& kernel, const std::string& name, AppOptions opts);
+AppHandle SpawnBodytrack(Kernel& kernel, const std::string& name, AppOptions opts);
+AppHandle SpawnDedup(Kernel& kernel, const std::string& name, AppOptions opts);
+
+// --- GPU apps -------------------------------------------------------------
+AppHandle SpawnGpuBrowser(Kernel& kernel, const std::string& name, AppOptions opts);
+// Continuously-rendering browser (no vsync pacing): streams small render
+// commands back-to-back. The §6.3 stress-test victim.
+AppHandle SpawnBrowserStream(Kernel& kernel, const std::string& name, AppOptions opts);
+AppHandle SpawnMagic(Kernel& kernel, const std::string& name, AppOptions opts);
+AppHandle SpawnCube(Kernel& kernel, const std::string& name, AppOptions opts);
+AppHandle SpawnTriangle(Kernel& kernel, const std::string& name, AppOptions opts);
+
+// --- DSP apps -------------------------------------------------------------
+AppHandle SpawnSgemm(Kernel& kernel, const std::string& name, AppOptions opts);
+AppHandle SpawnDgemm(Kernel& kernel, const std::string& name, AppOptions opts);
+AppHandle SpawnMonte(Kernel& kernel, const std::string& name, AppOptions opts);
+
+// --- WiFi apps ------------------------------------------------------------
+AppHandle SpawnWifiBrowser(Kernel& kernel, const std::string& name, AppOptions opts);
+AppHandle SpawnScp(Kernel& kernel, const std::string& name, AppOptions opts);
+AppHandle SpawnWget(Kernel& kernel, const std::string& name, AppOptions opts);
+
+// --- Websites (for the §2.5 side channel) ---------------------------------
+// Number of distinct website GPU profiles available (the "Alexa top-10").
+constexpr int kNumWebsites = 10;
+// Spawns a browser app loading website |site| (0..kNumWebsites-1) once; each
+// site produces a distinct GPU command stream and hence power signature.
+AppHandle SpawnWebsiteVisit(Kernel& kernel, const std::string& name, int site,
+                            AppOptions opts);
+// The light camouflage GPU workload the attacker runs while observing.
+AppHandle SpawnAttackerCamouflage(Kernel& kernel, const std::string& name,
+                                  AppOptions opts);
+
+}  // namespace psbox
+
+#endif  // SRC_WORKLOADS_TABLE5_APPS_H_

@@ -1,0 +1,145 @@
+#include "src/workloads/vr_app.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/base/check.h"
+#include "src/psbox/psbox_api.h"
+
+namespace psbox {
+
+DurationNs VrFrameWork(int fidelity) {
+  static constexpr DurationNs kWork[kVrFidelityLevels] = {
+      800 * kMicrosecond, 1800 * kMicrosecond, 3200 * kMicrosecond,
+      5000 * kMicrosecond, 5800 * kMicrosecond};
+  PSBOX_CHECK_GE(fidelity, 0);
+  PSBOX_CHECK_LT(fidelity, kVrFidelityLevels);
+  return kWork[fidelity];
+}
+
+double VrFrameIntensity(int fidelity) {
+  static constexpr double kIntensity[kVrFidelityLevels] = {0.55, 0.70, 0.85, 0.95,
+                                                           1.05};
+  PSBOX_CHECK_GE(fidelity, 0);
+  PSBOX_CHECK_LT(fidelity, kVrFidelityLevels);
+  return kIntensity[fidelity];
+}
+
+namespace {
+
+constexpr DurationNs kRenderFramePeriod = 16600 * kMicrosecond;
+constexpr DurationNs kGestureFramePeriod = 33 * kMillisecond;
+
+// Gesture recognition with input-dependent load: the contour count walks
+// randomly, swinging the task's CPU burst between ~1 ms and ~7 ms.
+class GestureBehavior : public Behavior {
+ public:
+  GestureBehavior(Rng rng, TimeNs deadline) : rng_(rng), deadline_(deadline) {}
+
+  Action NextAction(TaskEnv& env) override {
+    if (env.now >= deadline_) {
+      return Action::Exit();
+    }
+    if (!queue_.empty()) {
+      Action a = queue_.front();
+      queue_.pop_front();
+      return a;
+    }
+    contours_ += rng_.UniformInt(-2, 2);
+    contours_ = std::clamp<int64_t>(contours_, 1, 10);
+    const DurationNs work = 1 * kMillisecond + contours_ * 600 * kMicrosecond;
+    queue_.push_back(Action::Sleep(std::max<DurationNs>(
+        kGestureFramePeriod - work, 1 * kMillisecond)));
+    return Action::Compute(work, 1.0);
+  }
+
+ private:
+  Rng rng_;
+  TimeNs deadline_;
+  int64_t contours_ = 5;
+  std::deque<Action> queue_;
+};
+
+// The power-aware rendering task: observes its own power through a psbox at
+// a fixed cadence and adapts fidelity toward the configured band.
+class RenderBehavior : public Behavior {
+ public:
+  RenderBehavior(VrConfig config, std::shared_ptr<VrStats> stats, Watts idle_floor)
+      : config_(config), stats_(std::move(stats)), idle_floor_(idle_floor),
+        fidelity_(config_.initial_fidelity) {}
+
+  Action NextAction(TaskEnv& env) override {
+    if (env.now >= config_.deadline) {
+      if (box_ >= 0 && config_.use_psbox) {
+        psbox_leave(env, box_);
+      }
+      return Action::Exit();
+    }
+    if (box_ < 0 && config_.use_psbox) {
+      box_ = psbox_create(env, {HwComponent::kCpu});
+      stats_->box = box_;
+      psbox_enter(env, box_);
+      psbox_reset(env, box_);
+      window_start_ = env.now;
+      last_energy_ = 0.0;
+    }
+    if (config_.use_psbox && env.now - window_start_ >= config_.adapt_window) {
+      const Joules energy = psbox_read(env, box_);
+      const double window_s = ToSeconds(env.now - window_start_);
+      // The virtual power meter accumulates the energy of the rendering
+      // task's resource balloons, so dividing by the window yields the
+      // task's duty-weighted power impact — its "active power".
+      const Watts observed = (energy - last_energy_) / window_s;
+      const Watts active = observed;
+      stats_->windows.push_back({env.now, observed, active, fidelity_});
+      stats_->active_power_by_fidelity[static_cast<size_t>(fidelity_)].Add(active);
+      // Trade fidelity for power (§6.4): step down when hot, up when cold.
+      if (active > config_.target_high && fidelity_ > 0) {
+        --fidelity_;
+      } else if (active < config_.target_low && fidelity_ < kVrFidelityLevels - 1) {
+        ++fidelity_;
+      }
+      last_energy_ = energy;
+      window_start_ = env.now;
+    }
+    if (!queue_.empty()) {
+      Action a = queue_.front();
+      queue_.pop_front();
+      return a;
+    }
+    ++stats_->frames;
+    const DurationNs work = VrFrameWork(fidelity_);
+    queue_.push_back(Action::Sleep(std::max<DurationNs>(
+        kRenderFramePeriod - work, 1 * kMillisecond)));
+    return Action::Compute(work, VrFrameIntensity(fidelity_));
+  }
+
+ private:
+  VrConfig config_;
+  std::shared_ptr<VrStats> stats_;
+  Watts idle_floor_;
+  int fidelity_;
+  int box_ = -1;
+  TimeNs window_start_ = 0;
+  Joules last_energy_ = 0.0;
+  std::deque<Action> queue_;
+};
+
+}  // namespace
+
+VrHandles SpawnVrScenario(Kernel& kernel, const VrConfig& config) {
+  PSBOX_CHECK_GT(config.deadline, 0);
+  VrHandles handles;
+  handles.stats = std::make_shared<VrStats>();
+  handles.gesture_app = kernel.CreateApp("vr_gesture");
+  handles.render_app = kernel.CreateApp("vr_render");
+  kernel.SpawnTask(handles.gesture_app, "gesture",
+                   std::make_unique<GestureBehavior>(kernel.board().rng().Fork(),
+                                                     config.deadline));
+  const Watts idle_floor = kernel.board().cpu_rail().idle_power();
+  kernel.SpawnTask(handles.render_app, "rendering",
+                   std::make_unique<RenderBehavior>(config, handles.stats, idle_floor));
+  return handles;
+}
+
+}  // namespace psbox

@@ -1,0 +1,70 @@
+// The end-to-end VR use case (§6.4, Figure 9).
+//
+// Two continuously-running tasks derived from the paper's SDK demo:
+//   * gesture   — processes camera frames and recognises hand gestures; its
+//     CPU load varies with the number of contours in each frame, so its
+//     power impact fluctuates with the input;
+//   * rendering — translates gestures into wind, refreshes the water height
+//     map, and is made *power-aware*: it periodically observes its own power
+//     through a psbox and trades rendering fidelity (frame work, intensity)
+//     for lower power.
+// Without psbox the rendering task would reason over entangled power that
+// embeds gesture's input-dependent load; with psbox its observation is
+// insulated, and the adaptation reaches a wide (paper: 8.9x) power range.
+
+#ifndef SRC_WORKLOADS_VR_APP_H_
+#define SRC_WORKLOADS_VR_APP_H_
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "src/base/stats.h"
+#include "src/kernel/kernel.h"
+
+namespace psbox {
+
+constexpr int kVrFidelityLevels = 5;
+
+struct VrConfig {
+  // Adaptation control band over the rendering task's observed power (its
+  // duty-weighted balloon power), in watts. The task lowers fidelity above
+  // |target_high| and raises it below |target_low|.
+  Watts target_low = 0.35;
+  Watts target_high = 0.70;
+  int initial_fidelity = kVrFidelityLevels - 1;
+  DurationNs adapt_window = 200 * kMillisecond;
+  bool use_psbox = true;  // ablation: adapt on raw (entangled) rail power
+  TimeNs deadline = 0;
+};
+
+struct VrWindow {
+  TimeNs when;
+  Watts observed_power;  // mean psbox-observed power over the window
+  Watts active_power;    // the task's duty-weighted power impact
+  int fidelity;
+};
+
+struct VrStats {
+  std::vector<VrWindow> windows;
+  std::array<RunningStats, kVrFidelityLevels> active_power_by_fidelity;
+  uint64_t frames = 0;
+  int box = -1;
+};
+
+struct VrHandles {
+  AppId gesture_app = kNoApp;
+  AppId render_app = kNoApp;
+  std::shared_ptr<VrStats> stats;
+};
+
+// Spawns both tasks; they run until |config.deadline| (which must be > 0).
+VrHandles SpawnVrScenario(Kernel& kernel, const VrConfig& config);
+
+// Frame parameters per fidelity level (exposed for tests).
+DurationNs VrFrameWork(int fidelity);
+double VrFrameIntensity(int fidelity);
+
+}  // namespace psbox
+
+#endif  // SRC_WORKLOADS_VR_APP_H_

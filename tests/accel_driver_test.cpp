@@ -1,0 +1,190 @@
+// Tests for the accelerator driver: fair command scheduling and temporal
+// balloons (the five-phase protocol of §4.2).
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace psbox {
+namespace {
+
+// Spawns an app with one task that repeatedly offloads |work| commands.
+struct AccelApp {
+  AppId app;
+  Task* task;
+};
+
+AccelApp SpawnOffloader(TestStack& s, const std::string& name, HwComponent hw,
+                        DurationNs work, Watts power, DurationNs think = 0) {
+  const AppId app = s.kernel.CreateApp(name);
+  Task* task = s.kernel.SpawnTask(
+      app, name,
+      std::make_unique<FnBehavior>([hw, work, power, think,
+                                    phase = 0](TaskEnv&) mutable {
+        Action a;
+        switch (phase % 3) {
+          case 0:
+            a = Action::SubmitAccel(hw, 1, work, power);
+            break;
+          case 1:
+            a = Action::WaitAccel(1);
+            break;
+          default:
+            a = think > 0 ? Action::Sleep(think) : Action::Compute(100 * kMicrosecond);
+            break;
+        }
+        ++phase;
+        return a;
+      }));
+  return {app, task};
+}
+
+TEST(AccelDriverTest, SubmitRunsAndCompletes) {
+  TestStack s;
+  AccelApp a = SpawnOffloader(s, "a", HwComponent::kGpu, 2 * kMillisecond, 0.5);
+  s.kernel.RunUntil(Millis(50));
+  EXPECT_GT(s.kernel.gpu_driver().CompletedFor(a.app), 5u);
+}
+
+TEST(AccelDriverTest, FairSharingBetweenEqualApps) {
+  TestStack s;
+  AccelApp a = SpawnOffloader(s, "a", HwComponent::kDsp, 8 * kMillisecond, 0.5);
+  AccelApp b = SpawnOffloader(s, "b", HwComponent::kDsp, 8 * kMillisecond, 0.5);
+  s.kernel.RunUntil(Seconds(2));
+  const auto ca = s.kernel.dsp_driver().CompletedFor(a.app);
+  const auto cb = s.kernel.dsp_driver().CompletedFor(b.app);
+  EXPECT_NEAR(static_cast<double>(ca) / static_cast<double>(cb), 1.0, 0.15);
+}
+
+TEST(AccelDriverTest, TemporalBalloonNeverOverlapsOthers) {
+  TestStack s;
+  AccelApp a = SpawnOffloader(s, "boxed", HwComponent::kGpu, 3 * kMillisecond, 0.6);
+  SpawnOffloader(s, "other", HwComponent::kGpu, 3 * kMillisecond, 0.6);
+  const int box = s.manager.CreateBox(a.app, {HwComponent::kGpu});
+  s.manager.EnterBox(box);
+  s.kernel.RunUntil(Seconds(2));
+  // Inside every owned interval, only the sandboxed app's commands ran: the
+  // ledger must show no other app's usage within the ownership windows.
+  const auto& owned = s.manager.sandbox(box).owned(HwComponent::kGpu);
+  ASSERT_FALSE(owned.empty());
+  for (const UsageRecord& r : s.kernel.ledger().records(HwComponent::kGpu)) {
+    if (r.app == a.app) {
+      continue;
+    }
+    const TimeNs mid = r.begin + (r.end - r.begin) / 2;
+    EXPECT_FALSE(owned.Contains(mid))
+        << "foreign command inside balloon at " << mid;
+  }
+}
+
+TEST(AccelDriverTest, BalloonsBilledToOwner) {
+  TestStack s;
+  AccelApp a = SpawnOffloader(s, "boxed", HwComponent::kGpu, 3 * kMillisecond, 0.6);
+  AccelApp b = SpawnOffloader(s, "other", HwComponent::kGpu, 3 * kMillisecond, 0.6);
+  const int box = s.manager.CreateBox(a.app, {HwComponent::kGpu});
+  s.manager.EnterBox(box);
+  s.kernel.RunUntil(Seconds(2));
+  // Equal workloads, but the sandboxed app pays for exclusivity: it
+  // completes no more than the plain app.
+  EXPECT_LE(s.kernel.gpu_driver().CompletedFor(a.app),
+            s.kernel.gpu_driver().CompletedFor(b.app));
+  EXPECT_GT(s.kernel.gpu_driver().stats().balloons, 0u);
+}
+
+TEST(AccelDriverTest, DispatchLatencyGrowsUnderPsbox) {
+  auto avg_latency = [](bool sandbox) {
+    TestStack s;
+    AccelApp a = SpawnOffloader(s, "a", HwComponent::kGpu, 3 * kMillisecond, 0.6);
+    SpawnOffloader(s, "b", HwComponent::kGpu, 3 * kMillisecond, 0.6);
+    if (sandbox) {
+      const int box = s.manager.CreateBox(a.app, {HwComponent::kGpu});
+      s.manager.EnterBox(box);
+    }
+    s.kernel.RunUntil(Seconds(1));
+    const auto& st = s.kernel.gpu_driver().stats();
+    return static_cast<double>(st.total_dispatch_latency) /
+           static_cast<double>(std::max<uint64_t>(1, st.submitted));
+  };
+  EXPECT_GT(avg_latency(true), avg_latency(false));
+}
+
+TEST(AccelDriverTest, ClearSandboxedMidBalloonUnwinds) {
+  TestStack s;
+  AccelApp a = SpawnOffloader(s, "boxed", HwComponent::kDsp, 20 * kMillisecond, 0.8);
+  SpawnOffloader(s, "other", HwComponent::kDsp, 5 * kMillisecond, 0.5);
+  const int box = s.manager.CreateBox(a.app, {HwComponent::kDsp});
+  s.manager.EnterBox(box);
+  s.kernel.RunUntil(Millis(60));
+  s.manager.LeaveBox(box);
+  s.kernel.RunUntil(Millis(200));
+  EXPECT_EQ(s.kernel.dsp_driver().balloon_owner(), kNoApp);
+  // Both keep completing afterwards.
+  const auto before_a = s.kernel.dsp_driver().CompletedFor(a.app);
+  s.kernel.RunUntil(Millis(600));
+  EXPECT_GT(s.kernel.dsp_driver().CompletedFor(a.app), before_a);
+}
+
+TEST(AccelDriverTest, CompletionWakesWaitingTask) {
+  TestStack s;
+  const AppId app = s.kernel.CreateApp("a");
+  Task* t = s.kernel.SpawnTask(
+      app, "t",
+      std::make_unique<ScriptBehavior>(std::vector<Action>{
+          Action::SubmitAccel(HwComponent::kGpu, 1, 5 * kMillisecond, 0.5),
+          Action::WaitAccel(1), Action::Compute(kMillisecond)}));
+  s.kernel.RunUntil(Millis(3));
+  EXPECT_EQ(t->state(), TaskState::kBlocked);
+  s.kernel.RunUntil(Millis(20));
+  EXPECT_EQ(t->state(), TaskState::kExited);
+}
+
+TEST(AccelDriverTest, WaitForMultipleCompletions) {
+  TestStack s;
+  const AppId app = s.kernel.CreateApp("a");
+  Task* t = s.kernel.SpawnTask(
+      app, "t",
+      std::make_unique<ScriptBehavior>(std::vector<Action>{
+          Action::SubmitAccel(HwComponent::kDsp, 1, 4 * kMillisecond, 0.5),
+          Action::SubmitAccel(HwComponent::kDsp, 1, 4 * kMillisecond, 0.5),
+          Action::SubmitAccel(HwComponent::kDsp, 1, 4 * kMillisecond, 0.5),
+          Action::WaitAccel(3)}));
+  s.kernel.RunUntil(Millis(60));
+  EXPECT_EQ(t->state(), TaskState::kExited);
+  EXPECT_EQ(s.kernel.dsp_driver().CompletedFor(app), 3u);
+}
+
+TEST(AccelDriverTest, FrequencyVirtualisedPerBox) {
+  // A heavy co-runner maxes the accelerator frequency; the sandboxed app's
+  // balloons start from its own (initially lowest) context.
+  TestStack s;
+  SpawnOffloader(s, "heavy", HwComponent::kGpu, 8 * kMillisecond, 0.9);
+  s.kernel.RunUntil(Millis(100));
+  EXPECT_EQ(s.board.gpu().opp_index(), s.board.gpu().num_opps() - 1);
+  AccelApp a = SpawnOffloader(s, "boxed", HwComponent::kGpu, 3 * kMillisecond, 0.6,
+                              /*think=*/5 * kMillisecond);
+  const int box = s.manager.CreateBox(a.app, {HwComponent::kGpu});
+  s.manager.EnterBox(box);
+  s.kernel.RunUntil(Millis(130));
+  const auto& owned = s.manager.sandbox(box).owned(HwComponent::kGpu);
+  ASSERT_FALSE(owned.empty());
+  // Power inside the first balloon reflects the low virtual OPP: it is below
+  // the full-opp draw of the same command.
+  const TimeNs probe = owned.intervals().front().begin + 500 * kMicrosecond;
+  const Watts in_balloon = s.board.gpu_rail().PowerAt(probe);
+  EXPECT_LT(in_balloon, s.board.gpu().config().idle_power + 0.6);
+}
+
+TEST(AccelDriverTest, LedgerRecordsCommandSpans) {
+  TestStack s;
+  AccelApp a = SpawnOffloader(s, "a", HwComponent::kGpu, 2 * kMillisecond, 0.5);
+  s.kernel.RunUntil(Millis(30));
+  const auto& records = s.kernel.ledger().records(HwComponent::kGpu);
+  ASSERT_FALSE(records.empty());
+  for (const UsageRecord& r : records) {
+    EXPECT_EQ(r.app, a.app);
+    EXPECT_LT(r.begin, r.end);
+  }
+}
+
+}  // namespace
+}  // namespace psbox

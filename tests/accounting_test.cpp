@@ -1,0 +1,155 @@
+// Tests for the prior-approach accounting splitters.
+
+#include <gtest/gtest.h>
+
+#include "src/accounting/power_splitter.h"
+#include "src/sim/simulator.h"
+
+namespace psbox {
+namespace {
+
+class SplitterTest : public ::testing::Test {
+ protected:
+  SplitterTest() : rail_(&sim_, "test", 0.1) {}
+
+  Simulator sim_;
+  PowerRail rail_;
+};
+
+TEST_F(SplitterTest, SingleAppGetsEverythingItUses) {
+  // Rail: 1 W for 100 ms, app 1 uses the hardware the whole time.
+  rail_.SetPower(1.0);
+  std::vector<UsageRecord> records = {{1, 0, Millis(100), 1.0}};
+  PowerSplitter splitter;
+  auto shares = splitter.SplitEnergy(rail_, records, 0, Millis(100));
+  EXPECT_NEAR(shares[1], 0.1, 1e-9);
+  EXPECT_EQ(shares.count(kNoApp), 0u);
+}
+
+TEST_F(SplitterTest, UtilizationProportionalSplit) {
+  rail_.SetPower(2.0);
+  // App 1 occupies the full window; app 2 half of it (half weight records).
+  std::vector<UsageRecord> records = {{1, 0, Millis(100), 1.0},
+                                      {2, 0, Millis(50), 1.0}};
+  PowerSplitter splitter;
+  auto shares = splitter.SplitEnergy(rail_, records, 0, Millis(100));
+  // First 50 ms split 50/50; second 50 ms all to app 1.
+  EXPECT_NEAR(shares[1], 0.15, 1e-6);
+  EXPECT_NEAR(shares[2], 0.05, 1e-6);
+}
+
+TEST_F(SplitterTest, WeightsScaleShares) {
+  rail_.SetPower(1.0);
+  std::vector<UsageRecord> records = {{1, 0, Millis(100), 3.0},
+                                      {2, 0, Millis(100), 1.0}};
+  PowerSplitter splitter;
+  auto shares = splitter.SplitEnergy(rail_, records, 0, Millis(100));
+  EXPECT_NEAR(shares[1] / shares[2], 3.0, 0.01);
+}
+
+TEST_F(SplitterTest, EvenSplitIgnoresWeights) {
+  rail_.SetPower(1.0);
+  std::vector<UsageRecord> records = {{1, 0, Millis(100), 3.0},
+                                      {2, 0, Millis(100), 1.0}};
+  SplitterConfig cfg;
+  cfg.policy = AccountingPolicy::kEvenSplit;
+  PowerSplitter splitter(cfg);
+  auto shares = splitter.SplitEnergy(rail_, records, 0, Millis(100));
+  EXPECT_NEAR(shares[1], shares[2], 1e-9);
+}
+
+TEST_F(SplitterTest, TailAttributedToLastUser) {
+  // Usage ends at 50 ms but the rail stays hot (lingering state) until
+  // 100 ms: the tail goes to the most recent user.
+  rail_.SetPower(1.0);
+  std::vector<UsageRecord> records = {{1, 0, Millis(50), 1.0}};
+  PowerSplitter splitter;
+  auto shares = splitter.SplitEnergy(rail_, records, 0, Millis(100));
+  EXPECT_NEAR(shares[1], 0.1, 1e-6);  // both halves
+}
+
+TEST_F(SplitterTest, TrueIdleStaysUnattributed) {
+  // Rail drops to idle after usage: idle windows are "system".
+  rail_.SetPower(1.0);
+  sim_.RunUntil(Millis(50));
+  rail_.SetPower(0.1);
+  std::vector<UsageRecord> records = {{1, 0, Millis(50), 1.0}};
+  PowerSplitter splitter;
+  auto shares = splitter.SplitEnergy(rail_, records, 0, Millis(100));
+  EXPECT_NEAR(shares[1], 0.05, 1e-6);
+  EXPECT_NEAR(shares[kNoApp], 0.005, 1e-6);
+}
+
+TEST_F(SplitterTest, EnergyConservation) {
+  // Shares (including unattributed) always sum to the rail energy.
+  rail_.SetPower(1.7);
+  sim_.RunUntil(Millis(30));
+  rail_.SetPower(0.4);
+  std::vector<UsageRecord> records = {
+      {1, 0, Millis(40), 1.0}, {2, Millis(10), Millis(70), 0.5},
+      {3, Millis(20), Millis(25), 2.0}};
+  for (AccountingPolicy policy :
+       {AccountingPolicy::kUtilization, AccountingPolicy::kEvenSplit,
+        AccountingPolicy::kLastTrigger}) {
+    SplitterConfig cfg;
+    cfg.policy = policy;
+    PowerSplitter splitter(cfg);
+    auto shares = splitter.SplitEnergy(rail_, records, 0, Millis(100));
+    Joules total = 0.0;
+    for (const auto& [app, e] : shares) {
+      total += e;
+    }
+    EXPECT_NEAR(total, rail_.EnergyOver(0, Millis(100)), 1e-6)
+        << "policy " << static_cast<int>(policy);
+  }
+}
+
+TEST_F(SplitterTest, ShareSeriesMatchesEnergy) {
+  rail_.SetPower(2.0);
+  std::vector<UsageRecord> records = {{1, 0, Millis(100), 1.0},
+                                      {2, 0, Millis(100), 1.0}};
+  PowerSplitter splitter;
+  auto series = splitter.ShareSeries(rail_, records, 1, 0, Millis(100));
+  Joules from_series = 0.0;
+  for (const PowerSample& s : series) {
+    from_series += s.watts * ToSeconds(splitter.config().window);
+  }
+  auto shares = splitter.SplitEnergy(rail_, records, 0, Millis(100));
+  EXPECT_NEAR(from_series, shares[1], 1e-6);
+}
+
+TEST_F(SplitterTest, LastTriggerGivesWholeSample) {
+  rail_.SetPower(1.0);
+  std::vector<UsageRecord> records = {{1, 0, Millis(100), 1.0},
+                                      {2, 0, Millis(100), 1.0}};
+  SplitterConfig cfg;
+  cfg.policy = AccountingPolicy::kLastTrigger;
+  PowerSplitter splitter(cfg);
+  auto shares = splitter.SplitEnergy(rail_, records, 0, Millis(100));
+  // All windows go to a single app under last-trigger.
+  EXPECT_NEAR(shares[1] + shares[2], 0.1, 1e-6);
+  EXPECT_TRUE(shares[1] == 0.0 || shares[2] == 0.0);
+}
+
+TEST_F(SplitterTest, OverlappingRecordsBothWeighted) {
+  rail_.SetPower(1.0);
+  std::vector<UsageRecord> records = {{1, 0, Millis(100), 1.0},
+                                      {2, Millis(25), Millis(75), 1.0}};
+  PowerSplitter splitter;
+  auto shares = splitter.SplitEnergy(rail_, records, 0, Millis(100));
+  EXPECT_NEAR(shares[1], 0.075, 1e-6);  // 50 ms alone + 50 ms halved
+  EXPECT_NEAR(shares[2], 0.025, 1e-6);
+}
+
+TEST_F(SplitterTest, WindowGranularityRespected) {
+  SplitterConfig cfg;
+  cfg.window = kMillisecond;
+  PowerSplitter splitter(cfg);
+  rail_.SetPower(1.0);
+  std::vector<UsageRecord> records = {{1, 0, Millis(10), 1.0}};
+  auto series = splitter.ShareSeries(rail_, records, 1, 0, Millis(10));
+  EXPECT_EQ(series.size(), 10u);
+}
+
+}  // namespace
+}  // namespace psbox

@@ -1,0 +1,136 @@
+// Tests for the analysis utilities: DTW, trace downsampling, sparklines.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/analysis/dtw.h"
+#include "src/analysis/trace_util.h"
+#include "src/base/rng.h"
+
+namespace psbox {
+namespace {
+
+std::vector<double> Sine(size_t n, double freq, double phase = 0.0) {
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = std::sin(freq * static_cast<double>(i) + phase);
+  }
+  return out;
+}
+
+TEST(DtwTest, IdenticalSeriesHaveZeroDistance) {
+  const auto a = Sine(100, 0.2);
+  EXPECT_NEAR(DtwDistance(a, a), 0.0, 1e-9);
+}
+
+TEST(DtwTest, Symmetric) {
+  const auto a = Sine(100, 0.2);
+  const auto b = Sine(100, 0.35);
+  EXPECT_NEAR(DtwDistance(a, b), DtwDistance(b, a), 1e-9);
+}
+
+TEST(DtwTest, WarpingAbsorbsSmallShift) {
+  // A small temporal shift costs much less than a genuinely different shape.
+  const auto a = Sine(200, 0.2);
+  const auto shifted = Sine(200, 0.2, 0.6);
+  const auto different = Sine(200, 0.55);
+  EXPECT_LT(DtwDistance(a, shifted), DtwDistance(a, different));
+}
+
+TEST(DtwTest, ZNormalizeMakesScaleInvariant) {
+  auto a = Sine(100, 0.3);
+  std::vector<double> scaled = a;
+  for (double& v : scaled) {
+    v = v * 5.0 + 10.0;
+  }
+  DtwConfig cfg;
+  cfg.z_normalize = true;
+  EXPECT_NEAR(DtwDistance(a, scaled, cfg), 0.0, 1e-6);
+  cfg.z_normalize = false;
+  EXPECT_GT(DtwDistance(a, scaled, cfg), 1.0);
+}
+
+TEST(DtwTest, EmptySeriesIsInfinite) {
+  EXPECT_TRUE(std::isinf(DtwDistance({}, {1.0, 2.0})));
+}
+
+TEST(DtwTest, DifferentLengthsSupported) {
+  // Length mismatch is handled (finite distance) and costs less than a
+  // genuinely different shape of the same length.
+  const auto a = Sine(100, 0.2);
+  const auto b = Sine(130, 0.2);
+  const auto different = Sine(100, 0.71);
+  EXPECT_FALSE(std::isinf(DtwDistance(a, b)));
+  EXPECT_LT(DtwDistance(a, b), DtwDistance(a, different));
+}
+
+TEST(ZNormalizeTest, MeanZeroUnitVariance) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  ZNormalize(&v);
+  double mean = 0.0;
+  double var = 0.0;
+  for (double x : v) {
+    mean += x;
+  }
+  mean /= static_cast<double>(v.size());
+  for (double x : v) {
+    var += (x - mean) * (x - mean);
+  }
+  var /= static_cast<double>(v.size());
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  EXPECT_NEAR(var, 1.0, 1e-12);
+}
+
+TEST(ZNormalizeTest, ConstantSeriesBecomesZero) {
+  std::vector<double> v = {3, 3, 3};
+  ZNormalize(&v);
+  for (double x : v) {
+    EXPECT_EQ(x, 0.0);
+  }
+}
+
+TEST(DownsampleTest, SamplesBinnedByMean) {
+  std::vector<PowerSample> samples;
+  for (int i = 0; i < 100; ++i) {
+    samples.push_back({i * kMillisecond, i < 50 ? 1.0 : 3.0});
+  }
+  const auto bins = DownsampleSamples(samples, 0, Millis(100), 2);
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_NEAR(bins[0], 1.0, 1e-9);
+  EXPECT_NEAR(bins[1], 3.0, 1e-9);
+}
+
+TEST(DownsampleTest, EmptyBinRepeatsPrevious) {
+  std::vector<PowerSample> samples = {{0, 2.0}};
+  const auto bins = DownsampleSamples(samples, 0, Millis(100), 4);
+  for (double b : bins) {
+    EXPECT_EQ(b, 2.0);
+  }
+}
+
+TEST(DownsampleTest, TraceBinsAreExactMeans) {
+  StepTrace trace;
+  trace.Set(0, 1.0);
+  trace.Set(Millis(50), 3.0);
+  const auto bins = DownsampleTrace(trace, 0, Millis(100), 2);
+  EXPECT_NEAR(bins[0], 1.0, 1e-9);
+  EXPECT_NEAR(bins[1], 3.0, 1e-9);
+}
+
+TEST(SampleEnergyTest, RiemannSum) {
+  std::vector<PowerSample> samples = {{0, 1.0}, {Millis(1), 1.0}};
+  EXPECT_NEAR(SampleEnergy(samples, Millis(1)), 0.002, 1e-12);
+}
+
+TEST(SparklineTest, LengthAndRange) {
+  const auto line = Sparkline({0.0, 0.5, 1.0});
+  EXPECT_EQ(line.size(), 3u);
+  EXPECT_EQ(line.front(), ' ');
+  EXPECT_EQ(line.back(), '#');
+}
+
+TEST(SparklineTest, EmptySeries) { EXPECT_TRUE(Sparkline({}).empty()); }
+
+}  // namespace
+}  // namespace psbox

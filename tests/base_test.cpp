@@ -1,0 +1,220 @@
+// Unit tests for src/base: step traces, interval sets, rng, stats.
+
+#include <gtest/gtest.h>
+
+#include "src/base/interval_set.h"
+#include "src/base/rng.h"
+#include "src/base/stats.h"
+#include "src/base/step_trace.h"
+
+namespace psbox {
+namespace {
+
+TEST(StepTrace, ValueAtBeforeFirstStepIsZero) {
+  StepTrace t;
+  t.Set(100, 2.0);
+  EXPECT_EQ(t.ValueAt(50), 0.0);
+  EXPECT_EQ(t.ValueAt(100), 2.0);
+  EXPECT_EQ(t.ValueAt(150), 2.0);
+}
+
+TEST(StepTrace, SameTimeOverwrites) {
+  StepTrace t;
+  t.Set(100, 2.0);
+  t.Set(100, 3.0);
+  EXPECT_EQ(t.ValueAt(100), 3.0);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(StepTrace, RedundantValueCompacted) {
+  StepTrace t;
+  t.Set(0, 1.0);
+  t.Set(50, 1.0);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(StepTrace, IntegralExact) {
+  StepTrace t;
+  t.Set(0, 1.0);
+  t.Set(kSecond, 3.0);
+  // 1 W for 1 s + 3 W for 0.5 s
+  EXPECT_DOUBLE_EQ(t.IntegralOver(0, kSecond + kSecond / 2), 2.5);
+}
+
+TEST(StepTrace, IntegralPartialSegments) {
+  StepTrace t;
+  t.Set(0, 2.0);
+  t.Set(2 * kSecond, 4.0);
+  EXPECT_DOUBLE_EQ(t.IntegralOver(kSecond, 3 * kSecond), 2.0 + 4.0);
+}
+
+TEST(StepTrace, IntegralEmptyRange) {
+  StepTrace t;
+  t.Set(0, 2.0);
+  EXPECT_DOUBLE_EQ(t.IntegralOver(kSecond, kSecond), 0.0);
+}
+
+TEST(StepTrace, MeanOver) {
+  StepTrace t;
+  t.Set(0, 1.0);
+  t.Set(kSecond, 3.0);
+  EXPECT_DOUBLE_EQ(t.MeanOver(0, 2 * kSecond), 2.0);
+}
+
+TEST(StepTrace, ResampleCount) {
+  StepTrace t;
+  t.Set(0, 1.0);
+  auto samples = t.Resample(0, kMillisecond, 100 * kMicrosecond);
+  EXPECT_EQ(samples.size(), 10u);
+  for (double v : samples) {
+    EXPECT_EQ(v, 1.0);
+  }
+}
+
+TEST(IntervalSet, AddAndContains) {
+  IntervalSet s;
+  s.Add(10, 20);
+  s.Add(30, 40);
+  EXPECT_TRUE(s.Contains(10));
+  EXPECT_TRUE(s.Contains(19));
+  EXPECT_FALSE(s.Contains(20));
+  EXPECT_FALSE(s.Contains(25));
+  EXPECT_TRUE(s.Contains(35));
+}
+
+TEST(IntervalSet, MergeAdjacent) {
+  IntervalSet s;
+  s.Add(10, 20);
+  s.Add(20, 30);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.TotalCovered(), 20);
+}
+
+TEST(IntervalSet, MergeOverlap) {
+  IntervalSet s;
+  s.Add(10, 25);
+  s.Add(20, 30);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.TotalCovered(), 20);
+}
+
+TEST(IntervalSet, OutOfOrderInsert) {
+  IntervalSet s;
+  s.Add(100, 200);
+  s.Add(10, 20);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.Contains(15));
+  EXPECT_TRUE(s.Contains(150));
+  s.Add(15, 120);  // bridges both
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.TotalCovered(), 190);
+}
+
+TEST(IntervalSet, CoveredWithin) {
+  IntervalSet s;
+  s.Add(10, 20);
+  s.Add(30, 40);
+  EXPECT_EQ(s.CoveredWithin(0, 100), 20);
+  EXPECT_EQ(s.CoveredWithin(15, 35), 10);
+  EXPECT_EQ(s.CoveredWithin(20, 30), 0);
+}
+
+TEST(IntervalSet, EmptyAddIgnored) {
+  IntervalSet s;
+  s.Add(10, 10);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.Add(rng.Gaussian(10.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a(42);
+  Rng child = a.Fork();
+  // The child stream differs from the parent's continuation.
+  EXPECT_NE(child.NextU64(), a.NextU64());
+}
+
+TEST(RunningStats, Basics) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Percentile, Interpolates) {
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4}, 50), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4}, 100), 4.0);
+}
+
+TEST(PercentDelta, Basics) {
+  EXPECT_DOUBLE_EQ(PercentDelta(100, 95), -5.0);
+  EXPECT_DOUBLE_EQ(PercentDelta(100, 160), 60.0);
+  EXPECT_DOUBLE_EQ(PercentDelta(0, 5), 0.0);
+}
+
+}  // namespace
+}  // namespace psbox

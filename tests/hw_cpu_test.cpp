@@ -1,0 +1,131 @@
+// Unit tests for the CPU device power model.
+
+#include <gtest/gtest.h>
+
+#include "src/hw/cpu_device.h"
+#include "src/hw/power_rail.h"
+#include "src/sim/simulator.h"
+
+namespace psbox {
+namespace {
+
+class CpuDeviceTest : public ::testing::Test {
+ protected:
+  CpuDeviceTest() : rail_(&sim_, "cpu", CpuConfig{}.idle_power), cpu_(&sim_, &rail_, CpuConfig{}) {}
+
+  Simulator sim_;
+  PowerRail rail_;
+  CpuDevice cpu_;
+};
+
+TEST_F(CpuDeviceTest, IdlePowerWhenNoCoreActive) {
+  EXPECT_DOUBLE_EQ(cpu_.ModelPower(), cpu_.config().idle_power);
+  EXPECT_EQ(cpu_.ActiveCoreCount(), 0);
+}
+
+TEST_F(CpuDeviceTest, SingleCoreAddsUncoreAndCorePower) {
+  cpu_.SetCoreState(0, true, 1.0, 1);
+  const Watts p = cpu_.ModelPower();
+  EXPECT_GT(p, cpu_.config().idle_power + cpu_.config().uncore_active_power);
+  EXPECT_EQ(cpu_.ActiveCoreCount(), 1);
+  EXPECT_EQ(cpu_.CoreApp(0), 1);
+  EXPECT_TRUE(cpu_.CoreActive(0));
+}
+
+TEST_F(CpuDeviceTest, SpatialEntanglementSubAdditive) {
+  // The key Fig 3a property: P(2 active) < 2 * P(1 active) - idle overhead.
+  cpu_.SetCoreState(0, true, 1.0, 1);
+  const Watts one = cpu_.ModelPower();
+  cpu_.SetCoreState(1, true, 1.0, 2);
+  const Watts two = cpu_.ModelPower();
+  const Watts doubled_estimate = 2.0 * one - cpu_.config().idle_power;
+  EXPECT_LT(two, doubled_estimate);
+  EXPECT_GT(two, one);  // still more than one core
+}
+
+TEST_F(CpuDeviceTest, IntensityScalesPower) {
+  cpu_.SetCoreState(0, true, 0.5, 1);
+  const Watts low = cpu_.ModelPower();
+  cpu_.SetCoreState(0, true, 1.3, 1);
+  const Watts high = cpu_.ModelPower();
+  EXPECT_GT(high, low);
+}
+
+TEST_F(CpuDeviceTest, DeactivatingCoreRestoresIdle) {
+  cpu_.SetCoreState(0, true, 1.0, 1);
+  cpu_.SetCoreState(0, false, 0.0, kNoApp);
+  EXPECT_DOUBLE_EQ(cpu_.ModelPower(), cpu_.config().idle_power);
+  EXPECT_EQ(cpu_.CoreApp(0), kNoApp);
+}
+
+TEST_F(CpuDeviceTest, RailTracksModel) {
+  cpu_.SetCoreState(0, true, 1.0, 1);
+  EXPECT_DOUBLE_EQ(rail_.PowerAt(sim_.Now()), cpu_.ModelPower());
+}
+
+TEST_F(CpuDeviceTest, SpeedFactorTopOppIsOne) {
+  cpu_.SetOppIndex(cpu_.num_opps() - 1);
+  EXPECT_DOUBLE_EQ(cpu_.SpeedFactor(), 1.0);
+}
+
+TEST_F(CpuDeviceTest, SpeedFactorMonotoneInOpp) {
+  double prev = 0.0;
+  for (int opp = 0; opp < cpu_.num_opps(); ++opp) {
+    cpu_.SetOppIndex(opp);
+    EXPECT_GT(cpu_.SpeedFactor(), prev);
+    prev = cpu_.SpeedFactor();
+  }
+}
+
+TEST_F(CpuDeviceTest, PowerMonotoneInOpp) {
+  cpu_.SetCoreState(0, true, 1.0, 1);
+  double prev = 0.0;
+  for (int opp = 0; opp < cpu_.num_opps(); ++opp) {
+    cpu_.SetOppIndex(opp);
+    EXPECT_GT(cpu_.ModelPower(), prev);
+    prev = cpu_.ModelPower();
+  }
+}
+
+TEST_F(CpuDeviceTest, LingeringStateVisibleOnRail) {
+  // Fig 3c mechanism: the same work draws different power under a lingering
+  // high operating point.
+  cpu_.SetCoreState(0, true, 1.0, 1);
+  cpu_.SetOppIndex(0);
+  const Watts low_opp = cpu_.ModelPower();
+  cpu_.SetOppIndex(cpu_.num_opps() - 1);
+  const Watts high_opp = cpu_.ModelPower();
+  EXPECT_GT(high_opp, 1.5 * low_opp);
+}
+
+// Property sweep: for every OPP, k active cores draw strictly less than k
+// solo cores combined (spatial entanglement), for a 4-core configuration.
+class CpuEntanglementSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpuEntanglementSweep, SubAdditiveAtEveryOpp) {
+  const int opp = GetParam();
+  CpuConfig cfg;
+  cfg.num_cores = 4;
+  Simulator sim;
+  PowerRail rail(&sim, "cpu", cfg.idle_power);
+  CpuDevice cpu(&sim, &rail, cfg);
+  cpu.SetOppIndex(opp);
+
+  cpu.SetCoreState(0, true, 1.0, 1);
+  const Watts solo_delta = cpu.ModelPower() - cfg.idle_power -
+                           cfg.uncore_active_power;
+  for (int k = 2; k <= 4; ++k) {
+    cpu.SetCoreState(k - 1, true, 1.0, k);
+    const Watts combined = cpu.ModelPower() - cfg.idle_power -
+                           cfg.uncore_active_power;
+    EXPECT_LT(combined, solo_delta * k)
+        << "opp=" << opp << " active=" << k;
+    EXPECT_GT(combined, solo_delta * (k - 1) * 0.5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpps, CpuEntanglementSweep,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace psbox

@@ -1,0 +1,100 @@
+// Unit tests for the in-situ power meter (DAQ model) and the board assembly.
+
+#include <gtest/gtest.h>
+
+#include "src/base/stats.h"
+#include "src/hw/board.h"
+
+namespace psbox {
+namespace {
+
+TEST(PowerMeterTest, SampleCountMatchesRate) {
+  Board board;
+  auto samples = board.meter().SampleRail(board.cpu_rail(), 0, Millis(10));
+  // 10 ms at 100 kHz = 1000 samples.
+  EXPECT_EQ(samples.size(), 1000u);
+}
+
+TEST(PowerMeterTest, TimestampsAreUniform) {
+  Board board;
+  auto samples = board.meter().SampleRail(board.cpu_rail(), Millis(5), Millis(6));
+  ASSERT_GT(samples.size(), 1u);
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].timestamp - samples[i - 1].timestamp,
+              board.config().meter.sample_period);
+  }
+  EXPECT_EQ(samples.front().timestamp, Millis(5));
+}
+
+TEST(PowerMeterTest, NoiseIsCentredOnTruth) {
+  Board board;
+  auto samples = board.meter().SampleRail(board.cpu_rail(), 0, Millis(100));
+  RunningStats stats;
+  for (const PowerSample& s : samples) {
+    stats.Add(s.watts);
+  }
+  const Watts truth = board.config().cpu.idle_power;
+  EXPECT_NEAR(stats.mean(), truth, 0.001);
+  EXPECT_NEAR(stats.stddev(), board.config().meter.noise_stddev, 0.001);
+}
+
+TEST(PowerMeterTest, SamplesAreNonNegative) {
+  Board board;
+  auto samples = board.meter().SampleRail(board.wifi_rail(), 0, Millis(50));
+  for (const PowerSample& s : samples) {
+    EXPECT_GE(s.watts, 0.0);
+  }
+}
+
+TEST(PowerMeterTest, MeasureEnergyIsExact) {
+  Board board;
+  const Joules e = board.meter().MeasureEnergy(board.cpu_rail(), 0, Seconds(2));
+  EXPECT_DOUBLE_EQ(e, board.config().cpu.idle_power * 2.0);
+}
+
+TEST(PowerMeterTest, EnergyFromSamplesApproximatesExact) {
+  Board board;
+  auto samples = board.meter().SampleRail(board.gpu_rail(), 0, Millis(200));
+  const Joules from_samples =
+      PowerMeter::EnergyFromSamples(samples, board.config().meter.sample_period);
+  const Joules exact = board.gpu_rail().EnergyOver(0, Millis(200));
+  EXPECT_NEAR(from_samples, exact, exact * 0.05 + 1e-6);
+}
+
+TEST(PowerMeterTest, EmptyRangeYieldsNoSamples) {
+  Board board;
+  EXPECT_TRUE(board.meter().SampleRail(board.cpu_rail(), Millis(5), Millis(5)).empty());
+}
+
+TEST(BoardTest, FourDistinctRails) {
+  Board board;
+  EXPECT_EQ(board.RailFor(HwComponent::kCpu).name(), "cpu");
+  EXPECT_EQ(board.RailFor(HwComponent::kGpu).name(), "gpu");
+  EXPECT_EQ(board.RailFor(HwComponent::kDsp).name(), "dsp");
+  EXPECT_EQ(board.RailFor(HwComponent::kWifi).name(), "wifi");
+}
+
+TEST(BoardTest, SeedControlsNoise) {
+  BoardConfig a;
+  a.seed = 1;
+  BoardConfig b;
+  b.seed = 2;
+  Board board_a(a);
+  Board board_a2(a);
+  Board board_b(b);
+  auto sa = board_a.meter().SampleRail(board_a.cpu_rail(), 0, Millis(1));
+  auto sa2 = board_a2.meter().SampleRail(board_a2.cpu_rail(), 0, Millis(1));
+  auto sb = board_b.meter().SampleRail(board_b.cpu_rail(), 0, Millis(1));
+  EXPECT_EQ(sa.size(), sa2.size());
+  bool identical = true;
+  bool differs_from_b = false;
+  for (size_t i = 0; i < sa.size(); ++i) {
+    identical &= sa[i].watts == sa2[i].watts;
+    differs_from_b |= sa[i].watts != sb[i].watts;
+  }
+  EXPECT_TRUE(identical);
+  EXPECT_TRUE(differs_from_b);
+}
+
+}  // namespace
+}  // namespace psbox

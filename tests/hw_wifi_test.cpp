@@ -1,0 +1,119 @@
+// Unit tests for the WiFi NIC model.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/hw/wifi_device.h"
+
+namespace psbox {
+namespace {
+
+WifiFrame MakeFrame(uint64_t id, AppId app, size_t bytes, bool rx = false) {
+  WifiFrame f;
+  f.id = id;
+  f.app = app;
+  f.bytes = bytes;
+  f.is_rx = rx;
+  return f;
+}
+
+class WifiDeviceTest : public ::testing::Test {
+ protected:
+  WifiDeviceTest() : rail_(&sim_, "wifi", WifiConfig{}.idle_power), nic_(&sim_, &rail_, WifiConfig{}) {
+    nic_.set_on_frame_done([this](const WifiFrameDone& d) { done_.push_back(d); });
+  }
+
+  Simulator sim_;
+  PowerRail rail_;
+  WifiDevice nic_;
+  std::vector<WifiFrameDone> done_;
+};
+
+TEST_F(WifiDeviceTest, IdleAtPowerSaveFloor) {
+  EXPECT_DOUBLE_EQ(rail_.PowerAt(0), nic_.config().idle_power);
+  EXPECT_FALSE(nic_.busy());
+}
+
+TEST_F(WifiDeviceTest, AirtimeScalesWithBytes) {
+  const DurationNs small = nic_.FrameAirtime(100);
+  const DurationNs large = nic_.FrameAirtime(10000);
+  EXPECT_GT(large, small);
+  EXPECT_GE(small, nic_.config().per_frame_overhead);
+}
+
+TEST_F(WifiDeviceTest, TxDrawsTxPowerThenTail) {
+  nic_.SubmitFrame(MakeFrame(1, 0, 1500));
+  EXPECT_TRUE(nic_.busy());
+  EXPECT_DOUBLE_EQ(rail_.PowerAt(sim_.Now()), nic_.config().tx_power_high);
+  const DurationNs airtime = nic_.FrameAirtime(1500);
+  sim_.RunUntil(airtime + 1);
+  ASSERT_EQ(done_.size(), 1u);
+  // Lingering power state: the tail.
+  EXPECT_DOUBLE_EQ(rail_.PowerAt(sim_.Now()), nic_.config().tail_power);
+  sim_.RunUntil(airtime + nic_.power_state().ps_timeout + 1);
+  EXPECT_DOUBLE_EQ(rail_.PowerAt(sim_.Now()), nic_.config().idle_power);
+}
+
+TEST_F(WifiDeviceTest, RxDrawsRxPower) {
+  nic_.SubmitFrame(MakeFrame(1, 0, 1500, /*rx=*/true));
+  EXPECT_DOUBLE_EQ(rail_.PowerAt(sim_.Now()), nic_.config().rx_power);
+}
+
+TEST_F(WifiDeviceTest, MediumIsSerialized) {
+  nic_.SubmitFrame(MakeFrame(1, 0, 2000));
+  nic_.SubmitFrame(MakeFrame(2, 1, 2000));
+  EXPECT_EQ(nic_.queued_frames(), 1u);
+  sim_.RunToCompletion();
+  ASSERT_EQ(done_.size(), 2u);
+  EXPECT_LE(done_[0].end_time, done_[1].start_time);
+}
+
+TEST_F(WifiDeviceTest, LowTxPowerLevelDrawsLessAndSendsSlower) {
+  const DurationNs fast = nic_.FrameAirtime(20000);
+  WifiPowerState low;
+  low.tx_power_level = 0;
+  nic_.SetPowerState(low);
+  const DurationNs slow = nic_.FrameAirtime(20000);
+  EXPECT_GT(slow, fast);
+  nic_.SubmitFrame(MakeFrame(1, 0, 1500));
+  EXPECT_DOUBLE_EQ(rail_.PowerAt(sim_.Now()), nic_.config().tx_power_low);
+}
+
+TEST_F(WifiDeviceTest, PowerStateChangeReArmsTail) {
+  nic_.SubmitFrame(MakeFrame(1, 0, 100));
+  sim_.RunUntil(nic_.FrameAirtime(100) + 1);
+  EXPECT_DOUBLE_EQ(rail_.PowerAt(sim_.Now()), nic_.config().tail_power);
+  // Shorten the PS timeout: the tail should now expire sooner.
+  WifiPowerState quick;
+  quick.ps_timeout = 2 * kMillisecond;
+  nic_.SetPowerState(quick);
+  sim_.RunUntil(sim_.Now() + 3 * kMillisecond);
+  EXPECT_DOUBLE_EQ(rail_.PowerAt(sim_.Now()), nic_.config().idle_power);
+}
+
+TEST_F(WifiDeviceTest, BackToBackFramesBridgeTail) {
+  nic_.SubmitFrame(MakeFrame(1, 0, 1000));
+  nic_.SubmitFrame(MakeFrame(2, 0, 1000));
+  sim_.RunToCompletion();
+  // Between the frames the NIC never dropped to idle: the rail trace has no
+  // idle-power step between the two TX periods.
+  const auto& steps = rail_.trace().steps();
+  for (size_t i = 1; i + 1 < steps.size(); ++i) {
+    if (steps[i].time > done_[0].start_time && steps[i].time < done_[1].end_time) {
+      EXPECT_NE(steps[i].value, nic_.config().idle_power);
+    }
+  }
+}
+
+TEST_F(WifiDeviceTest, FrameDoneTimesAreExact) {
+  nic_.SubmitFrame(MakeFrame(1, 3, 4096));
+  sim_.RunToCompletion();
+  ASSERT_EQ(done_.size(), 1u);
+  EXPECT_EQ(done_[0].frame.app, 3);
+  EXPECT_EQ(done_[0].start_time, 0);
+  EXPECT_EQ(done_[0].end_time, nic_.FrameAirtime(4096));
+}
+
+}  // namespace
+}  // namespace psbox

@@ -1,0 +1,113 @@
+// Tests for the Kernel facade plumbing: app/task registries, interrupt
+// delivery paths, and the usage ledger.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace psbox {
+namespace {
+
+TEST(KernelTest, AppRegistry) {
+  TestStack s;
+  const AppId a = s.kernel.CreateApp("alpha");
+  const AppId b = s.kernel.CreateApp("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(s.kernel.AppName(a), "alpha");
+  EXPECT_EQ(s.kernel.AppName(b), "beta");
+  EXPECT_TRUE(s.kernel.AppTasks(a).empty());
+}
+
+TEST(KernelTest, AppFinishedTracksAllTasks) {
+  TestStack s;
+  const AppId a = s.kernel.CreateApp("a");
+  s.kernel.SpawnTask(a, "short",
+                     std::make_unique<ScriptBehavior>(std::vector<Action>{
+                         Action::Compute(kMillisecond)}));
+  s.kernel.SpawnTask(a, "long",
+                     std::make_unique<ScriptBehavior>(std::vector<Action>{
+                         Action::Compute(50 * kMillisecond)}));
+  s.kernel.RunUntil(Millis(20));
+  EXPECT_FALSE(s.kernel.AppFinished(a));
+  s.kernel.RunUntil(Millis(300));
+  EXPECT_TRUE(s.kernel.AppFinished(a));
+}
+
+TEST(KernelTest, DriverForDispatch) {
+  TestStack s;
+  EXPECT_EQ(&s.kernel.DriverFor(HwComponent::kGpu), &s.kernel.gpu_driver());
+  EXPECT_EQ(&s.kernel.DriverFor(HwComponent::kDsp), &s.kernel.dsp_driver());
+}
+
+TEST(KernelTest, RxWaitersMatchedFifoPerApp) {
+  TestStack s;
+  const AppId a = s.kernel.CreateApp("a");
+  // Two tasks of the same app each awaiting one response; responses arrive
+  // in order and wake them FIFO.
+  auto spawn_waiter = [&](const std::string& name, DurationNs delay) {
+    return s.kernel.SpawnTask(
+        a, name,
+        std::make_unique<ScriptBehavior>(std::vector<Action>{
+            Action::Sleep(delay), Action::Send(200, 4000, 2 * kMillisecond),
+            Action::WaitNet()}));
+  };
+  Task* first = spawn_waiter("first", kMillisecond);
+  Task* second = spawn_waiter("second", 2 * kMillisecond);
+  s.kernel.RunUntil(Millis(100));
+  EXPECT_EQ(first->state(), TaskState::kExited);
+  EXPECT_EQ(second->state(), TaskState::kExited);
+}
+
+TEST(KernelTest, LedgerSeparatesComponents) {
+  TestStack s;
+  const AppId a = s.kernel.CreateApp("a");
+  s.kernel.SpawnTask(a, "t",
+                     std::make_unique<ScriptBehavior>(std::vector<Action>{
+                         Action::Compute(5 * kMillisecond),
+                         Action::SubmitAccel(HwComponent::kGpu, 1, 5 * kMillisecond, 0.5),
+                         Action::WaitAccel(1),
+                         Action::Send(4096),
+                         Action::WaitNet()}));
+  s.kernel.RunUntil(Millis(200));
+  EXPECT_FALSE(s.kernel.ledger().records(HwComponent::kCpu).empty());
+  EXPECT_FALSE(s.kernel.ledger().records(HwComponent::kGpu).empty());
+  EXPECT_FALSE(s.kernel.ledger().records(HwComponent::kWifi).empty());
+  EXPECT_TRUE(s.kernel.ledger().records(HwComponent::kDsp).empty());
+}
+
+TEST(KernelTest, LedgerRecordsAreWithinSimTime) {
+  TestStack s;
+  s.SpawnBusy("b");
+  s.kernel.RunUntil(Millis(100));
+  for (const UsageRecord& r : s.kernel.ledger().records(HwComponent::kCpu)) {
+    EXPECT_GE(r.begin, 0);
+    EXPECT_LE(r.end, s.kernel.Now());
+    EXPECT_LT(r.begin, r.end);
+  }
+}
+
+TEST(UsageLedgerTest, ZeroLengthRecordsDropped) {
+  UsageLedger ledger;
+  ledger.Add(HwComponent::kCpu, 1, 100, 100);
+  EXPECT_TRUE(ledger.records(HwComponent::kCpu).empty());
+  ledger.Add(HwComponent::kCpu, 1, 100, 200);
+  EXPECT_EQ(ledger.records(HwComponent::kCpu).size(), 1u);
+  ledger.Clear();
+  EXPECT_TRUE(ledger.records(HwComponent::kCpu).empty());
+}
+
+TEST(KernelTest, SleepWakeIgnoredAfterExit) {
+  // A timer firing after the task exited must not resurrect it.
+  TestStack s;
+  const AppId a = s.kernel.CreateApp("a");
+  Task* t = s.kernel.SpawnTask(a, "t",
+                               std::make_unique<ScriptBehavior>(std::vector<Action>{
+                                   Action::Compute(kMillisecond)}));
+  // Schedule an unrelated wake attempt for later.
+  s.kernel.ScheduleTaskWake(t, Millis(50));
+  s.kernel.RunUntil(Millis(200));
+  EXPECT_EQ(t->state(), TaskState::kExited);
+}
+
+}  // namespace
+}  // namespace psbox

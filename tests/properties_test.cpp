@@ -1,0 +1,273 @@
+// Property-based sweeps over the full stack: the paper's headline claims
+// checked as invariants across components and scenario mixes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/accounting/power_splitter.h"
+#include "src/workloads/table5_apps.h"
+#include "tests/test_util.h"
+
+namespace psbox {
+namespace {
+
+using Factory = AppHandle (*)(Kernel&, const std::string&, AppOptions);
+
+struct ConsistencyCase {
+  const char* name;
+  Factory main_app;
+  Factory co_runner;
+  HwComponent hw;
+  uint64_t iterations;
+};
+
+const ConsistencyCase kConsistencyCases[] = {
+    {"cpu_calib_vs_body", &SpawnCalib3d, &SpawnBodytrack, HwComponent::kCpu, 60},
+    {"cpu_calib_vs_dedup", &SpawnCalib3d, &SpawnDedup, HwComponent::kCpu, 60},
+    {"cpu_dedup_vs_body", &SpawnDedup, &SpawnBodytrack, HwComponent::kCpu, 60},
+    {"dsp_dgemm_vs_sgemm", &SpawnDgemm, &SpawnSgemm, HwComponent::kDsp, 40},
+    {"dsp_sgemm_vs_monte", &SpawnSgemm, &SpawnMonte, HwComponent::kDsp, 40},
+    {"gpu_browser_vs_magic", &SpawnGpuBrowser, &SpawnMagic, HwComponent::kGpu, 15},
+    {"gpu_cube_vs_magic", &SpawnCube, &SpawnMagic, HwComponent::kGpu, 15},
+    {"wifi_browser_vs_scp", &SpawnWifiBrowser, &SpawnScp, HwComponent::kWifi, 6},
+};
+
+// The paper's central claim (Fig 6): an app's psbox-observed energy for a
+// fixed amount of work is consistent whether it runs alone or co-runs.
+class ConsistencySweep : public ::testing::TestWithParam<ConsistencyCase> {};
+
+TEST_P(ConsistencySweep, PsboxEnergyConsistentAcrossCoRunners) {
+  const ConsistencyCase& c = GetParam();
+  auto observe = [&](bool co_run) {
+    TestStack s;
+    AppOptions opts;
+    opts.iterations = c.iterations;
+    opts.use_psbox = true;
+    AppHandle main_app = c.main_app(s.kernel, "main", opts);
+    if (co_run) {
+      AppOptions co;
+      c.co_runner(s.kernel, "co", co);
+    }
+    while (!s.kernel.AppFinished(main_app.app) && s.kernel.Now() < Seconds(60)) {
+      s.kernel.RunUntil(s.kernel.Now() + Millis(50));
+    }
+    EXPECT_TRUE(s.kernel.AppFinished(main_app.app));
+    return main_app.stats->psbox_energy;
+  };
+  const Joules alone = observe(false);
+  const Joules co_run = observe(true);
+  ASSERT_GT(alone, 0.0);
+  EXPECT_NEAR(co_run / alone, 1.0, 0.10) << c.name;  // paper: mostly <5%
+}
+
+INSTANTIATE_TEST_SUITE_P(AllComponents, ConsistencySweep,
+                         ::testing::ValuesIn(kConsistencyCases),
+                         [](const ::testing::TestParamInfo<ConsistencyCase>& info) {
+                           return std::string(info.param.name);
+                         });
+
+// Fairness (Fig 8): when one of N identical instances enters its psbox, the
+// other instances' throughput changes little.
+struct FairnessCase {
+  const char* name;
+  Factory factory;
+  int instances;
+  double max_coruner_loss;  // fraction
+};
+
+const FairnessCase kFairnessCases[] = {
+    {"cpu_3x_calib3d", &SpawnCalib3d, 3, 0.10},
+    {"dsp_3x_sgemm", &SpawnSgemm, 3, 0.10},
+    {"gpu_2x_cube", &SpawnCube, 2, 0.10},
+    {"dsp_2x_monte", &SpawnMonte, 2, 0.10},
+};
+
+class FairnessSweep : public ::testing::TestWithParam<FairnessCase> {};
+
+TEST_P(FairnessSweep, CoRunnersKeepTheirShare) {
+  const FairnessCase& c = GetParam();
+  auto run = [&](bool sandbox_last) {
+    TestStack s;
+    std::vector<AppHandle> handles;
+    for (int i = 0; i < c.instances; ++i) {
+      AppOptions opts;
+      opts.deadline = Seconds(3);
+      opts.use_psbox = sandbox_last && i == c.instances - 1;
+      handles.push_back(c.factory(s.kernel, "inst" + std::to_string(i), opts));
+    }
+    s.kernel.RunUntil(Seconds(3) + Millis(50));
+    std::vector<uint64_t> iters;
+    for (const auto& h : handles) {
+      iters.push_back(h.stats->iterations);
+    }
+    return iters;
+  };
+  const auto before = run(false);
+  const auto after = run(true);
+  for (int i = 0; i < c.instances - 1; ++i) {
+    const double loss = 1.0 - static_cast<double>(after[static_cast<size_t>(i)]) /
+                                  static_cast<double>(before[static_cast<size_t>(i)]);
+    EXPECT_LT(loss, c.max_coruner_loss) << c.name << " inst" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllComponents, FairnessSweep,
+                         ::testing::ValuesIn(kFairnessCases),
+                         [](const ::testing::TestParamInfo<FairnessCase>& info) {
+                           return std::string(info.param.name);
+                         });
+
+// Accounting energy conservation across live scenarios and all policies.
+class ConservationSweep
+    : public ::testing::TestWithParam<std::tuple<AccountingPolicy, int>> {};
+
+TEST_P(ConservationSweep, SharesSumToRailEnergy) {
+  const auto [policy, scenario] = GetParam();
+  TestStack s;
+  AppOptions opts;
+  opts.deadline = Millis(500);
+  HwComponent hw = HwComponent::kCpu;
+  switch (scenario) {
+    case 0:
+      SpawnCalib3d(s.kernel, "a", opts);
+      SpawnBodytrack(s.kernel, "b", opts);
+      hw = HwComponent::kCpu;
+      break;
+    case 1:
+      SpawnSgemm(s.kernel, "a", opts);
+      SpawnMonte(s.kernel, "b", opts);
+      hw = HwComponent::kDsp;
+      break;
+    default:
+      SpawnMagic(s.kernel, "a", opts);
+      SpawnTriangle(s.kernel, "b", opts);
+      hw = HwComponent::kGpu;
+      break;
+  }
+  s.kernel.RunUntil(Millis(500));
+  SplitterConfig cfg;
+  cfg.policy = policy;
+  PowerSplitter splitter(cfg);
+  auto shares = splitter.SplitEnergy(s.board.RailFor(hw), s.kernel.ledger().records(hw),
+                                     0, Millis(500));
+  Joules total = 0.0;
+  for (const auto& [app, e] : shares) {
+    total += e;
+  }
+  const Joules rail = s.board.RailFor(hw).EnergyOver(0, Millis(500));
+  EXPECT_NEAR(total, rail, rail * 0.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndScenarios, ConservationSweep,
+    ::testing::Combine(::testing::Values(AccountingPolicy::kUtilization,
+                                         AccountingPolicy::kEvenSplit,
+                                         AccountingPolicy::kLastTrigger),
+                       ::testing::Values(0, 1, 2)));
+
+// Determinism: identical seeds give identical system evolution, for every
+// component mix.
+class DeterminismSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeterminismSweep, IdenticalSeedsIdenticalRuns) {
+  const int scenario = GetParam();
+  auto run = [scenario] {
+    TestStack s;
+    AppOptions opts;
+    opts.deadline = Millis(400);
+    opts.use_psbox = true;
+    switch (scenario) {
+      case 0:
+        SpawnCalib3d(s.kernel, "a", opts);
+        break;
+      case 1:
+        SpawnDgemm(s.kernel, "a", opts);
+        break;
+      case 2:
+        SpawnMagic(s.kernel, "a", opts);
+        break;
+      default:
+        SpawnWget(s.kernel, "a", opts);
+        break;
+    }
+    AppOptions co;
+    co.deadline = Millis(400);
+    SpawnBodytrack(s.kernel, "b", co);
+    s.kernel.RunUntil(Millis(400));
+    double fingerprint = 0.0;
+    for (HwComponent hw : {HwComponent::kCpu, HwComponent::kGpu, HwComponent::kDsp,
+                           HwComponent::kWifi}) {
+      fingerprint += s.board.RailFor(hw).EnergyOver(0, Millis(400));
+    }
+    return fingerprint;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, DeterminismSweep, ::testing::Values(0, 1, 2, 3));
+
+// Ownership sanity: across component kinds, a sandbox's owned intervals are
+// disjoint, ordered, and within the simulated time range.
+class OwnershipSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OwnershipSweep, IntervalsWellFormed) {
+  const int which = GetParam();
+  TestStack s;
+  AppOptions opts;
+  opts.deadline = Millis(800);
+  opts.use_psbox = true;
+  AppHandle h;
+  HwComponent hw = HwComponent::kCpu;
+  switch (which) {
+    case 0:
+      h = SpawnCalib3d(s.kernel, "a", opts);
+      hw = HwComponent::kCpu;
+      break;
+    case 1:
+      h = SpawnMagic(s.kernel, "a", opts);
+      hw = HwComponent::kGpu;
+      break;
+    case 2:
+      h = SpawnSgemm(s.kernel, "a", opts);
+      hw = HwComponent::kDsp;
+      break;
+    default:
+      h = SpawnScp(s.kernel, "a", opts);
+      hw = HwComponent::kWifi;
+      break;
+  }
+  AppOptions co;
+  co.deadline = Millis(800);
+  switch (which) {
+    case 0:
+      SpawnBodytrack(s.kernel, "b", co);
+      break;
+    case 1:
+      SpawnCube(s.kernel, "b", co);
+      break;
+    case 2:
+      SpawnMonte(s.kernel, "b", co);
+      break;
+    default:
+      SpawnWget(s.kernel, "b", co);
+      break;
+  }
+  s.kernel.RunUntil(Seconds(1));
+  ASSERT_GE(h.stats->box, 0);
+  const auto& owned = s.manager.sandbox(h.stats->box).owned(hw);
+  ASSERT_FALSE(owned.empty());
+  TimeNs prev_end = -1;
+  for (const auto& iv : owned.intervals()) {
+    EXPECT_LT(iv.begin, iv.end);
+    EXPECT_GE(iv.begin, 0);
+    EXPECT_LE(iv.end, s.kernel.Now());
+    EXPECT_GE(iv.begin, prev_end);
+    prev_end = iv.end;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Components, OwnershipSweep, ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace psbox

@@ -1,0 +1,181 @@
+// Unit tests for the baseline CFS-style scheduler (no psbox involvement).
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace psbox {
+namespace {
+
+TEST(SchedTest, SingleTaskRunsImmediately) {
+  TestStack s;
+  Task* t = s.SpawnScript("t", {Action::Compute(5 * kMillisecond)});
+  s.kernel.RunUntil(Millis(1));
+  EXPECT_EQ(t->state(), TaskState::kRunning);
+  // The governor starts at the lowest OPP, so 5 ms of nominal work can take
+  // up to 5 / SpeedFactor(min) of wall time.
+  s.kernel.RunUntil(Millis(30));
+  EXPECT_EQ(t->state(), TaskState::kExited);
+  EXPECT_GE(t->total_cpu_time, 5 * kMillisecond);
+}
+
+TEST(SchedTest, TasksSpreadAcrossCores) {
+  TestStack s;
+  Task* a = s.SpawnBusy("a");
+  Task* b = s.SpawnBusy("b");
+  s.kernel.RunUntil(Millis(1));
+  EXPECT_NE(a->core, b->core);
+  EXPECT_EQ(a->state(), TaskState::kRunning);
+  EXPECT_EQ(b->state(), TaskState::kRunning);
+}
+
+TEST(SchedTest, TwoTasksOnOneCoreShareFairly) {
+  TestStack s;
+  Task* a = s.SpawnBusy("a", 0);
+  Task* b = s.SpawnBusy("b", 0);
+  s.kernel.RunUntil(Seconds(1));
+  const double ratio = static_cast<double>(a->total_cpu_time) /
+                       static_cast<double>(b->total_cpu_time);
+  EXPECT_NEAR(ratio, 1.0, 0.05);
+  // Both got roughly half the core.
+  EXPECT_NEAR(static_cast<double>(a->total_cpu_time), 0.5 * kSecond,
+              0.05 * kSecond);
+}
+
+TEST(SchedTest, ThreeTasksTwoCoresLongRunFairness) {
+  // Work stealing must rotate the odd task out; every task ends up with
+  // about 2/3 of a core.
+  TestStack s;
+  Task* a = s.SpawnBusy("a");
+  Task* b = s.SpawnBusy("b");
+  Task* c = s.SpawnBusy("c");
+  s.kernel.RunUntil(Seconds(3));
+  for (Task* t : {a, b, c}) {
+    EXPECT_NEAR(static_cast<double>(t->total_cpu_time), 2.0 / 3.0 * 3 * kSecond,
+                0.1 * 3 * kSecond)
+        << t->name();
+  }
+  EXPECT_GT(s.kernel.scheduler().stats().steals, 0u);
+}
+
+TEST(SchedTest, SleepBlocksAndWakes) {
+  TestStack s;
+  Task* t = s.SpawnScript("t", {Action::Compute(kMillisecond),
+                                Action::Sleep(10 * kMillisecond),
+                                Action::Compute(kMillisecond)});
+  s.kernel.RunUntil(Millis(5));
+  EXPECT_EQ(t->state(), TaskState::kBlocked);
+  s.kernel.RunUntil(Millis(50));
+  EXPECT_EQ(t->state(), TaskState::kExited);
+  // Two 1 ms nominal bursts; wall CPU time depends on the OPP (between 1x
+  // at the top OPP and 1/SpeedFactor(min) at the lowest).
+  EXPECT_GE(static_cast<double>(t->total_cpu_time), 2.0 * kMillisecond);
+  EXPECT_LE(static_cast<double>(t->total_cpu_time), 6.0 * kMillisecond);
+}
+
+TEST(SchedTest, SleeperDoesNotGainUnboundedCredit) {
+  // A task that sleeps a lot must not starve a busy task when it wakes
+  // (vruntime clamped to min_vruntime on wake).
+  TestStack s;
+  Task* busy = s.SpawnBusy("busy", 0);
+  const AppId app = s.kernel.CreateApp("sleeper");
+  Task* sleeper = s.kernel.SpawnTask(
+      app, "sleeper",
+      std::make_unique<FnBehavior>([](TaskEnv&) {
+        static int i = 0;
+        return (i++ % 2 == 0) ? Action::Sleep(50 * kMillisecond)
+                              : Action::Compute(kMillisecond);
+      }),
+      0);
+  s.kernel.RunUntil(Seconds(2));
+  // The busy task keeps nearly the whole core.
+  EXPECT_GT(busy->total_cpu_time, 1.5 * kSecond);
+  EXPECT_LT(sleeper->total_cpu_time, 0.2 * kSecond);
+}
+
+TEST(SchedTest, PreemptionByTick) {
+  TestStack s;
+  // One long burst vs many short ones on the same core: the long one must be
+  // preempted (it cannot run to completion uninterrupted).
+  Task* longtask = s.SpawnScript("long", {Action::Compute(100 * kMillisecond)}, 0);
+  Task* shorttask = s.SpawnBusy("short", 0);
+  s.kernel.RunUntil(Millis(50));
+  EXPECT_GT(shorttask->total_cpu_time, 10 * kMillisecond);
+  EXPECT_GT(longtask->total_cpu_time, 10 * kMillisecond);
+  EXPECT_NE(longtask->state(), TaskState::kExited);
+}
+
+TEST(SchedTest, ExitFreesCore) {
+  TestStack s;
+  s.SpawnScript("t", {Action::Compute(2 * kMillisecond)}, 0);
+  Task* follower = s.SpawnBusy("f", 0);
+  s.kernel.RunUntil(Millis(20));
+  EXPECT_GE(follower->total_cpu_time, 15 * kMillisecond);
+}
+
+TEST(SchedTest, SyscallOverheadCharged) {
+  TestStack s;
+  Task* t = s.SpawnScript(
+      "t", {Action::Send(100), Action::Compute(kMillisecond)});
+  s.kernel.RunUntil(Millis(10));
+  // Send costs syscall_overhead of CPU in addition to the compute.
+  EXPECT_GE(t->total_cpu_time,
+            kMillisecond + s.kernel.scheduler().config().syscall_overhead);
+}
+
+TEST(SchedTest, ContextSwitchesCounted) {
+  TestStack s;
+  s.SpawnBusy("a", 0);
+  s.SpawnBusy("b", 0);
+  s.kernel.RunUntil(Millis(100));
+  EXPECT_GT(s.kernel.scheduler().stats().context_switches, 10u);
+}
+
+TEST(SchedTest, ScheduleTraceRecordsApps) {
+  TestStack s;
+  Task* t = s.SpawnBusy("a", 0);
+  s.kernel.RunUntil(Millis(10));
+  EXPECT_EQ(static_cast<AppId>(s.kernel.scheduler().ScheduleTrace(0).ValueAt(Millis(5))),
+            t->app());
+}
+
+TEST(SchedTest, CpuDeviceSeesRunningApp) {
+  TestStack s;
+  Task* t = s.SpawnBusy("a", 1);
+  s.kernel.RunUntil(Millis(1));
+  EXPECT_EQ(s.board.cpu().CoreApp(1), t->app());
+  EXPECT_TRUE(s.board.cpu().CoreActive(1));
+}
+
+TEST(SchedTest, GovernorRampsUnderLoadAndDecaysWhenIdle) {
+  TestStack s;
+  s.SpawnScript("t", {Action::Compute(200 * kMillisecond)});
+  s.kernel.RunUntil(Millis(100));
+  EXPECT_EQ(s.board.cpu().opp_index(), s.board.cpu().num_opps() - 1);
+  // After the task exits the OPP decays step by step.
+  s.kernel.RunUntil(Millis(800));
+  EXPECT_EQ(s.board.cpu().opp_index(), 0);
+}
+
+TEST(SchedTest, WakeLatencyTracked) {
+  TestStack s;
+  s.SpawnScript("t", {Action::Compute(kMillisecond), Action::Sleep(5 * kMillisecond),
+                      Action::Compute(kMillisecond)});
+  s.kernel.RunUntil(Millis(20));
+  EXPECT_GE(s.kernel.scheduler().stats().wakeups, 1u);
+}
+
+TEST(SchedTest, DeterministicExecution) {
+  auto run = [] {
+    TestStack s;
+    Task* a = s.SpawnBusy("a");
+    s.SpawnBusy("b");
+    s.SpawnBusy("c");
+    s.kernel.RunUntil(Seconds(1));
+    return a->total_cpu_time;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace psbox

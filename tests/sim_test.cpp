@@ -1,0 +1,117 @@
+// Unit tests for the discrete-event simulator.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace psbox {
+namespace {
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(300, [&] { order.push_back(3); });
+  sim.ScheduleAt(100, [&] { order.push_back(1); });
+  sim.ScheduleAt(200, [&] { order.push_back(2); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 300);
+}
+
+TEST(Simulator, SameTimeIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(100, [&] { order.push_back(1); });
+  sim.ScheduleAt(100, [&] { order.push_back(2); });
+  sim.ScheduleAt(100, [&] { order.push_back(3); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(100, [&] { ++fired; });
+  sim.ScheduleAt(200, [&] { ++fired; });
+  sim.RunUntil(150);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 150);
+  sim.RunUntil(250);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventAtDeadlineRuns) {
+  Simulator sim;
+  bool fired = false;
+  sim.ScheduleAt(100, [&] { fired = true; });
+  sim.RunUntil(100);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.ScheduleAt(100, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.RunToCompletion();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, DoubleCancelIsNoop) {
+  Simulator sim;
+  const EventId id = sim.ScheduleAt(100, [] {});
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(Simulator, CancelInvalidIdIsNoop) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Cancel(kInvalidEventId));
+  EXPECT_FALSE(sim.Cancel(9999));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) {
+      sim.ScheduleAfter(10, step);
+    }
+  };
+  sim.ScheduleAt(0, step);
+  sim.RunToCompletion();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(sim.Now(), 40);
+}
+
+TEST(Simulator, ScheduleAfterUsesNow) {
+  Simulator sim;
+  TimeNs seen = -1;
+  sim.ScheduleAt(100, [&] {
+    sim.ScheduleAfter(50, [&] { seen = sim.Now(); });
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.RunUntil(1000);
+  EXPECT_EQ(sim.Now(), 1000);
+}
+
+TEST(Simulator, PendingCount) {
+  Simulator sim;
+  sim.ScheduleAt(10, [] {});
+  const EventId id = sim.ScheduleAt(20, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.Cancel(id);
+  sim.RunToCompletion();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.total_fired(), 1u);
+}
+
+}  // namespace
+}  // namespace psbox

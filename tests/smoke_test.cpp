@@ -1,0 +1,144 @@
+// End-to-end smoke tests: full stack (board + kernel + psbox + workloads)
+// scenarios that exercise every subsystem together.
+
+#include <gtest/gtest.h>
+
+#include "src/hw/board.h"
+#include "src/kernel/kernel.h"
+#include "src/psbox/psbox_manager.h"
+#include "src/workloads/table5_apps.h"
+#include "src/workloads/vr_app.h"
+
+namespace psbox {
+namespace {
+
+struct Stack {
+  Board board;
+  Kernel kernel;
+  PsboxManager manager;
+
+  explicit Stack(BoardConfig cfg = {}) : board(cfg), kernel(&board), manager(&kernel) {}
+};
+
+TEST(Smoke, SingleCpuAppRunsToCompletion) {
+  Stack s;
+  AppOptions opts;
+  opts.iterations = 50;
+  AppHandle app = SpawnCalib3d(s.kernel, "calib3d", opts);
+  s.kernel.RunUntil(Seconds(5));
+  EXPECT_TRUE(s.kernel.AppFinished(app.app));
+  EXPECT_EQ(app.stats->iterations, 50u);
+  EXPECT_GT(app.stats->finish_time, app.stats->start_time);
+}
+
+TEST(Smoke, TwoCpuAppsShareTheCpu) {
+  Stack s;
+  AppOptions opts;
+  opts.deadline = Seconds(1);
+  AppHandle a = SpawnBodytrack(s.kernel, "a", opts);
+  AppHandle b = SpawnBodytrack(s.kernel, "b", opts);
+  s.kernel.RunUntil(Seconds(2));
+  EXPECT_GT(a.stats->iterations, 10u);
+  EXPECT_GT(b.stats->iterations, 10u);
+}
+
+TEST(Smoke, SandboxedCpuAppCompletes) {
+  Stack s;
+  AppOptions opts;
+  opts.iterations = 40;
+  opts.use_psbox = true;
+  AppHandle app = SpawnCalib3d(s.kernel, "calib3d", opts);
+  AppOptions bg;
+  bg.deadline = Seconds(3);
+  SpawnBodytrack(s.kernel, "bodytrack", bg);
+  s.kernel.RunUntil(Seconds(3));
+  EXPECT_TRUE(s.kernel.AppFinished(app.app));
+  EXPECT_EQ(app.stats->iterations, 40u);
+  EXPECT_GT(app.stats->psbox_energy, 0.0);
+  EXPECT_GT(s.kernel.scheduler().stats().balloons_started, 0u);
+}
+
+TEST(Smoke, GpuAppsCompleteWithAndWithoutPsbox) {
+  Stack s;
+  AppOptions opts;
+  opts.iterations = 20;
+  opts.use_psbox = true;
+  AppHandle browser = SpawnGpuBrowser(s.kernel, "browser", opts);
+  AppOptions bg;
+  bg.deadline = Seconds(2);
+  SpawnMagic(s.kernel, "magic", bg);
+  s.kernel.RunUntil(Seconds(3));
+  EXPECT_TRUE(s.kernel.AppFinished(browser.app));
+  EXPECT_GT(browser.stats->psbox_energy, 0.0);
+  EXPECT_GT(s.kernel.gpu_driver().stats().balloons, 0u);
+}
+
+TEST(Smoke, DspAppsComplete) {
+  Stack s;
+  AppOptions opts;
+  opts.iterations = 10;
+  opts.use_psbox = true;
+  AppHandle dgemm = SpawnDgemm(s.kernel, "dgemm", opts);
+  AppOptions bg;
+  bg.deadline = Seconds(2);
+  SpawnSgemm(s.kernel, "sgemm", bg);
+  s.kernel.RunUntil(Seconds(4));
+  EXPECT_TRUE(s.kernel.AppFinished(dgemm.app));
+  EXPECT_EQ(dgemm.stats->iterations, 10u);
+  EXPECT_GT(dgemm.stats->psbox_energy, 0.0);
+}
+
+TEST(Smoke, WifiAppsComplete) {
+  Stack s;
+  AppOptions opts;
+  opts.iterations = 5;
+  opts.use_psbox = true;
+  AppHandle browser = SpawnWifiBrowser(s.kernel, "browser", opts);
+  AppOptions bg;
+  bg.deadline = Seconds(1);
+  SpawnScp(s.kernel, "scp", bg);
+  s.kernel.RunUntil(Seconds(3));
+  EXPECT_TRUE(s.kernel.AppFinished(browser.app));
+  EXPECT_GT(browser.stats->psbox_energy, 0.0);
+  EXPECT_GT(s.kernel.net().stats().tx_frames, 0u);
+}
+
+TEST(Smoke, VrScenarioAdapts) {
+  Stack s;
+  VrConfig cfg;
+  cfg.deadline = Seconds(4);
+  VrHandles vr = SpawnVrScenario(s.kernel, cfg);
+  s.kernel.RunUntil(Seconds(5));
+  EXPECT_GT(vr.stats->frames, 100u);
+  EXPECT_GT(vr.stats->windows.size(), 5u);
+}
+
+TEST(Smoke, LedgerRecordsUsage) {
+  Stack s;
+  AppOptions opts;
+  opts.deadline = Millis(300);
+  SpawnCalib3d(s.kernel, "calib3d", opts);
+  SpawnSgemm(s.kernel, "sgemm", opts);
+  s.kernel.RunUntil(Millis(500));
+  EXPECT_FALSE(s.kernel.ledger().records(HwComponent::kCpu).empty());
+  EXPECT_FALSE(s.kernel.ledger().records(HwComponent::kDsp).empty());
+}
+
+TEST(Smoke, DeterministicAcrossRuns) {
+  auto run = [] {
+    Stack s;
+    AppOptions opts;
+    opts.iterations = 30;
+    opts.use_psbox = true;
+    AppHandle app = SpawnCalib3d(s.kernel, "calib3d", opts);
+    AppOptions bg;
+    bg.deadline = Seconds(1);
+    SpawnDedup(s.kernel, "dedup", bg);
+    s.kernel.RunUntil(Seconds(2));
+    return app.stats->psbox_energy;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace psbox

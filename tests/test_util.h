@@ -1,0 +1,92 @@
+// Shared helpers for kernel-level tests: minimal behaviours and a full
+// stack fixture.
+
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/hw/board.h"
+#include "src/kernel/kernel.h"
+#include "src/psbox/psbox_manager.h"
+
+namespace psbox {
+
+// Plays a fixed list of actions, then exits.
+class ScriptBehavior : public Behavior {
+ public:
+  explicit ScriptBehavior(std::vector<Action> actions)
+      : queue_(actions.begin(), actions.end()) {}
+
+  Action NextAction(TaskEnv&) override {
+    if (queue_.empty()) {
+      return Action::Exit();
+    }
+    Action a = queue_.front();
+    queue_.pop_front();
+    return a;
+  }
+
+ private:
+  std::deque<Action> queue_;
+};
+
+// Repeats one compute burst forever (or until |deadline|).
+class BusyBehavior : public Behavior {
+ public:
+  explicit BusyBehavior(DurationNs burst = kMillisecond, double intensity = 1.0,
+                        TimeNs deadline = 0)
+      : burst_(burst), intensity_(intensity), deadline_(deadline) {}
+
+  Action NextAction(TaskEnv& env) override {
+    if (deadline_ > 0 && env.now >= deadline_) {
+      return Action::Exit();
+    }
+    return Action::Compute(burst_, intensity_);
+  }
+
+ private:
+  DurationNs burst_;
+  double intensity_;
+  TimeNs deadline_;
+};
+
+// Calls a user function each time an action is needed.
+class FnBehavior : public Behavior {
+ public:
+  using Fn = std::function<Action(TaskEnv&)>;
+  explicit FnBehavior(Fn fn) : fn_(std::move(fn)) {}
+  Action NextAction(TaskEnv& env) override { return fn_(env); }
+
+ private:
+  Fn fn_;
+};
+
+struct TestStack {
+  Board board;
+  Kernel kernel;
+  PsboxManager manager;
+
+  explicit TestStack(BoardConfig board_cfg = {}, KernelConfig kernel_cfg = {})
+      : board(board_cfg), kernel(&board, kernel_cfg), manager(&kernel) {}
+
+  Task* SpawnBusy(const std::string& name, CoreId core = -1,
+                  DurationNs burst = kMillisecond) {
+    const AppId app = kernel.CreateApp(name);
+    return kernel.SpawnTask(app, name, std::make_unique<BusyBehavior>(burst), core);
+  }
+
+  Task* SpawnScript(const std::string& name, std::vector<Action> actions,
+                    CoreId core = -1) {
+    const AppId app = kernel.CreateApp(name);
+    return kernel.SpawnTask(app, name, std::make_unique<ScriptBehavior>(std::move(actions)),
+                            core);
+  }
+};
+
+}  // namespace psbox
+
+#endif  // TESTS_TEST_UTIL_H_

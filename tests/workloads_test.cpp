@@ -1,0 +1,210 @@
+// Tests for the Table-5 workload models and the VR app.
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/table5_apps.h"
+#include "src/workloads/vr_app.h"
+#include "tests/test_util.h"
+
+namespace psbox {
+namespace {
+
+using Factory = AppHandle (*)(Kernel&, const std::string&, AppOptions);
+
+struct NamedFactory {
+  const char* name;
+  Factory fn;
+  HwComponent hw;
+};
+
+const NamedFactory kAllApps[] = {
+    {"calib3d", &SpawnCalib3d, HwComponent::kCpu},
+    {"bodytrack", &SpawnBodytrack, HwComponent::kCpu},
+    {"dedup", &SpawnDedup, HwComponent::kCpu},
+    {"gpu_browser", &SpawnGpuBrowser, HwComponent::kGpu},
+    {"browser_stream", &SpawnBrowserStream, HwComponent::kGpu},
+    {"magic", &SpawnMagic, HwComponent::kGpu},
+    {"cube", &SpawnCube, HwComponent::kGpu},
+    {"triangle", &SpawnTriangle, HwComponent::kGpu},
+    {"sgemm", &SpawnSgemm, HwComponent::kDsp},
+    {"dgemm", &SpawnDgemm, HwComponent::kDsp},
+    {"monte", &SpawnMonte, HwComponent::kDsp},
+    {"wifi_browser", &SpawnWifiBrowser, HwComponent::kWifi},
+    {"scp", &SpawnScp, HwComponent::kWifi},
+    {"wget", &SpawnWget, HwComponent::kWifi},
+};
+
+class AllAppsTest : public ::testing::TestWithParam<NamedFactory> {};
+
+TEST_P(AllAppsTest, CompletesFixedIterations) {
+  const NamedFactory& f = GetParam();
+  TestStack s;
+  AppOptions opts;
+  opts.iterations = 5;
+  AppHandle h = f.fn(s.kernel, f.name, opts);
+  s.kernel.RunUntil(Seconds(10));
+  EXPECT_TRUE(s.kernel.AppFinished(h.app)) << f.name;
+  EXPECT_EQ(h.stats->iterations, 5u) << f.name;
+  EXPECT_GT(h.stats->finish_time, h.stats->start_time) << f.name;
+}
+
+TEST_P(AllAppsTest, UsesItsComponent) {
+  const NamedFactory& f = GetParam();
+  TestStack s;
+  AppOptions opts;
+  opts.iterations = 5;
+  AppHandle h = f.fn(s.kernel, f.name, opts);
+  s.kernel.RunUntil(Seconds(10));
+  (void)h;
+  // The app's component rail shows activity above idle at some point.
+  const PowerRail& rail = s.board.RailFor(f.hw);
+  bool above_idle = false;
+  for (const auto& step : rail.trace().steps()) {
+    above_idle |= step.value > rail.idle_power() + 1e-9;
+  }
+  EXPECT_TRUE(above_idle) << f.name;
+}
+
+TEST_P(AllAppsTest, PsboxWrapRecordsEnergy) {
+  const NamedFactory& f = GetParam();
+  TestStack s;
+  AppOptions opts;
+  opts.iterations = 5;
+  opts.use_psbox = true;
+  AppHandle h = f.fn(s.kernel, f.name, opts);
+  s.kernel.RunUntil(Seconds(10));
+  EXPECT_TRUE(s.kernel.AppFinished(h.app)) << f.name;
+  EXPECT_GT(h.stats->psbox_energy, 0.0) << f.name;
+  EXPECT_GE(h.stats->box, 0) << f.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table5, AllAppsTest, ::testing::ValuesIn(kAllApps),
+                         [](const ::testing::TestParamInfo<NamedFactory>& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(WorkloadsTest, DeadlineStopsEndlessApps) {
+  TestStack s;
+  AppOptions opts;
+  opts.deadline = Millis(200);
+  AppHandle h = SpawnBodytrack(s.kernel, "b", opts);
+  s.kernel.RunUntil(Seconds(1));
+  EXPECT_TRUE(s.kernel.AppFinished(h.app));
+  EXPECT_GT(h.stats->iterations, 10u);
+}
+
+TEST(WorkloadsTest, ThreadsSplitIterations) {
+  TestStack s;
+  AppOptions opts;
+  opts.iterations = 10;
+  opts.threads = 2;
+  AppHandle h = SpawnCalib3d(s.kernel, "c", opts);
+  EXPECT_EQ(s.kernel.AppTasks(h.app).size(), 2u);
+  s.kernel.RunUntil(Seconds(5));
+  EXPECT_TRUE(s.kernel.AppFinished(h.app));
+  EXPECT_EQ(h.stats->iterations, 10u);
+}
+
+TEST(WorkloadsTest, TwoThreadsFasterThanOne) {
+  auto elapsed = [](int threads) {
+    TestStack s;
+    AppOptions opts;
+    opts.iterations = 100;
+    opts.threads = threads;
+    AppHandle h = SpawnBodytrack(s.kernel, "b", opts);
+    s.kernel.RunUntil(Seconds(10));
+    EXPECT_TRUE(s.kernel.AppFinished(h.app));
+    return h.stats->finish_time - h.stats->start_time;
+  };
+  EXPECT_LT(elapsed(2), elapsed(1));
+}
+
+TEST(WorkloadsTest, WorkScaleStretchesTriangle) {
+  auto rate = [](double scale) {
+    TestStack s;
+    AppOptions opts;
+    opts.deadline = Seconds(1);
+    opts.work_scale = scale;
+    AppHandle h = SpawnTriangle(s.kernel, "t", opts);
+    s.kernel.RunUntil(Seconds(1) + Millis(20));
+    return h.stats->iterations;
+  };
+  EXPECT_GT(rate(1.0), 2 * rate(4.0));
+}
+
+TEST(WorkloadsTest, WebsitesProduceDistinctSignatures) {
+  // Run two different sites alone and compare their GPU rail energy — the
+  // basis of the side channel.
+  auto energy = [](int site) {
+    TestStack s;
+    AppOptions opts;
+    AppHandle h = SpawnWebsiteVisit(s.kernel, "v", site, opts);
+    s.kernel.RunUntil(Seconds(2));
+    EXPECT_TRUE(s.kernel.AppFinished(h.app));
+    return s.board.gpu_rail().EnergyOver(0, Millis(400));
+  };
+  const Joules e0 = energy(0);
+  const Joules e3 = energy(3);
+  EXPECT_GT(std::abs(e0 - e3) / e0, 0.02);
+}
+
+TEST(WorkloadsTest, WebsiteIndexValidated) {
+  TestStack s;
+  AppOptions opts;
+  EXPECT_DEATH(SpawnWebsiteVisit(s.kernel, "v", kNumWebsites, opts), "");
+}
+
+TEST(VrTest, FrameParamsMonotone) {
+  for (int f = 1; f < kVrFidelityLevels; ++f) {
+    EXPECT_GT(VrFrameWork(f), VrFrameWork(f - 1));
+    EXPECT_GT(VrFrameIntensity(f), VrFrameIntensity(f - 1));
+  }
+}
+
+TEST(VrTest, AdaptationConvergesIntoBand) {
+  TestStack s;
+  VrConfig cfg;
+  cfg.target_low = 0.35;
+  cfg.target_high = 0.70;
+  cfg.deadline = Seconds(6);
+  VrHandles vr = SpawnVrScenario(s.kernel, cfg);
+  s.kernel.RunUntil(Seconds(6) + Millis(200));
+  ASSERT_GT(vr.stats->windows.size(), 10u);
+  // After the transient, observations stay within (or hug) the band.
+  size_t in_band = 0;
+  size_t total = 0;
+  for (size_t i = vr.stats->windows.size() / 2; i < vr.stats->windows.size(); ++i) {
+    const VrWindow& w = vr.stats->windows[i];
+    ++total;
+    if (w.active_power >= cfg.target_low * 0.5 &&
+        w.active_power <= cfg.target_high * 1.5) {
+      ++in_band;
+    }
+  }
+  EXPECT_GT(static_cast<double>(in_band) / static_cast<double>(total), 0.8);
+}
+
+TEST(VrTest, ExtremeBandsReachFidelityExtremes) {
+  TestStack s;
+  VrConfig low;
+  low.target_low = 0.0;
+  low.target_high = 0.001;
+  low.deadline = Seconds(4);
+  VrHandles vr = SpawnVrScenario(s.kernel, low);
+  s.kernel.RunUntil(Seconds(4) + Millis(200));
+  ASSERT_FALSE(vr.stats->windows.empty());
+  EXPECT_EQ(vr.stats->windows.back().fidelity, 0);
+}
+
+TEST(VrTest, GestureAndRenderingAreSeparateApps) {
+  TestStack s;
+  VrConfig cfg;
+  cfg.deadline = Seconds(1);
+  VrHandles vr = SpawnVrScenario(s.kernel, cfg);
+  EXPECT_NE(vr.gesture_app, vr.render_app);
+  s.kernel.RunUntil(Seconds(1) + Millis(100));
+  EXPECT_GT(vr.stats->frames, 30u);
+}
+
+}  // namespace
+}  // namespace psbox
