@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_sidechannel.dir/attack_sidechannel.cpp.o"
+  "CMakeFiles/attack_sidechannel.dir/attack_sidechannel.cpp.o.d"
+  "attack_sidechannel"
+  "attack_sidechannel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_sidechannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_entanglement.dir/fig3_entanglement.cpp.o"
+  "CMakeFiles/fig3_entanglement.dir/fig3_entanglement.cpp.o.d"
+  "fig3_entanglement"
+  "fig3_entanglement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_entanglement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

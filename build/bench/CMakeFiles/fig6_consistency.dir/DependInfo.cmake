@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_consistency.cpp" "bench/CMakeFiles/fig6_consistency.dir/fig6_consistency.cpp.o" "gcc" "bench/CMakeFiles/fig6_consistency.dir/fig6_consistency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/psbox_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/accounting/CMakeFiles/psbox_accounting.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/psbox_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/psbox/CMakeFiles/psbox_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/psbox_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/psbox_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/psbox_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psbox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/psbox_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_consistency.dir/fig6_consistency.cpp.o"
+  "CMakeFiles/fig6_consistency.dir/fig6_consistency.cpp.o.d"
+  "fig6_consistency"
+  "fig6_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_multiplexing.dir/fig7_multiplexing.cpp.o"
+  "CMakeFiles/fig7_multiplexing.dir/fig7_multiplexing.cpp.o.d"
+  "fig7_multiplexing"
+  "fig7_multiplexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_multiplexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_fairness.dir/fig8_fairness.cpp.o"
+  "CMakeFiles/fig8_fairness.dir/fig8_fairness.cpp.o.d"
+  "fig8_fairness"
+  "fig8_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_vr.dir/fig9_vr.cpp.o"
+  "CMakeFiles/fig9_vr.dir/fig9_vr.cpp.o.d"
+  "fig9_vr"
+  "fig9_vr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_vr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

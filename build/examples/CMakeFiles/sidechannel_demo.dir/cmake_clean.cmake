@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidechannel_demo.dir/sidechannel_demo.cpp.o"
+  "CMakeFiles/sidechannel_demo.dir/sidechannel_demo.cpp.o.d"
+  "sidechannel_demo"
+  "sidechannel_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidechannel_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sidechannel_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_adaptation.dir/vr_adaptation.cpp.o"
+  "CMakeFiles/vr_adaptation.dir/vr_adaptation.cpp.o.d"
+  "vr_adaptation"
+  "vr_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

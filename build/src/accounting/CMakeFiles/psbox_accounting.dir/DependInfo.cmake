@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accounting/power_splitter.cc" "src/accounting/CMakeFiles/psbox_accounting.dir/power_splitter.cc.o" "gcc" "src/accounting/CMakeFiles/psbox_accounting.dir/power_splitter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/psbox_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/psbox_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psbox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/psbox_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psbox_accounting.dir/power_splitter.cc.o"
+  "CMakeFiles/psbox_accounting.dir/power_splitter.cc.o.d"
+  "libpsbox_accounting.a"
+  "libpsbox_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psbox_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

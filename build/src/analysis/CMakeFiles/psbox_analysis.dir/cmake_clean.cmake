@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psbox_analysis.dir/dtw.cc.o"
+  "CMakeFiles/psbox_analysis.dir/dtw.cc.o.d"
+  "CMakeFiles/psbox_analysis.dir/trace_util.cc.o"
+  "CMakeFiles/psbox_analysis.dir/trace_util.cc.o.d"
+  "libpsbox_analysis.a"
+  "libpsbox_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psbox_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

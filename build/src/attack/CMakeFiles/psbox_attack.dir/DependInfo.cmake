@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/side_channel_attacker.cc" "src/attack/CMakeFiles/psbox_attack.dir/side_channel_attacker.cc.o" "gcc" "src/attack/CMakeFiles/psbox_attack.dir/side_channel_attacker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/psbox_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/psbox_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psbox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/psbox_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

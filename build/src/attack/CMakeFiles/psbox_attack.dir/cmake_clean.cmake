@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psbox_attack.dir/side_channel_attacker.cc.o"
+  "CMakeFiles/psbox_attack.dir/side_channel_attacker.cc.o.d"
+  "libpsbox_attack.a"
+  "libpsbox_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psbox_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psbox_base.dir/check.cc.o"
+  "CMakeFiles/psbox_base.dir/check.cc.o.d"
+  "CMakeFiles/psbox_base.dir/csv.cc.o"
+  "CMakeFiles/psbox_base.dir/csv.cc.o.d"
+  "CMakeFiles/psbox_base.dir/interval_set.cc.o"
+  "CMakeFiles/psbox_base.dir/interval_set.cc.o.d"
+  "CMakeFiles/psbox_base.dir/rng.cc.o"
+  "CMakeFiles/psbox_base.dir/rng.cc.o.d"
+  "CMakeFiles/psbox_base.dir/stats.cc.o"
+  "CMakeFiles/psbox_base.dir/stats.cc.o.d"
+  "CMakeFiles/psbox_base.dir/step_trace.cc.o"
+  "CMakeFiles/psbox_base.dir/step_trace.cc.o.d"
+  "libpsbox_base.a"
+  "libpsbox_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psbox_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

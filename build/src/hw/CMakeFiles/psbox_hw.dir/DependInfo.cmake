@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/accel_device.cc" "src/hw/CMakeFiles/psbox_hw.dir/accel_device.cc.o" "gcc" "src/hw/CMakeFiles/psbox_hw.dir/accel_device.cc.o.d"
+  "/root/repo/src/hw/board.cc" "src/hw/CMakeFiles/psbox_hw.dir/board.cc.o" "gcc" "src/hw/CMakeFiles/psbox_hw.dir/board.cc.o.d"
+  "/root/repo/src/hw/cpu_device.cc" "src/hw/CMakeFiles/psbox_hw.dir/cpu_device.cc.o" "gcc" "src/hw/CMakeFiles/psbox_hw.dir/cpu_device.cc.o.d"
+  "/root/repo/src/hw/display_device.cc" "src/hw/CMakeFiles/psbox_hw.dir/display_device.cc.o" "gcc" "src/hw/CMakeFiles/psbox_hw.dir/display_device.cc.o.d"
+  "/root/repo/src/hw/gps_device.cc" "src/hw/CMakeFiles/psbox_hw.dir/gps_device.cc.o" "gcc" "src/hw/CMakeFiles/psbox_hw.dir/gps_device.cc.o.d"
+  "/root/repo/src/hw/power_meter.cc" "src/hw/CMakeFiles/psbox_hw.dir/power_meter.cc.o" "gcc" "src/hw/CMakeFiles/psbox_hw.dir/power_meter.cc.o.d"
+  "/root/repo/src/hw/power_rail.cc" "src/hw/CMakeFiles/psbox_hw.dir/power_rail.cc.o" "gcc" "src/hw/CMakeFiles/psbox_hw.dir/power_rail.cc.o.d"
+  "/root/repo/src/hw/wifi_device.cc" "src/hw/CMakeFiles/psbox_hw.dir/wifi_device.cc.o" "gcc" "src/hw/CMakeFiles/psbox_hw.dir/wifi_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/psbox_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psbox_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

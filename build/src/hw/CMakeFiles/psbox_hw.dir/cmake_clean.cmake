@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psbox_hw.dir/accel_device.cc.o"
+  "CMakeFiles/psbox_hw.dir/accel_device.cc.o.d"
+  "CMakeFiles/psbox_hw.dir/board.cc.o"
+  "CMakeFiles/psbox_hw.dir/board.cc.o.d"
+  "CMakeFiles/psbox_hw.dir/cpu_device.cc.o"
+  "CMakeFiles/psbox_hw.dir/cpu_device.cc.o.d"
+  "CMakeFiles/psbox_hw.dir/display_device.cc.o"
+  "CMakeFiles/psbox_hw.dir/display_device.cc.o.d"
+  "CMakeFiles/psbox_hw.dir/gps_device.cc.o"
+  "CMakeFiles/psbox_hw.dir/gps_device.cc.o.d"
+  "CMakeFiles/psbox_hw.dir/power_meter.cc.o"
+  "CMakeFiles/psbox_hw.dir/power_meter.cc.o.d"
+  "CMakeFiles/psbox_hw.dir/power_rail.cc.o"
+  "CMakeFiles/psbox_hw.dir/power_rail.cc.o.d"
+  "CMakeFiles/psbox_hw.dir/wifi_device.cc.o"
+  "CMakeFiles/psbox_hw.dir/wifi_device.cc.o.d"
+  "libpsbox_hw.a"
+  "libpsbox_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psbox_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

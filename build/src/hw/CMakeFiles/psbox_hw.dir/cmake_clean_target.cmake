@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpsbox_hw.a"
+)

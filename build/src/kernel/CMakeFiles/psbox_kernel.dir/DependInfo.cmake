@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/accel_driver.cc" "src/kernel/CMakeFiles/psbox_kernel.dir/accel_driver.cc.o" "gcc" "src/kernel/CMakeFiles/psbox_kernel.dir/accel_driver.cc.o.d"
+  "/root/repo/src/kernel/cpu_scheduler.cc" "src/kernel/CMakeFiles/psbox_kernel.dir/cpu_scheduler.cc.o" "gcc" "src/kernel/CMakeFiles/psbox_kernel.dir/cpu_scheduler.cc.o.d"
+  "/root/repo/src/kernel/cpufreq_governor.cc" "src/kernel/CMakeFiles/psbox_kernel.dir/cpufreq_governor.cc.o" "gcc" "src/kernel/CMakeFiles/psbox_kernel.dir/cpufreq_governor.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/kernel/CMakeFiles/psbox_kernel.dir/kernel.cc.o" "gcc" "src/kernel/CMakeFiles/psbox_kernel.dir/kernel.cc.o.d"
+  "/root/repo/src/kernel/net_stack.cc" "src/kernel/CMakeFiles/psbox_kernel.dir/net_stack.cc.o" "gcc" "src/kernel/CMakeFiles/psbox_kernel.dir/net_stack.cc.o.d"
+  "/root/repo/src/kernel/task.cc" "src/kernel/CMakeFiles/psbox_kernel.dir/task.cc.o" "gcc" "src/kernel/CMakeFiles/psbox_kernel.dir/task.cc.o.d"
+  "/root/repo/src/kernel/usage_ledger.cc" "src/kernel/CMakeFiles/psbox_kernel.dir/usage_ledger.cc.o" "gcc" "src/kernel/CMakeFiles/psbox_kernel.dir/usage_ledger.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/psbox_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psbox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/psbox_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

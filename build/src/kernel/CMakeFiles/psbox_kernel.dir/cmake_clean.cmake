@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psbox_kernel.dir/accel_driver.cc.o"
+  "CMakeFiles/psbox_kernel.dir/accel_driver.cc.o.d"
+  "CMakeFiles/psbox_kernel.dir/cpu_scheduler.cc.o"
+  "CMakeFiles/psbox_kernel.dir/cpu_scheduler.cc.o.d"
+  "CMakeFiles/psbox_kernel.dir/cpufreq_governor.cc.o"
+  "CMakeFiles/psbox_kernel.dir/cpufreq_governor.cc.o.d"
+  "CMakeFiles/psbox_kernel.dir/kernel.cc.o"
+  "CMakeFiles/psbox_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/psbox_kernel.dir/net_stack.cc.o"
+  "CMakeFiles/psbox_kernel.dir/net_stack.cc.o.d"
+  "CMakeFiles/psbox_kernel.dir/task.cc.o"
+  "CMakeFiles/psbox_kernel.dir/task.cc.o.d"
+  "CMakeFiles/psbox_kernel.dir/usage_ledger.cc.o"
+  "CMakeFiles/psbox_kernel.dir/usage_ledger.cc.o.d"
+  "libpsbox_kernel.a"
+  "libpsbox_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psbox_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psbox/power_events.cc" "src/psbox/CMakeFiles/psbox_core.dir/power_events.cc.o" "gcc" "src/psbox/CMakeFiles/psbox_core.dir/power_events.cc.o.d"
+  "/root/repo/src/psbox/power_sandbox.cc" "src/psbox/CMakeFiles/psbox_core.dir/power_sandbox.cc.o" "gcc" "src/psbox/CMakeFiles/psbox_core.dir/power_sandbox.cc.o.d"
+  "/root/repo/src/psbox/psbox_api.cc" "src/psbox/CMakeFiles/psbox_core.dir/psbox_api.cc.o" "gcc" "src/psbox/CMakeFiles/psbox_core.dir/psbox_api.cc.o.d"
+  "/root/repo/src/psbox/psbox_manager.cc" "src/psbox/CMakeFiles/psbox_core.dir/psbox_manager.cc.o" "gcc" "src/psbox/CMakeFiles/psbox_core.dir/psbox_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/psbox_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/psbox_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psbox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/psbox_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

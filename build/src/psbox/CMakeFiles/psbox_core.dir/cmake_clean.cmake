@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psbox_core.dir/power_events.cc.o"
+  "CMakeFiles/psbox_core.dir/power_events.cc.o.d"
+  "CMakeFiles/psbox_core.dir/power_sandbox.cc.o"
+  "CMakeFiles/psbox_core.dir/power_sandbox.cc.o.d"
+  "CMakeFiles/psbox_core.dir/psbox_api.cc.o"
+  "CMakeFiles/psbox_core.dir/psbox_api.cc.o.d"
+  "CMakeFiles/psbox_core.dir/psbox_manager.cc.o"
+  "CMakeFiles/psbox_core.dir/psbox_manager.cc.o.d"
+  "libpsbox_core.a"
+  "libpsbox_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psbox_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psbox_sim.dir/simulator.cc.o"
+  "CMakeFiles/psbox_sim.dir/simulator.cc.o.d"
+  "libpsbox_sim.a"
+  "libpsbox_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psbox_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

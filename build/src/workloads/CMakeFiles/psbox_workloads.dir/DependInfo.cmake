@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/behavior_lib.cc" "src/workloads/CMakeFiles/psbox_workloads.dir/behavior_lib.cc.o" "gcc" "src/workloads/CMakeFiles/psbox_workloads.dir/behavior_lib.cc.o.d"
+  "/root/repo/src/workloads/table5_apps.cc" "src/workloads/CMakeFiles/psbox_workloads.dir/table5_apps.cc.o" "gcc" "src/workloads/CMakeFiles/psbox_workloads.dir/table5_apps.cc.o.d"
+  "/root/repo/src/workloads/vr_app.cc" "src/workloads/CMakeFiles/psbox_workloads.dir/vr_app.cc.o" "gcc" "src/workloads/CMakeFiles/psbox_workloads.dir/vr_app.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/psbox/CMakeFiles/psbox_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/psbox_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/psbox_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psbox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/psbox_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psbox_workloads.dir/behavior_lib.cc.o"
+  "CMakeFiles/psbox_workloads.dir/behavior_lib.cc.o.d"
+  "CMakeFiles/psbox_workloads.dir/table5_apps.cc.o"
+  "CMakeFiles/psbox_workloads.dir/table5_apps.cc.o.d"
+  "CMakeFiles/psbox_workloads.dir/vr_app.cc.o"
+  "CMakeFiles/psbox_workloads.dir/vr_app.cc.o.d"
+  "libpsbox_workloads.a"
+  "libpsbox_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psbox_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

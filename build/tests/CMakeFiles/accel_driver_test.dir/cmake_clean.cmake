@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accel_driver_test.dir/accel_driver_test.cpp.o"
+  "CMakeFiles/accel_driver_test.dir/accel_driver_test.cpp.o.d"
+  "accel_driver_test"
+  "accel_driver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accel_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

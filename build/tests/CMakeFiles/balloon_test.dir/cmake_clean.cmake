@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balloon_test.dir/balloon_test.cpp.o"
+  "CMakeFiles/balloon_test.dir/balloon_test.cpp.o.d"
+  "balloon_test"
+  "balloon_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balloon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

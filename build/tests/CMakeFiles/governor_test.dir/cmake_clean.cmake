@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/governor_test.dir/governor_test.cpp.o"
+  "CMakeFiles/governor_test.dir/governor_test.cpp.o.d"
+  "governor_test"
+  "governor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/governor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

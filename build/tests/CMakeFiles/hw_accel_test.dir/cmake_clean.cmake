@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_accel_test.dir/hw_accel_test.cpp.o"
+  "CMakeFiles/hw_accel_test.dir/hw_accel_test.cpp.o.d"
+  "hw_accel_test"
+  "hw_accel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_accel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

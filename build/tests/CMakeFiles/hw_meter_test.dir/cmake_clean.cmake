@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_meter_test.dir/hw_meter_test.cpp.o"
+  "CMakeFiles/hw_meter_test.dir/hw_meter_test.cpp.o.d"
+  "hw_meter_test"
+  "hw_meter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_meter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_wifi_test.dir/hw_wifi_test.cpp.o"
+  "CMakeFiles/hw_wifi_test.dir/hw_wifi_test.cpp.o.d"
+  "hw_wifi_test"
+  "hw_wifi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_wifi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psbox_test.dir/psbox_test.cpp.o"
+  "CMakeFiles/psbox_test.dir/psbox_test.cpp.o.d"
+  "psbox_test"
+  "psbox_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
