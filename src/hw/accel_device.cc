@@ -42,6 +42,9 @@ void AccelDevice::AdvanceProgress() {
   const double elapsed = static_cast<double>(now - last_progress_time_);
   if (rate > 0.0 && elapsed > 0.0) {
     for (Exec& e : in_flight_) {
+      if (e.hung) {
+        continue;  // a wedged command makes no progress
+      }
       e.remaining_work = std::max(0.0, e.remaining_work - elapsed * rate);
     }
   }
@@ -58,9 +61,20 @@ void AccelDevice::RescheduleCompletion() {
   }
   const double rate = ExecutionRate();
   PSBOX_CHECK_GT(rate, 0.0);
-  double min_remaining = in_flight_.front().remaining_work;
+  // Only live commands can complete; a fully-hung device schedules nothing
+  // (it is wedged until the driver's watchdog resets it).
+  bool any_live = false;
+  double min_remaining = 0.0;
   for (const Exec& e : in_flight_) {
-    min_remaining = std::min(min_remaining, e.remaining_work);
+    if (e.hung) {
+      continue;
+    }
+    min_remaining = any_live ? std::min(min_remaining, e.remaining_work)
+                             : e.remaining_work;
+    any_live = true;
+  }
+  if (!any_live) {
+    return;
   }
   const auto delay = static_cast<DurationNs>(std::ceil(min_remaining / rate));
   completion_event_ = sim_->ScheduleAfter(std::max<DurationNs>(delay, 0),
@@ -71,8 +85,17 @@ void AccelDevice::Dispatch(const AccelCommand& cmd) {
   PSBOX_CHECK(CanDispatch());
   PSBOX_CHECK_GT(cmd.nominal_work, 0);
   AdvanceProgress();
-  in_flight_.push_back(Exec{cmd, sim_->Now(), sim_->Now(),
-                            static_cast<double>(cmd.nominal_work)});
+  Exec exec{cmd, sim_->Now(), sim_->Now(), static_cast<double>(cmd.nominal_work),
+            /*hung=*/false};
+  if (faults_ != nullptr) {
+    exec.hung = faults_->ShouldHangCommand(config_.name);
+    if (exec.hung) {
+      ++hung_commands_;
+    } else {
+      exec.remaining_work *= faults_->CommandLatencyFactor(config_.name);
+    }
+  }
+  in_flight_.push_back(exec);
   RescheduleCompletion();
   UpdateRail();
 }
@@ -84,7 +107,7 @@ void AccelDevice::OnCompletionEvent() {
   std::vector<Exec> done;
   auto it = in_flight_.begin();
   while (it != in_flight_.end()) {
-    if (it->remaining_work <= 0.5) {  // sub-nanosecond residue from rounding
+    if (!it->hung && it->remaining_work <= 0.5) {  // sub-ns rounding residue
       done.push_back(*it);
       it = in_flight_.erase(it);
     } else {
@@ -99,6 +122,34 @@ void AccelDevice::OnCompletionEvent() {
       on_complete_(completion);
     }
   }
+}
+
+bool AccelDevice::Wedged() const {
+  bool any_hung = false;
+  for (const Exec& e : in_flight_) {
+    if (!e.hung) {
+      return false;
+    }
+    any_hung = true;
+  }
+  return any_hung;
+}
+
+std::vector<AccelDevice::AbortedCommand> AccelDevice::Reset() {
+  AdvanceProgress();
+  if (completion_event_ != kInvalidEventId) {
+    sim_->Cancel(completion_event_);
+    completion_event_ = kInvalidEventId;
+  }
+  std::vector<AbortedCommand> aborted;
+  aborted.reserve(in_flight_.size());
+  for (const Exec& e : in_flight_) {
+    aborted.push_back(AbortedCommand{e.cmd, e.hung});
+  }
+  in_flight_.clear();
+  ++resets_;
+  UpdateRail();
+  return aborted;
 }
 
 void AccelDevice::SetOppIndex(int opp) {

@@ -20,6 +20,7 @@
 #include "src/base/types.h"
 #include "src/hw/cpu_device.h"
 #include "src/hw/power_rail.h"
+#include "src/sim/fault_injector.h"
 #include "src/sim/simulator.h"
 
 namespace psbox {
@@ -71,10 +72,34 @@ class AccelDevice {
   int slots() const { return config_.slots; }
 
   // Starts executing |cmd|; requires CanDispatch(). The completion interrupt
-  // fires through the callback installed with set_on_complete().
+  // fires through the callback installed with set_on_complete(). With a fault
+  // injector attached, the command may hang (wedging its slot until Reset())
+  // or suffer a latency spike.
   void Dispatch(const AccelCommand& cmd);
 
   void set_on_complete(CompletionCallback cb) { on_complete_ = std::move(cb); }
+
+  // Optional fault hook; null (the default) means an ideal device.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
+  // A command aborted by a device reset; the driver decides whether to
+  // requeue it (execution restarts from scratch — partial progress is lost).
+  struct AbortedCommand {
+    AccelCommand cmd;
+    bool hung = false;  // this command wedged the engine (vs innocent victim)
+  };
+
+  // Engine reset: aborts every in-flight command (hung or not), cancels the
+  // pending completion interrupt and returns the engine to an empty, usable
+  // state at the current operating point. The kernel driver's watchdog path.
+  std::vector<AbortedCommand> Reset();
+
+  // True when no live (non-hung) command can ever complete — i.e. the engine
+  // is wedged and only Reset() can recover it.
+  bool Wedged() const;
+
+  uint64_t resets() const { return resets_; }
+  uint64_t hung_commands() const { return hung_commands_; }
 
   // Operating point; the accelerator's main lingering power state, which
   // psbox virtualises per sandbox (§4.2).
@@ -96,6 +121,9 @@ class AccelDevice {
     TimeNs start_time;
     // Remaining work expressed in nominal-duration nanoseconds.
     double remaining_work;
+    // A hung command occupies its slot (contention + power) but makes no
+    // progress and never completes; cleared only by Reset().
+    bool hung = false;
   };
 
   double SpeedFactor() const;
@@ -113,10 +141,13 @@ class AccelDevice {
   PowerRail* rail_;
   AccelConfig config_;
   CompletionCallback on_complete_;
+  FaultInjector* faults_ = nullptr;
   std::vector<Exec> in_flight_;
   TimeNs last_progress_time_ = 0;
   int opp_index_;
   EventId completion_event_ = kInvalidEventId;
+  uint64_t resets_ = 0;
+  uint64_t hung_commands_ = 0;
 };
 
 // Factory configurations for the two accelerators of the paper's platform.

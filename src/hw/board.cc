@@ -6,6 +6,10 @@ namespace psbox {
 
 Board::Board(BoardConfig config)
     : config_(std::move(config)), rng_(config_.seed) {
+  // The injector seeds its own per-scope streams from the plan seed, so
+  // attaching it never perturbs the board RNG forks below (faultless runs
+  // stay bit-identical to pre-fault-injection builds).
+  fault_injector_ = std::make_unique<FaultInjector>(config_.faults);
   cpu_rail_ = std::make_unique<PowerRail>(&sim_, "cpu", config_.cpu.idle_power);
   gpu_rail_ = std::make_unique<PowerRail>(&sim_, "gpu", config_.gpu.idle_power);
   dsp_rail_ = std::make_unique<PowerRail>(&sim_, "dsp", config_.dsp.idle_power);
@@ -21,6 +25,12 @@ Board::Board(BoardConfig config)
                                              config_.display);
   gps_ = std::make_unique<GpsDevice>(&sim_, gps_rail_.get(), config_.gps);
   meter_ = std::make_unique<PowerMeter>(rng_.Fork(), config_.meter);
+
+  cpu_->set_fault_injector(fault_injector_.get());
+  gpu_->set_fault_injector(fault_injector_.get());
+  dsp_->set_fault_injector(fault_injector_.get());
+  wifi_->set_fault_injector(fault_injector_.get());
+  meter_->set_fault_injector(fault_injector_.get());
 }
 
 PowerRail& Board::RailFor(HwComponent hw) {

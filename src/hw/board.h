@@ -16,6 +16,7 @@
 #include "src/hw/power_meter.h"
 #include "src/hw/power_rail.h"
 #include "src/hw/wifi_device.h"
+#include "src/sim/fault_injector.h"
 #include "src/sim/simulator.h"
 
 namespace psbox {
@@ -29,6 +30,8 @@ struct BoardConfig {
   DisplayConfig display;
   GpsConfig gps;
   PowerMeterConfig meter;
+  // Deterministic fault plan; the default injects nothing (ideal hardware).
+  FaultPlan faults;
 };
 
 class Board {
@@ -39,6 +42,8 @@ class Board {
 
   Simulator& sim() { return sim_; }
   Rng& rng() { return rng_; }
+  FaultInjector& fault_injector() { return *fault_injector_; }
+  const FaultInjector& fault_injector() const { return *fault_injector_; }
 
   CpuDevice& cpu() { return *cpu_; }
   AccelDevice& gpu() { return *gpu_; }
@@ -62,6 +67,7 @@ class Board {
   BoardConfig config_;
   Simulator sim_;
   Rng rng_;
+  std::unique_ptr<FaultInjector> fault_injector_;
   std::unique_ptr<PowerRail> cpu_rail_;
   std::unique_ptr<PowerRail> gpu_rail_;
   std::unique_ptr<PowerRail> dsp_rail_;

@@ -25,14 +25,20 @@ void CpuDevice::SetCoreState(CoreId core, bool active, double intensity, AppId a
   UpdateRail();
 }
 
-void CpuDevice::SetOppIndex(int opp) {
+bool CpuDevice::SetOppIndex(int opp) {
   PSBOX_CHECK_GE(opp, 0);
   PSBOX_CHECK_LT(opp, num_opps());
   if (opp == opp_index_) {
-    return;
+    return true;  // no transition attempted
+  }
+  if (faults_ != nullptr && faults_->ShouldFailFreqTransition("cpu")) {
+    // Regulator timeout: the cluster keeps running at the old OPP.
+    ++failed_transitions_;
+    return false;
   }
   opp_index_ = opp;
   UpdateRail();
+  return true;
 }
 
 double CpuDevice::SpeedFactor() const {

@@ -21,6 +21,7 @@
 
 #include "src/base/types.h"
 #include "src/hw/power_rail.h"
+#include "src/sim/fault_injector.h"
 
 namespace psbox {
 
@@ -61,9 +62,15 @@ class CpuDevice {
   void SetCoreState(CoreId core, bool active, double intensity, AppId app);
 
   // Cluster-wide operating point (index into the OPP table). The lingering
-  // power state a psbox must virtualise.
-  void SetOppIndex(int opp);
+  // power state a psbox must virtualise. Returns false when the transition
+  // failed (regulator timeout fault): the cluster stays at the previous OPP
+  // and the governor is expected to retry.
+  bool SetOppIndex(int opp);
   int opp_index() const { return opp_index_; }
+
+  // Optional fault hook; null (the default) means transitions never fail.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+  uint64_t failed_transitions() const { return failed_transitions_; }
   const CpuOpp& current_opp() const { return config_.opps[static_cast<size_t>(opp_index_)]; }
 
   // Relative performance of the current OPP vs the fastest one, in (0, 1].
@@ -94,6 +101,8 @@ class CpuDevice {
   CpuConfig config_;
   std::vector<CoreState> cores_;
   int opp_index_ = 0;
+  FaultInjector* faults_ = nullptr;
+  uint64_t failed_transitions_ = 0;
 };
 
 }  // namespace psbox

@@ -19,6 +19,10 @@ std::vector<PowerSample> PowerMeter::SampleRail(const PowerRail& rail, TimeNs t0
   }
   samples.reserve(static_cast<size_t>((t1 - t0) / config_.sample_period) + 1);
   for (TimeNs t = t0; t < t1; t += config_.sample_period) {
+    if (faults_ != nullptr && faults_->MeterDroppedAt(t)) {
+      ++samples_dropped_;
+      continue;
+    }
     const Watts truth = rail.PowerAt(t);
     const Watts noisy =
         std::max(0.0, truth + rng_.Gaussian(0.0, config_.noise_stddev));

@@ -14,12 +14,16 @@
 #include "src/base/rng.h"
 #include "src/base/time.h"
 #include "src/hw/power_rail.h"
+#include "src/sim/fault_injector.h"
 
 namespace psbox {
 
 struct PowerSample {
   TimeNs timestamp;
   Watts watts;
+  // True when the value was synthesised by model-based estimation (the DAQ
+  // was inside a dropout window) rather than measured.
+  bool estimated = false;
 };
 
 struct PowerMeterConfig {
@@ -32,7 +36,13 @@ class PowerMeter {
   PowerMeter(Rng rng, PowerMeterConfig config);
 
   // Timestamped samples of |rail| over [t0, t1) at the configured rate.
+  // Samples falling inside a meter-dropout fault window are omitted — the
+  // DAQ simply has a gap there, as a glitching USB meter would.
   std::vector<PowerSample> SampleRail(const PowerRail& rail, TimeNs t0, TimeNs t1);
+
+  // Optional fault hook; null (the default) means a glitch-free meter.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+  uint64_t samples_dropped() const { return samples_dropped_; }
 
   // Noise-free energy over [t0, t1) (the DAQ integrates far above the
   // sampling rate; treated as exact).
@@ -48,6 +58,8 @@ class PowerMeter {
  private:
   Rng rng_;
   PowerMeterConfig config_;
+  FaultInjector* faults_ = nullptr;
+  uint64_t samples_dropped_ = 0;
 };
 
 }  // namespace psbox

@@ -48,7 +48,16 @@ void WifiDevice::StartNextFrame() {
 void WifiDevice::OnFrameComplete() {
   frame_event_ = kInvalidEventId;
   busy_ = false;
-  const WifiFrameDone done{current_frame_, current_start_, sim_->Now()};
+  // Frame loss applies to TX only: a corrupted or link-down TX frame burns
+  // its airtime but is never ACKed. Reception stays reliable — the channel
+  // model owns RX delivery and the MAC cannot defer it (§5).
+  bool delivered = true;
+  if (faults_ != nullptr && !current_frame_.is_rx &&
+      faults_->ShouldDropTxFrame(sim_->Now())) {
+    delivered = false;
+    ++frames_lost_;
+  }
+  const WifiFrameDone done{current_frame_, current_start_, sim_->Now(), delivered};
   if (!queue_.empty()) {
     StartNextFrame();
   } else {

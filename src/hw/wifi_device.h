@@ -18,6 +18,7 @@
 
 #include "src/base/types.h"
 #include "src/hw/power_rail.h"
+#include "src/sim/fault_injector.h"
 #include "src/sim/simulator.h"
 
 namespace psbox {
@@ -34,6 +35,10 @@ struct WifiFrameDone {
   WifiFrame frame;
   TimeNs start_time = 0;
   TimeNs end_time = 0;
+  // False when the frame was corrupted on the air or sent into a link-down
+  // window: it consumed its airtime (and power) but was never ACKed. The
+  // driver is expected to retransmit. RX frames are always delivered.
+  bool delivered = true;
 };
 
 // The OS-controllable power state, virtualised per psbox (§4.2).
@@ -67,6 +72,10 @@ class WifiDevice {
 
   void set_on_frame_done(FrameCallback cb) { on_frame_done_ = std::move(cb); }
 
+  // Optional fault hook; null (the default) means a loss-free medium.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+  uint64_t frames_lost() const { return frames_lost_; }
+
   // Applies an OS-selected power state (the virtualised state).
   void SetPowerState(const WifiPowerState& state);
   const WifiPowerState& power_state() const { return power_state_; }
@@ -90,6 +99,8 @@ class WifiDevice {
   WifiConfig config_;
   WifiPowerState power_state_;
   FrameCallback on_frame_done_;
+  FaultInjector* faults_ = nullptr;
+  uint64_t frames_lost_ = 0;
 
   std::deque<WifiFrame> queue_;
   bool busy_ = false;

@@ -14,6 +14,8 @@ AccelDriver::AccelDriver(Simulator* sim, AccelDevice* device, HwComponent kind,
   context_opp_[0] = device_->opp_index();
   device_->set_on_complete([this](const AccelCompletion& c) { OnComplete(c); });
   last_ctx_mark_ = sim_->Now();
+  drain_watchdog_ = std::make_unique<Watchdog>(
+      sim_, config_.drain_timeout, [this] { OnDrainTimeout(); });
   sim_->ScheduleAfter(config_.governor_period, [this] { OnGovernorTick(); });
 }
 
@@ -134,6 +136,8 @@ void AccelDriver::Pump() {
             serving_ = best;
             phase_ = Phase::kDrainOthers;
             balloon_start_ = sim_->Now();
+            drain_enter_ = sim_->Now();
+            drain_watchdog_->Arm();
             ++stats_.balloons;
             continue;
           }
@@ -146,6 +150,7 @@ void AccelDriver::Pump() {
         stats_.max_dispatch_latency = std::max(stats_.max_dispatch_latency, lat);
         device_->Dispatch(p.cmd);
         in_flight_[p.cmd.id] = p;
+        ArmCommandWatchdog(p);
         update_busy();
         continue;
       }
@@ -156,6 +161,7 @@ void AccelDriver::Pump() {
         }
         // Balloon-in: exclusive ownership begins; restore the sandbox's
         // virtualised operating frequency.
+        drain_watchdog_->Disarm();
         balloon_notified_ = true;
         if (config_.virtualize_freq) {
           SwitchOppContext(QueueFor(serving_).opp_context);
@@ -195,6 +201,8 @@ void AccelDriver::Pump() {
             idle_expired) {
           owner_idle_since_ = -1;
           phase_ = Phase::kDrainPsbox;  // phase 4
+          drain_enter_ = sim_->Now();
+          drain_watchdog_->Arm();
           continue;
         }
         if (!device_->CanDispatch() || sq.q.empty()) {
@@ -215,6 +223,7 @@ void AccelDriver::Pump() {
         stats_.max_dispatch_latency = std::max(stats_.max_dispatch_latency, lat);
         device_->Dispatch(p.cmd);
         in_flight_[p.cmd.id] = p;
+        ArmCommandWatchdog(p);
         update_busy();
         continue;
       }
@@ -225,6 +234,7 @@ void AccelDriver::Pump() {
         }
         // Balloon-out: bill the *whole* accelerator for the whole balloon to
         // the sandboxed app (drain stalls and idle slots included).
+        drain_watchdog_->Disarm();
         AppQueue& sq = QueueFor(serving_);
         const DurationNs held = sim_->Now() - balloon_start_;
         if (config_.bill_balloon) {
@@ -252,6 +262,7 @@ void AccelDriver::OnComplete(const AccelCompletion& completion) {
   PSBOX_CHECK(it != in_flight_.end());
   const Pending p = it->second;
   in_flight_.erase(it);
+  cmd_watchdogs_.erase(completion.cmd.id);
   ++stats_.completed;
   AppQueue& q = QueueFor(completion.cmd.app);
   ++q.completed;
@@ -290,10 +301,13 @@ void AccelDriver::ClearSandboxed(AppId app) {
   if (serving_ == app) {
     if (phase_ == Phase::kDrainOthers) {
       // Balloon never took ownership; just unwind.
+      drain_watchdog_->Disarm();
       serving_ = kNoApp;
       phase_ = Phase::kNormal;
     } else if (phase_ == Phase::kServePsbox) {
       phase_ = Phase::kDrainPsbox;
+      drain_enter_ = sim_->Now();
+      drain_watchdog_->Arm();
     }
   }
   Pump();
@@ -342,6 +356,100 @@ void AccelDriver::OnGovernorTick() {
     ctx_busy_[ctx] = 0;
   }
   sim_->ScheduleAfter(config_.governor_period, [this] { OnGovernorTick(); });
+}
+
+void AccelDriver::ArmCommandWatchdog(const Pending& p) {
+  const DurationNs timeout =
+      config_.command_timeout_base +
+      static_cast<DurationNs>(static_cast<double>(p.cmd.nominal_work) *
+                              config_.command_timeout_work_factor);
+  const uint64_t cmd_id = p.cmd.id;
+  auto dog = std::make_unique<Watchdog>(
+      sim_, timeout, [this, cmd_id] { OnCommandTimeout(cmd_id); });
+  dog->Arm();
+  cmd_watchdogs_[cmd_id] = std::move(dog);
+}
+
+void AccelDriver::OnCommandTimeout(uint64_t cmd_id) {
+  if (in_flight_.count(cmd_id) == 0) {
+    return;  // completed concurrently with the expiry; stale
+  }
+  ++stats_.watchdog_fires;
+  ResetAndRequeue();
+  Pump();
+}
+
+void AccelDriver::ResetAndRequeue() {
+  std::vector<AccelDevice::AbortedCommand> aborted = device_->Reset();
+  ++stats_.device_resets;
+  // Every in-flight command was aborted; their watchdogs go with them. (The
+  // expired watchdog that got us here destroys itself too, which is safe: it
+  // has already left the simulator queue.)
+  cmd_watchdogs_.clear();
+  // Push front in reverse so the requeued commands re-dispatch in their
+  // original order, ahead of anything submitted since.
+  for (auto it = aborted.rbegin(); it != aborted.rend(); ++it) {
+    auto fit = in_flight_.find(it->cmd.id);
+    PSBOX_CHECK(fit != in_flight_.end());
+    Pending p = fit->second;
+    in_flight_.erase(fit);
+    if (it->hung) {
+      ++p.retries;
+    }
+    if (p.retries > config_.max_command_retries) {
+      FailCommand(p);
+      continue;
+    }
+    ++stats_.command_retries;
+    QueueFor(p.cmd.app).q.push_front(p);
+  }
+}
+
+void AccelDriver::OnDrainTimeout() {
+  if (phase_ != Phase::kDrainOthers && phase_ != Phase::kDrainPsbox) {
+    return;
+  }
+  ++stats_.watchdog_fires;
+  ++stats_.balloons_aborted;
+  if (device_->in_flight() > 0) {
+    // The drain is stuck behind wedged work; clear it now rather than wait
+    // for the per-command watchdogs to come around.
+    ResetAndRequeue();
+  }
+  AppQueue& sq = QueueFor(serving_);
+  if (phase_ == Phase::kDrainPsbox) {
+    // Bill only the service actually rendered (balloon-in up to drain
+    // entry): the stuck drain is the hardware's fault, not the sandbox's.
+    const DurationNs served = drain_enter_ - balloon_start_;
+    if (config_.bill_balloon) {
+      sq.vruntime += static_cast<double>(served) * device_->slots();
+    }
+    stats_.total_balloon_time += served;
+    if (config_.virtualize_freq) {
+      SwitchOppContext(0);
+    }
+    if (observer_ != nullptr && balloon_notified_) {
+      observer_->OnBalloonOut(sq.box, kind_, sim_->Now());
+    }
+  }
+  // kDrainOthers aborts bill nothing: ownership never began and no
+  // balloon-in was signalled.
+  balloon_notified_ = false;
+  serving_ = kNoApp;
+  owner_idle_since_ = -1;
+  drain_enter_ = -1;
+  phase_ = Phase::kNormal;
+  Pump();
+}
+
+void AccelDriver::FailCommand(const Pending& p) {
+  ++stats_.commands_failed;
+  // The submitter still gets a completion (an error status, in a real
+  // driver) so it unblocks and can react to the loss.
+  if (p.task != nullptr) {
+    ++p.task->pending_accel_completions;
+    kernel_->DeliverAccelCompletion(p.task);
+  }
 }
 
 uint64_t AccelDriver::CompletedFor(AppId app) const {

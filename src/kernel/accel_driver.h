@@ -19,6 +19,7 @@
 
 #include <deque>
 #include <map>
+#include <memory>
 #include <unordered_map>
 
 #include "src/base/types.h"
@@ -27,6 +28,7 @@
 #include "src/kernel/task.h"
 #include "src/kernel/usage_ledger.h"
 #include "src/sim/simulator.h"
+#include "src/sim/watchdog.h"
 
 namespace psbox {
 
@@ -50,6 +52,21 @@ struct AccelDriverConfig {
   // Ablation knobs (DESIGN.md §4); both default to the paper's design.
   bool bill_balloon = true;      // charge the whole device for the balloon
   bool virtualize_freq = true;   // per-psbox frequency contexts
+
+  // --- fault recovery (DESIGN.md "Fault model & recovery semantics") ------
+  // A dispatched command producing no completion within
+  //   command_timeout_base + nominal_work * command_timeout_work_factor
+  // is declared hung: the engine is reset and aborted commands requeued.
+  // The bound is sized so that a command running at the lowest OPP under
+  // full slot contention still finishes well inside it.
+  DurationNs command_timeout_base = 100 * kMillisecond;
+  double command_timeout_work_factor = 20.0;
+  // How many times a command that itself hung may be requeued before it is
+  // dropped and a failure completion is delivered to the submitting task.
+  int max_command_retries = 3;
+  // A balloon stuck in a drain phase longer than this aborts: the scheduler
+  // unwinds to fair mode and bills only the service actually rendered.
+  DurationNs drain_timeout = 500 * kMillisecond;
 };
 
 class AccelDriver {
@@ -77,6 +94,12 @@ class AccelDriver {
     DurationNs total_dispatch_latency = 0;  // submit -> device dispatch
     DurationNs max_dispatch_latency = 0;
     DurationNs total_balloon_time = 0;
+    // Recovery counters.
+    uint64_t watchdog_fires = 0;    // per-command watchdog expirations
+    uint64_t device_resets = 0;     // engine resets issued by recovery
+    uint64_t command_retries = 0;   // commands requeued after a reset
+    uint64_t commands_failed = 0;   // dropped after max_command_retries
+    uint64_t balloons_aborted = 0;  // drain timeouts that unwound a balloon
   };
   const Stats& stats() const { return stats_; }
   uint64_t CompletedFor(AppId app) const;
@@ -93,6 +116,7 @@ class AccelDriver {
     AccelCommand cmd;
     Task* task;
     TimeNs submit_time;
+    int retries = 0;  // times this command was requeued after a reset
   };
 
   struct AppQueue {
@@ -122,6 +146,21 @@ class AccelDriver {
   void SwitchOppContext(int ctx);
   void OnGovernorTick();
 
+  // --- fault recovery ---
+  void ArmCommandWatchdog(const Pending& p);
+  // A dispatched command exceeded its completion bound: reset the engine and
+  // requeue the aborted commands (the hung one with a retry strike).
+  void OnCommandTimeout(uint64_t cmd_id);
+  // A balloon drain phase stalled: abort the balloon, unwind to fair
+  // scheduling and bill only the service that was actually rendered.
+  void OnDrainTimeout();
+  // Resets the engine and requeues the aborted commands at the front of
+  // their owners' queues (original order preserved). Hung commands take a
+  // retry strike; past max_command_retries they fail instead of requeueing.
+  void ResetAndRequeue();
+  // Delivers a failure completion for a command dropped by recovery.
+  void FailCommand(const Pending& p);
+
   Simulator* sim_;
   AccelDevice* device_;
   HwComponent kind_;
@@ -140,6 +179,12 @@ class AccelDriver {
   TimeNs owner_idle_since_ = -1;
   bool balloon_notified_ = false;
   EventId retry_event_ = kInvalidEventId;
+
+  // Per-command hang watchdogs, keyed by command id.
+  std::unordered_map<uint64_t, std::unique_ptr<Watchdog>> cmd_watchdogs_;
+  // Guards balloon drain phases (kDrainOthers / kDrainPsbox).
+  std::unique_ptr<Watchdog> drain_watchdog_;
+  TimeNs drain_enter_ = -1;  // entry time of the current drain phase
 
   // Frequency virtualisation contexts; context 0 is global.
   std::unordered_map<int, int> context_opp_;

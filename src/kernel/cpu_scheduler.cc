@@ -984,20 +984,21 @@ void CpuScheduler::EndBalloon(TaskGroup* group, bool group_blocked) {
 // DVFS coupling & introspection
 // ---------------------------------------------------------------------------
 
-void CpuScheduler::SetOpp(int opp_index) {
+bool CpuScheduler::SetOpp(int opp_index) {
   if (opp_index == cpu_->opp_index()) {
-    return;
+    return true;
   }
   for (CoreId c = 0; c < num_cores(); ++c) {
     AccountCore(c);
   }
-  cpu_->SetOppIndex(opp_index);
+  const bool ok = cpu_->SetOppIndex(opp_index);
   for (CoreId c = 0; c < num_cores(); ++c) {
     Core& core = cores_[static_cast<size_t>(c)];
     if (core.current_task != nullptr && core.current_task->remaining_compute() > 0) {
       ArmCompletion(c);
     }
   }
+  return ok;
 }
 
 CpuScheduler::UtilizationSample CpuScheduler::ConsumeUtilization() {

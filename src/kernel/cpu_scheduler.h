@@ -130,8 +130,10 @@ class CpuScheduler {
 
   // --- DVFS coupling ----------------------------------------------------
   // Changes the cluster OPP; accounts for all in-progress compute first so
-  // completed work is charged at the old speed.
-  void SetOpp(int opp_index);
+  // completed work is charged at the old speed. Returns false when the
+  // hardware transition failed (frequency-transition fault): the cluster
+  // keeps running at the old OPP and the governor is expected to retry.
+  bool SetOpp(int opp_index);
   // Utilization split by power-state context since the previous call (the
   // ondemand governor's input); resets the measurement window.
   //   global  — busiest core's busy fraction of the *non-ballooned* time;

@@ -44,8 +44,25 @@ void CpufreqGovernor::OnSample() {
     context_opp_[it->second] = NextOpp(context_opp_[it->second], util);
   }
 
-  sched_->SetOpp(context_opp_[current_context_]);
+  ApplyOpp(context_opp_[current_context_]);
   sim_->ScheduleAfter(config_.sample_period, [this] { OnSample(); });
+}
+
+void CpufreqGovernor::ApplyOpp(int opp) {
+  if (sched_->SetOpp(opp)) {
+    return;
+  }
+  // Hardware transition failure: the cluster is still at the old OPP. Retry
+  // once shortly; the next sample re-reads the hardware and self-heals even
+  // if the retry fails too.
+  ++transition_retries_;
+  if (retry_event_ != kInvalidEventId) {
+    return;
+  }
+  retry_event_ = sim_->ScheduleAfter(config_.transition_retry_delay, [this] {
+    retry_event_ = kInvalidEventId;
+    sched_->SetOpp(context_opp_[current_context_]);
+  });
 }
 
 int CpufreqGovernor::ContextForBox(PsboxId box) {
@@ -66,7 +83,13 @@ void CpufreqGovernor::SwitchContext(int ctx) {
   }
   context_opp_[current_context_] = cpu_->opp_index();
   current_context_ = ctx;
-  sched_->SetOpp(context_opp_[ctx]);
+  // A failed transition at a balloon edge retries immediately: the context
+  // switch must not leak the previous occupant's OPP into the sandbox for a
+  // whole sample period.
+  if (!sched_->SetOpp(context_opp_[ctx])) {
+    ++transition_retries_;
+    sched_->SetOpp(context_opp_[ctx]);
+  }
 }
 
 }  // namespace psbox

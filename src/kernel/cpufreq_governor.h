@@ -27,6 +27,10 @@ struct GovernorConfig {
   DurationNs sample_period = 20 * kMillisecond;
   double up_threshold = 0.70;
   double down_threshold = 0.30;
+  // When a hardware frequency transition fails (fault injection), retry once
+  // this far into the sample period; the next regular sample self-heals
+  // anyway since it re-reads the hardware OPP.
+  DurationNs transition_retry_delay = 5 * kMillisecond;
 };
 
 class CpufreqGovernor {
@@ -49,10 +53,14 @@ class CpufreqGovernor {
   int current_context() const { return current_context_; }
 
   const GovernorConfig& config() const { return config_; }
+  // Frequency transitions that failed at the hardware and were retried.
+  uint64_t transition_retries() const { return transition_retries_; }
 
  private:
   void OnSample();
   int NextOpp(int opp, double util) const;
+  // Applies |opp|; on hardware failure schedules a one-shot retry.
+  void ApplyOpp(int opp);
 
   Simulator* sim_;
   CpuScheduler* sched_;
@@ -62,6 +70,8 @@ class CpufreqGovernor {
   std::unordered_map<PsboxId, int> context_of_box_;
   int next_context_ = 1;
   int current_context_ = kGlobalContext;
+  uint64_t transition_retries_ = 0;
+  EventId retry_event_ = kInvalidEventId;
 };
 
 }  // namespace psbox

@@ -286,9 +286,16 @@ void NetStack::OnFrameDone(const WifiFrameDone& done) {
   tx_in_flight_.erase(it);
   our_tx_pending_ = false;
   Socket& s = SockFor(done.frame.app);
+  // Airtime was burned whether or not the frame arrived; it always counts
+  // toward the sender's credit (lost frames are not free).
   s.credit_bytes += static_cast<double>(done.frame.bytes);
-  s.bytes_delivered += done.frame.bytes;
   s.last_activity = done.end_time;
+  if (!done.delivered) {
+    HandleTxLoss(p);
+    Pump();
+    return;
+  }
+  s.bytes_delivered += done.frame.bytes;
   if (p.resp_bytes > 0 && p.resp_count > 0) {
     // Channel model: the peer answers with |resp_count| chunks spaced
     // |resp_delay| apart (a streaming download when > 1).
@@ -309,6 +316,41 @@ void NetStack::OnFrameDone(const WifiFrameDone& done) {
     kernel_->DeliverNetDone(p.task);
   }
   Pump();
+}
+
+void NetStack::HandleTxLoss(SockPacket p) {
+  ++p.retries;
+  if (p.retries > config_.max_tx_retries) {
+    ++stats_.tx_failed;
+    DeliverSocketError(p);
+    return;
+  }
+  // Capped exponential backoff before re-enqueueing: rides out both random
+  // loss bursts and link-down windows without hammering the medium.
+  DurationNs backoff = config_.retransmit_backoff_base;
+  for (int i = 1; i < p.retries && backoff < config_.retransmit_backoff_cap;
+       ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, config_.retransmit_backoff_cap);
+  ++stats_.tx_retransmits;
+  const AppId app = p.frame.app;
+  sim_->ScheduleAfter(backoff, [this, app, p] {
+    SockFor(app).q.push_front(p);
+    Pump();
+  });
+}
+
+void NetStack::DeliverSocketError(const SockPacket& p) {
+  Socket& s = SockFor(p.frame.app);
+  ++s.errors;
+  ++stats_.socket_errors;
+  // The expected responses will never come; retire the task's in-flight unit
+  // so the submitter unblocks and can observe the error.
+  if (p.task != nullptr) {
+    --p.task->net_inflight;
+    kernel_->DeliverNetDone(p.task);
+  }
 }
 
 void NetStack::SetSandboxed(AppId app, PsboxId box) {
@@ -335,6 +377,11 @@ void NetStack::ClearSandboxed(AppId app) {
 size_t NetStack::BytesDelivered(AppId app) const {
   auto it = socks_.find(app);
   return it == socks_.end() ? 0 : it->second.bytes_delivered;
+}
+
+uint64_t NetStack::SocketErrors(AppId app) const {
+  auto it = socks_.find(app);
+  return it == socks_.end() ? 0 : it->second.errors;
 }
 
 }  // namespace psbox

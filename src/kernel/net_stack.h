@@ -39,6 +39,14 @@ struct NetConfig {
   // Ablation knobs (DESIGN.md §4); both default to the paper's design.
   bool charge_lost_opportunity = true;
   bool virtualize_power_state = true;
+
+  // --- fault recovery (DESIGN.md "Fault model & recovery semantics") ------
+  // A TX frame the channel drops is retransmitted after a capped exponential
+  // backoff (base * 2^attempt, at most the cap); after max_tx_retries
+  // attempts the packet is dropped and a socket error is delivered instead.
+  int max_tx_retries = 5;
+  DurationNs retransmit_backoff_base = 1 * kMillisecond;
+  DurationNs retransmit_backoff_cap = 32 * kMillisecond;
 };
 
 class NetStack {
@@ -68,9 +76,14 @@ class NetStack {
     DurationNs total_tx_latency = 0;  // enqueue -> airtime start
     DurationNs max_tx_latency = 0;
     DurationNs total_balloon_time = 0;
+    // Recovery counters.
+    uint64_t tx_retransmits = 0;   // lost frames re-enqueued after backoff
+    uint64_t tx_failed = 0;        // packets dropped after max_tx_retries
+    uint64_t socket_errors = 0;    // errors delivered to submitting tasks
   };
   const Stats& stats() const { return stats_; }
   size_t BytesDelivered(AppId app) const;
+  uint64_t SocketErrors(AppId app) const;
   AppId balloon_owner() const { return serving_; }
 
  private:
@@ -83,6 +96,7 @@ class NetStack {
     DurationNs resp_delay;
     int resp_count;
     TimeNs enqueue_time;
+    int retries = 0;  // transmission attempts already lost
   };
 
   struct Socket {
@@ -96,6 +110,7 @@ class NetStack {
     // exchanges); a balloon stays open while any are outstanding.
     int expected_rx = 0;
     TimeNs last_activity = -1;
+    uint64_t errors = 0;  // socket errors delivered (retransmit gave up)
   };
 
   Socket& SockFor(AppId app);
@@ -107,6 +122,11 @@ class NetStack {
   // repayment rules.
   double MinRecentCompetitorCredit(AppId owner) const;
   void DispatchFrom(AppId app);
+  // A TX frame was lost on the air: re-enqueue it at the head of its socket
+  // after a capped exponential backoff, or give up and deliver a socket
+  // error once the retry budget is spent.
+  void HandleTxLoss(SockPacket p);
+  void DeliverSocketError(const SockPacket& p);
 
   Simulator* sim_;
   WifiDevice* device_;

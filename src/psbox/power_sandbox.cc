@@ -74,9 +74,70 @@ Joules PowerSandbox::ObservedEnergy(const PowerRail& rail, HwComponent hw,
   return energy;
 }
 
+PowerSandbox::EnergyDetail PowerSandbox::ObservedEnergyDetail(
+    const PowerRail& rail, HwComponent hw, TimeNs now,
+    const FaultInjector* faults) const {
+  PSBOX_CHECK(BoundTo(hw));
+  EnergyDetail d;
+  const TimeNs t0 = meter_start_;
+  if (now <= t0) {
+    return d;
+  }
+  // Subtract the dropout windows from each owned span: measured pieces
+  // integrate the rail, dropped pieces only accumulate time for estimation.
+  auto add_span = [&](TimeNs b, TimeNs e) {
+    if (e <= b) {
+      return;
+    }
+    TimeNs cursor = b;
+    if (faults != nullptr) {
+      for (const FaultWindow& w : faults->meter_dropouts()) {
+        if (w.end <= cursor) {
+          continue;
+        }
+        if (w.begin >= e) {
+          break;
+        }
+        const TimeNs db = std::max(cursor, w.begin);
+        const TimeNs de = std::min(e, w.end);
+        if (db > cursor) {
+          d.measured += rail.EnergyOver(cursor, db);
+          d.measured_time += db - cursor;
+        }
+        d.estimated_time += de - db;
+        cursor = de;
+        if (cursor >= e) {
+          break;
+        }
+      }
+    }
+    if (cursor < e) {
+      d.measured += rail.EnergyOver(cursor, e);
+      d.measured_time += e - cursor;
+    }
+  };
+  for (const auto& iv : owned_[static_cast<size_t>(hw)].intervals()) {
+    add_span(std::max(iv.begin, t0), std::min(iv.end, now));
+  }
+  const TimeNs since = open_since_[static_cast<size_t>(hw)];
+  if (since >= 0 && since < now) {
+    add_span(std::max(since, t0), now);
+  }
+  if (d.estimated_time > 0) {
+    // Model-based estimation for the unmeasurable spans: the average power
+    // the DAQ did measure for this sandbox on this rail, falling back to the
+    // rail's idle draw when the entire window was dark.
+    const Watts est_power = d.measured_time > 0
+                                ? d.measured / ToSeconds(d.measured_time)
+                                : rail.idle_power();
+    d.estimated = est_power * ToSeconds(d.estimated_time);
+  }
+  return d;
+}
+
 std::vector<PowerSample> PowerSandbox::ObservedSamples(
     const PowerRail& rail, HwComponent hw, TimeNs t0, TimeNs t1, DurationNs period,
-    Watts noise_stddev, Rng* rng) const {
+    Watts noise_stddev, Rng* rng, const FaultInjector* faults) const {
   PSBOX_CHECK(BoundTo(hw));
   std::vector<PowerSample> out;
   if (t1 <= t0) {
@@ -84,6 +145,13 @@ std::vector<PowerSample> PowerSandbox::ObservedSamples(
   }
   out.reserve(static_cast<size_t>((t1 - t0) / period) + 1);
   for (TimeNs t = t0; t < t1; t += period) {
+    if (faults != nullptr && faults->MeterDroppedAt(t)) {
+      // No measurement exists here; substitute the model estimate (exact for
+      // unowned instants, the degraded fallback inside a balloon). No noise:
+      // synthesised values are not measurements.
+      out.push_back({t, rail.idle_power(), /*estimated=*/true});
+      continue;
+    }
     const Watts truth = OwnedAt(hw, t) ? rail.PowerAt(t) : rail.idle_power();
     const Watts noisy =
         std::max(0.0, truth + (rng != nullptr ? rng->Gaussian(0.0, noise_stddev) : 0.0));

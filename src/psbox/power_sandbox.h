@@ -22,6 +22,7 @@
 #include "src/base/types.h"
 #include "src/hw/power_meter.h"
 #include "src/hw/power_rail.h"
+#include "src/sim/fault_injector.h"
 
 namespace psbox {
 
@@ -46,11 +47,29 @@ class PowerSandbox {
   // elsewhere.
   Joules ObservedEnergy(const PowerRail& rail, HwComponent hw, TimeNs now) const;
 
-  // Timestamped virtual-meter samples for |hw| over [t0, t1).
+  // Virtual-meter energy split into DAQ-measured and model-estimated parts.
+  // Owned spans falling inside meter-dropout fault windows cannot be
+  // measured; they are estimated as the average power measured elsewhere in
+  // the window (the rail's idle draw when the whole window was dark), so the
+  // reported energy degrades gracefully instead of silently under-counting.
+  struct EnergyDetail {
+    Joules measured = 0.0;
+    Joules estimated = 0.0;
+    DurationNs measured_time = 0;
+    DurationNs estimated_time = 0;
+    Joules total() const { return measured + estimated; }
+  };
+  EnergyDetail ObservedEnergyDetail(const PowerRail& rail, HwComponent hw,
+                                    TimeNs now, const FaultInjector* faults) const;
+
+  // Timestamped virtual-meter samples for |hw| over [t0, t1). Samples inside
+  // a meter-dropout window are substituted with the rail's idle draw and
+  // tagged estimated.
   std::vector<PowerSample> ObservedSamples(const PowerRail& rail, HwComponent hw,
                                            TimeNs t0, TimeNs t1,
                                            DurationNs period, Watts noise_stddev,
-                                           Rng* rng) const;
+                                           Rng* rng,
+                                           const FaultInjector* faults = nullptr) const;
 
   TimeNs meter_start() const { return meter_start_; }
   void ResetMeter(TimeNs now) { meter_start_ = now; }

@@ -114,12 +114,21 @@ void PsboxManager::ApplyLeave(int box) {
 }
 
 Joules PsboxManager::ComponentEnergy(PowerSandbox& sb, HwComponent hw, TimeNs now) {
+  return ComponentEnergyDetail(sb, hw, now).total();
+}
+
+PowerSandbox::EnergyDetail PsboxManager::ComponentEnergyDetail(PowerSandbox& sb,
+                                                               HwComponent hw,
+                                                               TimeNs now) {
   Board& board = kernel_->board();
+  PowerSandbox::EnergyDetail d;
   switch (hw) {
     case HwComponent::kDisplay:
       // OLED pixels are separable (§7): the sandbox reads exactly its app's
-      // own surface energy; no balloons involved.
-      return board.display().AppEnergy(sb.app(), sb.meter_start(), now);
+      // own surface energy; no balloons (and no DAQ rail) involved.
+      d.measured = board.display().AppEnergy(sb.app(), sb.meter_start(), now);
+      d.measured_time = now - sb.meter_start();
+      return d;
     case HwComponent::kGps: {
       // While the device operates, its power may be safely revealed to every
       // psbox; off/acquiring periods read as idle power so that no sandbox
@@ -127,11 +136,16 @@ Joules PsboxManager::ComponentEnergy(PowerSandbox& sb, HwComponent hw, TimeNs no
       const double operating_s =
           board.gps().operating_trace().IntegralOver(sb.meter_start(), now);
       const double window_s = ToSeconds(now - sb.meter_start());
-      return board.gps().config().on_power * operating_s +
-             board.gps().config().off_power * (window_s - operating_s);
+      d.measured = board.gps().config().on_power * operating_s +
+                   board.gps().config().off_power * (window_s - operating_s);
+      d.measured_time = now - sb.meter_start();
+      return d;
     }
     default:
-      return sb.ObservedEnergy(board.RailFor(hw), hw, now);
+      // DAQ-metered rails degrade to model-based estimation inside
+      // meter-dropout fault windows.
+      return sb.ObservedEnergyDetail(board.RailFor(hw), hw, now,
+                                     &board.fault_injector());
   }
 }
 
@@ -148,6 +162,26 @@ Joules PsboxManager::ReadEnergyFor(int box, HwComponent hw) {
   PowerSandbox& sb = sandbox(box);
   PSBOX_CHECK(sb.BoundTo(hw));
   return ComponentEnergy(sb, hw, kernel_->Now());
+}
+
+PowerSandbox::EnergyDetail PsboxManager::ReadEnergyDetail(int box) {
+  PowerSandbox& sb = sandbox(box);
+  PowerSandbox::EnergyDetail total;
+  for (HwComponent hw : sb.hardware()) {
+    const PowerSandbox::EnergyDetail d =
+        ComponentEnergyDetail(sb, hw, kernel_->Now());
+    total.measured += d.measured;
+    total.estimated += d.estimated;
+    total.measured_time += d.measured_time;
+    total.estimated_time += d.estimated_time;
+  }
+  return total;
+}
+
+double PsboxManager::EstimatedEnergyFraction(int box) {
+  const PowerSandbox::EnergyDetail d = ReadEnergyDetail(box);
+  const Joules total = d.total();
+  return total > 0.0 ? d.estimated / total : 0.0;
 }
 
 void PsboxManager::ResetEnergy(int box) { sandbox(box).ResetMeter(kernel_->Now()); }
@@ -191,13 +225,15 @@ size_t PsboxManager::Sample(int box, std::vector<PowerSample>* buf,
       }
     } else {
       samples = sb.ObservedSamples(kernel_->board().RailFor(hw), hw, t0, t1,
-                                   meter.sample_period, meter.noise_stddev, &rng_);
+                                   meter.sample_period, meter.noise_stddev, &rng_,
+                                   &kernel_->board().fault_injector());
     }
     if (sum.empty()) {
       sum = std::move(samples);
     } else {
       for (size_t i = 0; i < sum.size() && i < samples.size(); ++i) {
         sum[i].watts += samples[i].watts;
+        sum[i].estimated = sum[i].estimated || samples[i].estimated;
       }
     }
   }

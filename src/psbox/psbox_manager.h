@@ -44,6 +44,14 @@ class PsboxManager : public PsboxService, public BalloonObserver {
   // Per-component observed energy (benches/tests need the split).
   Joules ReadEnergyFor(int box, HwComponent hw);
 
+  // Virtual-meter energy split into DAQ-measured and model-estimated parts,
+  // summed over the box's bound components. The estimated share is the
+  // meter-dropout degradation; ReadEnergy() reports the same total.
+  PowerSandbox::EnergyDetail ReadEnergyDetail(int box);
+  // Fraction of the reported energy that came from estimation (0 when the
+  // meter never glitched). The accounting error bound scales with this.
+  double EstimatedEnergyFraction(int box);
+
   PowerSandbox& sandbox(int box);
   const PowerSandbox& sandbox(int box) const;
   size_t box_count() const { return boxes_.size(); }
@@ -54,6 +62,8 @@ class PsboxManager : public PsboxService, public BalloonObserver {
   // Per-component observed energy over [meter_start, now); dispatches on the
   // component kind (balloon-metered vs. entanglement-free §7 hardware).
   Joules ComponentEnergy(PowerSandbox& sb, HwComponent hw, TimeNs now);
+  PowerSandbox::EnergyDetail ComponentEnergyDetail(PowerSandbox& sb,
+                                                   HwComponent hw, TimeNs now);
 
   Kernel* kernel_;
   Rng rng_;

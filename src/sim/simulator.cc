@@ -1,12 +1,14 @@
 #include "src/sim/simulator.h"
 
+#include <utility>
+
 namespace psbox {
 
 EventId Simulator::ScheduleAt(TimeNs when, std::function<void()> fn) {
   PSBOX_CHECK_GE(when, now_);
   const EventId id = ++next_id_;
-  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
-  pending_.insert(id);
+  queue_.push(Event{when, next_seq_++, id});
+  closures_.emplace(id, std::move(fn));
   return id;
 }
 
@@ -14,31 +16,41 @@ bool Simulator::Cancel(EventId id) {
   if (id == kInvalidEventId) {
     return false;
   }
-  auto it = pending_.find(id);
-  if (it == pending_.end()) {
-    return false;
+  // Eagerly drop the closure (and everything it captures); the heap entry
+  // stays behind as a tombstone and is skipped when popped.
+  return closures_.erase(id) > 0;
+}
+
+bool Simulator::PopNext(TimeNs deadline, Event* out, std::function<void()>* fn) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    auto it = closures_.find(top.id);
+    if (it == closures_.end()) {
+      queue_.pop();  // tombstone of a cancelled event
+      continue;
+    }
+    if (deadline >= 0 && top.when > deadline) {
+      return false;
+    }
+    *out = top;
+    *fn = std::move(it->second);
+    closures_.erase(it);
+    queue_.pop();
+    return true;
   }
-  if (cancelled_.count(id) > 0) {
-    return false;
-  }
-  cancelled_.insert(id);
-  return true;
+  return false;
 }
 
 size_t Simulator::RunUntil(TimeNs deadline) {
   size_t fired = 0;
-  while (!queue_.empty() && queue_.top().when <= deadline) {
-    Event ev = queue_.top();
-    queue_.pop();
-    pending_.erase(pending_.find(ev.id));
-    if (cancelled_.erase(ev.id) > 0) {
-      continue;
-    }
+  Event ev;
+  std::function<void()> fn;
+  while (PopNext(deadline, &ev, &fn)) {
     PSBOX_CHECK_GE(ev.when, now_);
     now_ = ev.when;
     ++total_fired_;
     ++fired;
-    ev.fn();
+    fn();
   }
   if (now_ < deadline) {
     now_ = deadline;
@@ -48,17 +60,13 @@ size_t Simulator::RunUntil(TimeNs deadline) {
 
 size_t Simulator::RunToCompletion() {
   size_t fired = 0;
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    pending_.erase(pending_.find(ev.id));
-    if (cancelled_.erase(ev.id) > 0) {
-      continue;
-    }
+  Event ev;
+  std::function<void()> fn;
+  while (PopNext(/*deadline=*/-1, &ev, &fn)) {
     now_ = ev.when;
     ++total_fired_;
     ++fired;
-    ev.fn();
+    fn();
   }
   return fired;
 }

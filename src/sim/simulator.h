@@ -12,7 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "src/base/check.h"
@@ -53,17 +53,21 @@ class Simulator {
   size_t RunToCompletion();
 
   // True if an event with |id| is still pending.
-  bool IsPending(EventId id) const { return cancelled_.find(id) == cancelled_.end() && pending_.count(id) > 0; }
+  bool IsPending(EventId id) const { return closures_.count(id) > 0; }
 
-  size_t pending_events() const { return pending_.size(); }
+  size_t pending_events() const { return closures_.size(); }
   uint64_t total_fired() const { return total_fired_; }
 
  private:
+  // Heap entries carry only ordering state; the closure lives in |closures_|
+  // so that Cancel can release its captures eagerly. A heap entry whose id is
+  // no longer in |closures_| is a tombstone and is skipped on pop — cancelled
+  // events therefore cost O(log n) heap residue but never keep captured
+  // objects (e.g. |this| pointers) alive until the queue drains past them.
   struct Event {
     TimeNs when;
     uint64_t seq;  // tie-break: FIFO among same-time events
     EventId id;
-    std::function<void()> fn;
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
@@ -74,13 +78,16 @@ class Simulator {
     }
   };
 
+  // Pops the next live event into |out|; false when the queue is exhausted
+  // or the next live event lies past |deadline| (no deadline when < 0).
+  bool PopNext(TimeNs deadline, Event* out, std::function<void()>* fn);
+
   TimeNs now_ = 0;
   uint64_t next_seq_ = 1;
   EventId next_id_ = 1;
   uint64_t total_fired_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  std::unordered_set<EventId> cancelled_;
-  std::unordered_multiset<EventId> pending_;
+  std::unordered_map<EventId, std::function<void()>> closures_;
 };
 
 }  // namespace psbox

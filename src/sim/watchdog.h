@@ -1,0 +1,81 @@
+// Generic watchdog timer for driver recovery paths.
+//
+// A Watchdog wraps the classic arm/pet/expire pattern over the simulator's
+// event queue: Arm() starts the countdown, Pet() restarts it (progress was
+// observed), Disarm() stops it, and if the countdown ever reaches zero the
+// expiry callback fires exactly once per arming. Drivers use it to detect
+// wedged hardware (a command that never completes, a drain phase that never
+// empties) and trigger their reset / abort recovery paths.
+//
+// Re-arming cancels the previous countdown through Simulator::Cancel, which
+// releases the pending closure eagerly — the high-rate arm/pet pattern of a
+// per-command watchdog therefore does not accumulate captured state.
+
+#ifndef SRC_SIM_WATCHDOG_H_
+#define SRC_SIM_WATCHDOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "src/base/check.h"
+#include "src/sim/simulator.h"
+
+namespace psbox {
+
+class Watchdog {
+ public:
+  // |on_expire| runs from event context when the countdown elapses without a
+  // Pet(). The watchdog is disarmed when it fires; the callback may re-Arm().
+  Watchdog(Simulator* sim, DurationNs timeout, std::function<void()> on_expire)
+      : sim_(sim), timeout_(timeout), on_expire_(std::move(on_expire)) {
+    PSBOX_CHECK_GT(timeout_, 0);
+  }
+  ~Watchdog() { Disarm(); }
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  // Starts (or restarts) the countdown.
+  void Arm() {
+    Disarm();
+    event_ = sim_->ScheduleAfter(timeout_, [this] {
+      event_ = kInvalidEventId;
+      ++fires_;
+      on_expire_();
+    });
+  }
+
+  // Restarts the countdown iff currently armed (progress heartbeat).
+  void Pet() {
+    if (armed()) {
+      Arm();
+    }
+  }
+
+  void Disarm() {
+    if (event_ != kInvalidEventId) {
+      sim_->Cancel(event_);
+      event_ = kInvalidEventId;
+    }
+  }
+
+  void set_timeout(DurationNs timeout) {
+    PSBOX_CHECK_GT(timeout, 0);
+    timeout_ = timeout;
+  }
+  DurationNs timeout() const { return timeout_; }
+
+  bool armed() const { return event_ != kInvalidEventId; }
+  uint64_t fires() const { return fires_; }
+
+ private:
+  Simulator* sim_;
+  DurationNs timeout_;
+  std::function<void()> on_expire_;
+  EventId event_ = kInvalidEventId;
+  uint64_t fires_ = 0;
+};
+
+}  // namespace psbox
+
+#endif  // SRC_SIM_WATCHDOG_H_

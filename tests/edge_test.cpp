@@ -139,6 +139,73 @@ TEST(EdgeTest, ClearSandboxedDuringDrainOthers) {
   EXPECT_EQ(s.kernel.dsp_driver().balloon_owner(), kNoApp);
 }
 
+TEST(EdgeTest, EnterBoxWhileAnotherBalloonDraining) {
+  TestStack s;
+  // A foreign 50 ms command keeps box_a's balloon stuck in drain when box_b
+  // arrives; the driver must serialise the two balloons cleanly.
+  AccelLoop other = SpawnAccelLoop(s, "other", HwComponent::kDsp, 50 * kMillisecond);
+  s.kernel.RunUntil(Millis(5));
+  AccelLoop a = SpawnAccelLoop(s, "a", HwComponent::kDsp, 5 * kMillisecond);
+  AccelLoop b = SpawnAccelLoop(s, "b", HwComponent::kDsp, 5 * kMillisecond);
+  const int box_a = s.manager.CreateBox(a.app, {HwComponent::kDsp});
+  const int box_b = s.manager.CreateBox(b.app, {HwComponent::kDsp});
+  s.manager.EnterBox(box_a);
+  s.kernel.RunUntil(Millis(20));  // box_a is mid-drain behind the 50 ms cmd
+  s.manager.EnterBox(box_b);
+  s.kernel.RunUntil(Seconds(2));
+  EXPECT_GT(s.kernel.dsp_driver().CompletedFor(a.app), 3u);
+  EXPECT_GT(s.kernel.dsp_driver().CompletedFor(b.app), 3u);
+  EXPECT_GT(s.kernel.dsp_driver().CompletedFor(other.app), 3u);
+  // Balloon ownership stays mutually exclusive throughout.
+  const auto& ia = s.manager.sandbox(box_a);
+  const auto& ib = s.manager.sandbox(box_b);
+  for (TimeNs t = 0; t < Seconds(2); t += 500 * kMicrosecond) {
+    EXPECT_FALSE(ia.OwnedAt(HwComponent::kDsp, t) && ib.OwnedAt(HwComponent::kDsp, t))
+        << "overlap at " << t;
+  }
+}
+
+TEST(EdgeTest, LeaveBoxMidServe) {
+  TestStack s;
+  AccelLoop boxed = SpawnAccelLoop(s, "boxed", HwComponent::kGpu, 5 * kMillisecond);
+  AccelLoop other = SpawnAccelLoop(s, "other", HwComponent::kGpu, 2 * kMillisecond);
+  const int box = s.manager.CreateBox(boxed.app, {HwComponent::kGpu});
+  s.manager.EnterBox(box);
+  // Run until the balloon is actively serving the boxed app, then leave with
+  // its command still on the engine.
+  TimeNs t = 0;
+  while (s.kernel.gpu_driver().balloon_owner() != boxed.app && t < Seconds(1)) {
+    t += kMillisecond;
+    s.kernel.RunUntil(t);
+  }
+  ASSERT_EQ(s.kernel.gpu_driver().balloon_owner(), boxed.app);
+  s.manager.LeaveBox(box);
+  s.kernel.RunUntil(Seconds(1));
+  EXPECT_EQ(s.kernel.gpu_driver().balloon_owner(), kNoApp);
+  // Ownership closed (no dangling open interval) and both apps kept going.
+  EXPECT_FALSE(s.manager.sandbox(box).OwnedAt(HwComponent::kGpu, s.kernel.Now()));
+  for (const auto& iv : s.manager.sandbox(box).owned(HwComponent::kGpu).intervals()) {
+    EXPECT_LT(iv.begin, iv.end);
+  }
+  EXPECT_GT(s.kernel.gpu_driver().CompletedFor(boxed.app), 5u);
+  EXPECT_GT(s.kernel.gpu_driver().CompletedFor(other.app), 5u);
+}
+
+TEST(EdgeTest, BoxDestructionWithCommandsInFlight) {
+  // Tear the whole stack down while commands are on the engines and a
+  // balloon is open: destructors must not touch freed state.
+  {
+    TestStack s;
+    AccelLoop boxed = SpawnAccelLoop(s, "boxed", HwComponent::kGpu, 20 * kMillisecond);
+    SpawnAccelLoop(s, "other", HwComponent::kDsp, 20 * kMillisecond);
+    const int box = s.manager.CreateBox(boxed.app, {HwComponent::kGpu});
+    s.manager.EnterBox(box);
+    s.kernel.RunUntil(Millis(30));
+    EXPECT_GT(s.board.gpu().in_flight() + s.board.dsp().in_flight(), 0);
+  }  // stack destroyed mid-flight
+  SUCCEED();
+}
+
 TEST(EdgeTest, UnsolicitedRxBeforeAnySocket) {
   TestStack s;
   s.kernel.net().InjectRx(s.kernel.CreateApp("ghost"), 4096);
