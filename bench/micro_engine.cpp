@@ -83,7 +83,7 @@ void BM_SimulatedSandboxSecond(benchmark::State& state) {
     co.deadline = Seconds(1);
     SpawnBodytrack(s.kernel, "bodytrack", co);
     s.kernel.RunUntil(Seconds(1));
-    benchmark::DoNotOptimize(s.kernel.scheduler().stats().balloons_started);
+    benchmark::DoNotOptimize(s.kernel.scheduler().domain_stats().balloons);
   }
 }
 BENCHMARK(BM_SimulatedSandboxSecond);

@@ -3,7 +3,9 @@
 // Spawns calib3d inside a power sandbox bound to the CPU while bodytrack
 // runs concurrently, and shows that the sandbox's virtual power meter gives
 // calib3d an observation that is insulated from bodytrack — plus the
-// fairness/billing counters the kernel keeps.
+// fairness/billing counters the kernel keeps. A second sandbox spans two
+// resource domains at once ({CPU, Storage}): photo-sync's writes are
+// balloon-insulated from a concurrent media scan, flush tails included.
 //
 //   ./quickstart
 
@@ -32,6 +34,17 @@ int main() {
   plain.deadline = Seconds(2);
   AppHandle body = SpawnBodytrack(kernel, "bodytrack", plain);
 
+  // photo-sync runs in a psbox spanning two resource domains ({CPU,
+  // Storage}); a concurrent media scan hammers the same flash device.
+  AppOptions sync_opts;
+  sync_opts.iterations = 20;
+  sync_opts.use_psbox = true;
+  AppHandle sync = SpawnPhotoSync(kernel, "photosync", sync_opts);
+
+  AppOptions scan_opts;
+  scan_opts.deadline = Seconds(2);
+  AppHandle scan = SpawnMediaScan(kernel, "mediascan", scan_opts);
+
   kernel.RunUntil(Seconds(2));
 
   const auto& calib_stats = *calib.stats;
@@ -43,11 +56,24 @@ int main() {
               static_cast<unsigned long long>(body.stats->iterations));
 
   const auto& sched = kernel.scheduler().stats();
+  const auto& dom = kernel.scheduler().domain_stats();
   std::printf("kernel:    %llu balloons, %llu shootdown IPIs, %.1f ms coscheduled\n",
-              static_cast<unsigned long long>(sched.balloons_started),
+              static_cast<unsigned long long>(dom.balloons),
               static_cast<unsigned long long>(sched.shootdown_ipis),
-              ToMillis(sched.total_balloon_time));
+              ToMillis(dom.total_balloon_time));
   std::printf("rail:      total CPU energy %.1f mJ over 2 s\n",
               board.cpu_rail().EnergyOver(0, Seconds(2)) * 1e3);
+
+  const auto& storage_dom = kernel.storage_driver().domain_stats();
+  std::printf("photosync: %llu photos, psbox({CPU,Storage}) energy %.1f mJ\n",
+              static_cast<unsigned long long>(sync.stats->iterations),
+              sync.stats->psbox_energy * 1e3);
+  std::printf("mediascan: %llu batches (unsandboxed)\n",
+              static_cast<unsigned long long>(scan.stats->iterations));
+  std::printf("storage:   %llu balloons, %.1f ms owned (flush tails inside), "
+              "rail %.1f mJ\n",
+              static_cast<unsigned long long>(storage_dom.balloons),
+              ToMillis(storage_dom.total_balloon_time),
+              board.storage_rail().EnergyOver(0, Seconds(2)) * 1e3);
   return 0;
 }

@@ -43,6 +43,8 @@ const std::map<std::string, std::pair<Factory, HwComponent>> kApps = {
     {"wifi_browser", {&SpawnWifiBrowser, HwComponent::kWifi}},
     {"scp", {&SpawnScp, HwComponent::kWifi}},
     {"wget", {&SpawnWget, HwComponent::kWifi}},
+    {"photosync", {&SpawnPhotoSync, HwComponent::kStorage}},
+    {"mediascan", {&SpawnMediaScan, HwComponent::kStorage}},
 };
 
 void DumpRailCsv(const std::string& prefix, const std::string& rail_name,
@@ -137,13 +139,14 @@ int main(int argc, char** argv) {
   }
   std::printf("\nrail energy over the run:\n");
   for (HwComponent hw : {HwComponent::kCpu, HwComponent::kGpu, HwComponent::kDsp,
-                         HwComponent::kWifi}) {
+                         HwComponent::kWifi, HwComponent::kStorage}) {
     std::printf("  %-7s %9.1f mJ\n", HwComponentName(hw),
                 board.RailFor(hw).EnergyOver(0, Seconds(seconds)) * 1e3);
   }
   if (!csv_prefix.empty()) {
     for (HwComponent hw : {HwComponent::kCpu, HwComponent::kGpu,
-                           HwComponent::kDsp, HwComponent::kWifi}) {
+                           HwComponent::kDsp, HwComponent::kWifi,
+                           HwComponent::kStorage}) {
       std::string rail_name = HwComponentName(hw);
       for (char& c : rail_name) {
         c = static_cast<char>(std::tolower(c));

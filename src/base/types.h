@@ -30,9 +30,10 @@ enum class HwComponent : uint8_t {
   kWifi = 3,
   kDisplay = 4,
   kGps = 5,
+  kStorage = 6,
 };
 
-constexpr size_t kNumHwComponents = 6;
+constexpr size_t kNumHwComponents = 7;
 
 inline const char* HwComponentName(HwComponent hw) {
   switch (hw) {
@@ -48,6 +49,8 @@ inline const char* HwComponentName(HwComponent hw) {
       return "Display";
     case HwComponent::kGps:
       return "GPS";
+    case HwComponent::kStorage:
+      return "Storage";
   }
   return "?";
 }

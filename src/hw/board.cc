@@ -17,6 +17,8 @@ Board::Board(BoardConfig config)
   display_rail_ =
       std::make_unique<PowerRail>(&sim_, "display", config_.display.base_power);
   gps_rail_ = std::make_unique<PowerRail>(&sim_, "gps", config_.gps.off_power);
+  storage_rail_ =
+      std::make_unique<PowerRail>(&sim_, "storage", config_.storage.idle_power);
   cpu_ = std::make_unique<CpuDevice>(&sim_, cpu_rail_.get(), config_.cpu);
   gpu_ = std::make_unique<AccelDevice>(&sim_, gpu_rail_.get(), config_.gpu);
   dsp_ = std::make_unique<AccelDevice>(&sim_, dsp_rail_.get(), config_.dsp);
@@ -24,12 +26,17 @@ Board::Board(BoardConfig config)
   display_ = std::make_unique<DisplayDevice>(&sim_, display_rail_.get(),
                                              config_.display);
   gps_ = std::make_unique<GpsDevice>(&sim_, gps_rail_.get(), config_.gps);
+  // Rails and the storage device schedule no events and fork no RNG, so
+  // adding them here leaves meter seeding and event IDs untouched.
+  storage_ = std::make_unique<StorageDevice>(&sim_, storage_rail_.get(),
+                                             config_.storage);
   meter_ = std::make_unique<PowerMeter>(rng_.Fork(), config_.meter);
 
   cpu_->set_fault_injector(fault_injector_.get());
   gpu_->set_fault_injector(fault_injector_.get());
   dsp_->set_fault_injector(fault_injector_.get());
   wifi_->set_fault_injector(fault_injector_.get());
+  storage_->set_fault_injector(fault_injector_.get());
   meter_->set_fault_injector(fault_injector_.get());
 }
 
@@ -47,6 +54,8 @@ PowerRail& Board::RailFor(HwComponent hw) {
       return *display_rail_;
     case HwComponent::kGps:
       return *gps_rail_;
+    case HwComponent::kStorage:
+      return *storage_rail_;
   }
   PSBOX_CHECK(false);
 }

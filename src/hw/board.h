@@ -15,6 +15,7 @@
 #include "src/hw/gps_device.h"
 #include "src/hw/power_meter.h"
 #include "src/hw/power_rail.h"
+#include "src/hw/storage_device.h"
 #include "src/hw/wifi_device.h"
 #include "src/sim/fault_injector.h"
 #include "src/sim/simulator.h"
@@ -29,6 +30,7 @@ struct BoardConfig {
   WifiConfig wifi;
   DisplayConfig display;
   GpsConfig gps;
+  StorageConfig storage;
   PowerMeterConfig meter;
   // Deterministic fault plan; the default injects nothing (ideal hardware).
   FaultPlan faults;
@@ -51,6 +53,7 @@ class Board {
   WifiDevice& wifi() { return *wifi_; }
   DisplayDevice& display() { return *display_; }
   GpsDevice& gps() { return *gps_; }
+  StorageDevice& storage() { return *storage_; }
   PowerMeter& meter() { return *meter_; }
 
   PowerRail& cpu_rail() { return *cpu_rail_; }
@@ -59,6 +62,7 @@ class Board {
   PowerRail& wifi_rail() { return *wifi_rail_; }
   PowerRail& display_rail() { return *display_rail_; }
   PowerRail& gps_rail() { return *gps_rail_; }
+  PowerRail& storage_rail() { return *storage_rail_; }
 
   PowerRail& RailFor(HwComponent hw);
   const BoardConfig& config() const { return config_; }
@@ -74,12 +78,14 @@ class Board {
   std::unique_ptr<PowerRail> wifi_rail_;
   std::unique_ptr<PowerRail> display_rail_;
   std::unique_ptr<PowerRail> gps_rail_;
+  std::unique_ptr<PowerRail> storage_rail_;
   std::unique_ptr<CpuDevice> cpu_;
   std::unique_ptr<AccelDevice> gpu_;
   std::unique_ptr<AccelDevice> dsp_;
   std::unique_ptr<WifiDevice> wifi_;
   std::unique_ptr<DisplayDevice> display_;
   std::unique_ptr<GpsDevice> gps_;
+  std::unique_ptr<StorageDevice> storage_;
   std::unique_ptr<PowerMeter> meter_;
 };
 

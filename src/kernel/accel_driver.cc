@@ -10,12 +10,11 @@ namespace psbox {
 
 AccelDriver::AccelDriver(Simulator* sim, AccelDevice* device, HwComponent kind,
                          Kernel* kernel, AccelDriverConfig config)
-    : sim_(sim), device_(device), kind_(kind), kernel_(kernel), config_(config) {
+    : ResourceDomain(sim, kind, config.drain_timeout),
+      device_(device), kernel_(kernel), config_(config) {
   context_opp_[0] = device_->opp_index();
   device_->set_on_complete([this](const AccelCompletion& c) { OnComplete(c); });
   last_ctx_mark_ = sim_->Now();
-  drain_watchdog_ = std::make_unique<Watchdog>(
-      sim_, config_.drain_timeout, [this] { OnDrainTimeout(); });
   sim_->ScheduleAfter(config_.governor_period, [this] { OnGovernorTick(); });
 }
 
@@ -64,7 +63,7 @@ AppId AccelDriver::BestPendingApp(bool exclude_sandboxed_owner) const {
     if (q.q.empty()) {
       continue;
     }
-    if (exclude_sandboxed_owner && app == serving_) {
+    if (exclude_sandboxed_owner && app == balloon_owner()) {
       continue;
     }
     if (q.vruntime < best_vr) {
@@ -87,8 +86,8 @@ void AccelDriver::Pump() {
   };
 
   while (true) {
-    switch (phase_) {
-      case Phase::kNormal: {
+    switch (balloon_phase()) {
+      case BalloonPhase::kIdle: {  // phase 5 / normal fair dispatch
         if (!device_->CanDispatch()) {
           update_busy();
           return;
@@ -133,12 +132,7 @@ void AccelDriver::Pump() {
           } else {
             // Phase 1 — drain others: buffer everything until the device is
             // empty, then the balloon owns it.
-            serving_ = best;
-            phase_ = Phase::kDrainOthers;
-            balloon_start_ = sim_->Now();
-            drain_enter_ = sim_->Now();
-            drain_watchdog_->Arm();
-            ++stats_.balloons;
+            BalloonRequest(best, QueueFor(best).box);
             continue;
           }
         }
@@ -154,28 +148,23 @@ void AccelDriver::Pump() {
         update_busy();
         continue;
       }
-      case Phase::kDrainOthers: {
+      case BalloonPhase::kDrainOthers: {
         if (device_->in_flight() > 0) {
           update_busy();
           return;
         }
         // Balloon-in: exclusive ownership begins; restore the sandbox's
-        // virtualised operating frequency.
-        drain_watchdog_->Disarm();
-        balloon_notified_ = true;
+        // virtualised operating frequency before the observer looks.
         if (config_.virtualize_freq) {
-          SwitchOppContext(QueueFor(serving_).opp_context);
+          SwitchOppContext(QueueFor(balloon_owner()).opp_context);
         }
-        if (observer_ != nullptr) {
-          observer_->OnBalloonIn(QueueFor(serving_).box, kind_, sim_->Now());
-        }
-        phase_ = Phase::kServePsbox;
+        BalloonServe();
         continue;
       }
-      case Phase::kServePsbox: {
-        AppQueue& sq = QueueFor(serving_);
+      case BalloonPhase::kServe: {
+        AppQueue& sq = QueueFor(balloon_owner());
         const AppId contender = BestPendingApp(/*exclude_sandboxed_owner=*/true);
-        const bool grant_over = sim_->Now() - balloon_start_ >= config_.min_grant;
+        const bool grant_over = sim_->Now() - balloon_start() >= config_.min_grant;
         const bool owner_idle = sq.q.empty() && device_->in_flight() == 0;
         if (owner_idle) {
           if (owner_idle_since_ < 0) {
@@ -191,7 +180,7 @@ void AccelDriver::Pump() {
         // the lead check — otherwise a single long balloon (whose billing
         // only lands at balloon end) could hold the device forever.
         const double accrued =
-            static_cast<double>(sim_->Now() - balloon_start_) * device_->slots();
+            static_cast<double>(sim_->Now() - balloon_start()) * device_->slots();
         const bool lead_exceeded =
             contender != kNoApp &&
             sq.vruntime + (config_.bill_balloon ? accrued : 0.0) -
@@ -200,16 +189,14 @@ void AccelDriver::Pump() {
         if ((contender != kNoApp && grant_over && (owner_idle || lead_exceeded)) ||
             idle_expired) {
           owner_idle_since_ = -1;
-          phase_ = Phase::kDrainPsbox;  // phase 4
-          drain_enter_ = sim_->Now();
-          drain_watchdog_->Arm();
+          BalloonRelease();  // phase 4: drain the owner
           continue;
         }
         if (!device_->CanDispatch() || sq.q.empty()) {
           // Nothing to do now. If a contender is waiting for the grant to
           // expire, make sure we come back then.
           if (contender != kNoApp && !grant_over) {
-            const TimeNs when = balloon_start_ + config_.min_grant;
+            const TimeNs when = balloon_start() + config_.min_grant;
             sim_->ScheduleAt(std::max(when, sim_->Now()), [this] { Pump(); });
           }
           update_busy();
@@ -227,31 +214,24 @@ void AccelDriver::Pump() {
         update_busy();
         continue;
       }
-      case Phase::kDrainPsbox: {
+      case BalloonPhase::kDrainOwner: {
         if (device_->in_flight() > 0) {
           update_busy();
           return;
         }
         // Balloon-out: bill the *whole* accelerator for the whole balloon to
         // the sandboxed app (drain stalls and idle slots included).
-        drain_watchdog_->Disarm();
-        AppQueue& sq = QueueFor(serving_);
-        const DurationNs held = sim_->Now() - balloon_start_;
+        AppQueue& sq = QueueFor(balloon_owner());
         if (config_.bill_balloon) {
-          sq.vruntime += static_cast<double>(held) * device_->slots();
+          sq.vruntime += static_cast<double>(sim_->Now() - balloon_start()) *
+                         device_->slots();
         }
-        stats_.total_balloon_time += held;
         if (config_.virtualize_freq) {
           SwitchOppContext(0);
         }
-        if (observer_ != nullptr && balloon_notified_) {
-          observer_->OnBalloonOut(sq.box, kind_, sim_->Now());
-        }
-        balloon_notified_ = false;
-        serving_ = kNoApp;
+        BalloonFinish();
         owner_idle_since_ = -1;
-        phase_ = Phase::kNormal;  // phase 5: flush others in queueing order
-        continue;
+        continue;  // phase 5: flush others in queueing order
       }
     }
   }
@@ -267,14 +247,14 @@ void AccelDriver::OnComplete(const AccelCompletion& completion) {
   AppQueue& q = QueueFor(completion.cmd.app);
   ++q.completed;
   q.last_seen = sim_->Now();
-  if (completion.cmd.app != serving_) {
+  if (completion.cmd.app != balloon_owner()) {
     // Normal billing: the span the command occupied the device, as visible
     // to the CPU side (dispatch to completion interrupt).
     q.vruntime +=
         static_cast<double>(completion.end_time - completion.dispatch_time);
   }
   if (ledger_ != nullptr) {
-    ledger_->Add(kind_, completion.cmd.app, completion.dispatch_time,
+    ledger_->Add(kind(), completion.cmd.app, completion.dispatch_time,
                  completion.end_time);
   }
   // Deliver the completion to the submitting task (may wake it).
@@ -298,16 +278,12 @@ void AccelDriver::SetSandboxed(AppId app, PsboxId box) {
 void AccelDriver::ClearSandboxed(AppId app) {
   AppQueue& q = QueueFor(app);
   q.sandboxed = false;
-  if (serving_ == app) {
-    if (phase_ == Phase::kDrainOthers) {
+  if (balloon_owner() == app) {
+    if (balloon_phase() == BalloonPhase::kDrainOthers) {
       // Balloon never took ownership; just unwind.
-      drain_watchdog_->Disarm();
-      serving_ = kNoApp;
-      phase_ = Phase::kNormal;
-    } else if (phase_ == Phase::kServePsbox) {
-      phase_ = Phase::kDrainPsbox;
-      drain_enter_ = sim_->Now();
-      drain_watchdog_->Arm();
+      BalloonCancel();
+    } else if (balloon_phase() == BalloonPhase::kServe) {
+      BalloonRelease();
     }
   }
   Pump();
@@ -382,6 +358,7 @@ void AccelDriver::OnCommandTimeout(uint64_t cmd_id) {
 void AccelDriver::ResetAndRequeue() {
   std::vector<AccelDevice::AbortedCommand> aborted = device_->Reset();
   ++stats_.device_resets;
+  RecordRecovery();
   // Every in-flight command was aborted; their watchdogs go with them. (The
   // expired watchdog that got us here destroys itself too, which is safe: it
   // has already left the simulator queue.)
@@ -406,39 +383,27 @@ void AccelDriver::ResetAndRequeue() {
 }
 
 void AccelDriver::OnDrainTimeout() {
-  if (phase_ != Phase::kDrainOthers && phase_ != Phase::kDrainPsbox) {
-    return;
-  }
   ++stats_.watchdog_fires;
-  ++stats_.balloons_aborted;
+  // Unwind the balloon before clearing the hardware: ResetAndRequeue can
+  // re-enter Pump (a failed command wakes its submitter, which may submit
+  // again synchronously), and the reentrant pump must see a settled domain.
+  AppQueue& sq = QueueFor(balloon_owner());
+  const bool owned = balloon_phase() == BalloonPhase::kDrainOwner;
+  if (owned && config_.virtualize_freq) {
+    SwitchOppContext(0);
+  }
+  // Bills only the service actually rendered — nothing for a kDrainOthers
+  // abort, where ownership never began and no balloon-in was signalled.
+  const DurationNs served = BalloonAbort();
+  if (owned && config_.bill_balloon) {
+    sq.vruntime += static_cast<double>(served) * device_->slots();
+  }
+  owner_idle_since_ = -1;
   if (device_->in_flight() > 0) {
-    // The drain is stuck behind wedged work; clear it now rather than wait
+    // The drain was stuck behind wedged work; clear it now rather than wait
     // for the per-command watchdogs to come around.
     ResetAndRequeue();
   }
-  AppQueue& sq = QueueFor(serving_);
-  if (phase_ == Phase::kDrainPsbox) {
-    // Bill only the service actually rendered (balloon-in up to drain
-    // entry): the stuck drain is the hardware's fault, not the sandbox's.
-    const DurationNs served = drain_enter_ - balloon_start_;
-    if (config_.bill_balloon) {
-      sq.vruntime += static_cast<double>(served) * device_->slots();
-    }
-    stats_.total_balloon_time += served;
-    if (config_.virtualize_freq) {
-      SwitchOppContext(0);
-    }
-    if (observer_ != nullptr && balloon_notified_) {
-      observer_->OnBalloonOut(sq.box, kind_, sim_->Now());
-    }
-  }
-  // kDrainOthers aborts bill nothing: ownership never began and no
-  // balloon-in was signalled.
-  balloon_notified_ = false;
-  serving_ = kNoApp;
-  owner_idle_since_ = -1;
-  drain_enter_ = -1;
-  phase_ = Phase::kNormal;
   Pump();
 }
 

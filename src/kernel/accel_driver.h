@@ -13,6 +13,10 @@
 // While a balloon holds the device (phases 1-4), the *entire* accelerator —
 // under-utilised slots included — is billed to the sandboxed app. The driver
 // also virtualises the accelerator's operating frequency per psbox.
+//
+// The balloon lifecycle itself (state machine, accounting window, observer
+// dispatch, drain watchdog, DomainStats) lives in ResourceDomain; this
+// policy keeps the fair queueing, OPP virtualisation and device recovery.
 
 #ifndef SRC_KERNEL_ACCEL_DRIVER_H_
 #define SRC_KERNEL_ACCEL_DRIVER_H_
@@ -24,9 +28,8 @@
 
 #include "src/base/types.h"
 #include "src/hw/accel_device.h"
-#include "src/kernel/balloon_observer.h"
+#include "src/kernel/resource_domain.h"
 #include "src/kernel/task.h"
-#include "src/kernel/usage_ledger.h"
 #include "src/sim/simulator.h"
 #include "src/sim/watchdog.h"
 
@@ -69,7 +72,7 @@ struct AccelDriverConfig {
   DurationNs drain_timeout = 500 * kMillisecond;
 };
 
-class AccelDriver {
+class AccelDriver : public ResourceDomain {
  public:
   AccelDriver(Simulator* sim, AccelDevice* device, HwComponent kind, Kernel* kernel,
               AccelDriverConfig config = {});
@@ -77,12 +80,9 @@ class AccelDriver {
   // Syscall path: enqueues a command on behalf of |task|.
   void Submit(Task* task, AccelCommand cmd);
 
-  // --- psbox temporal balloons ---
-  void SetSandboxed(AppId app, PsboxId box);
-  void ClearSandboxed(AppId app);
-
-  void set_balloon_observer(BalloonObserver* observer) { observer_ = observer; }
-  void set_ledger(UsageLedger* ledger) { ledger_ = ledger; }
+  // --- psbox temporal balloons (ResourceDomain) ---
+  void SetSandboxed(AppId app, PsboxId box) override;
+  void ClearSandboxed(AppId app) override;
 
   // Per-psbox virtualised frequency context management.
   int CreateOppContext();
@@ -90,28 +90,19 @@ class AccelDriver {
   struct Stats {
     uint64_t submitted = 0;
     uint64_t completed = 0;
-    uint64_t balloons = 0;
     DurationNs total_dispatch_latency = 0;  // submit -> device dispatch
     DurationNs max_dispatch_latency = 0;
-    DurationNs total_balloon_time = 0;
     // Recovery counters.
     uint64_t watchdog_fires = 0;    // per-command watchdog expirations
     uint64_t device_resets = 0;     // engine resets issued by recovery
     uint64_t command_retries = 0;   // commands requeued after a reset
     uint64_t commands_failed = 0;   // dropped after max_command_retries
-    uint64_t balloons_aborted = 0;  // drain timeouts that unwound a balloon
   };
   const Stats& stats() const { return stats_; }
   uint64_t CompletedFor(AppId app) const;
-  HwComponent kind() const { return kind_; }
   const AccelDriverConfig& config() const { return config_; }
 
-  // Exposed for tests: current balloon owner (kNoApp when none).
-  AppId balloon_owner() const { return serving_; }
-
  private:
-  enum class Phase { kNormal, kDrainOthers, kServePsbox, kDrainPsbox };
-
   struct Pending {
     AccelCommand cmd;
     Task* task;
@@ -153,7 +144,7 @@ class AccelDriver {
   void OnCommandTimeout(uint64_t cmd_id);
   // A balloon drain phase stalled: abort the balloon, unwind to fair
   // scheduling and bill only the service that was actually rendered.
-  void OnDrainTimeout();
+  void OnDrainTimeout() override;
   // Resets the engine and requeues the aborted commands at the front of
   // their owners' queues (original order preserved). Hung commands take a
   // retry strike; past max_command_retries they fail instead of requeueing.
@@ -161,30 +152,19 @@ class AccelDriver {
   // Delivers a failure completion for a command dropped by recovery.
   void FailCommand(const Pending& p);
 
-  Simulator* sim_;
   AccelDevice* device_;
-  HwComponent kind_;
   Kernel* kernel_;
   AccelDriverConfig config_;
-  BalloonObserver* observer_ = nullptr;
-  UsageLedger* ledger_ = nullptr;
 
   std::map<AppId, AppQueue> queues_;
   std::unordered_map<uint64_t, Pending> in_flight_;
   uint64_t next_cmd_id_ = 1;
 
-  Phase phase_ = Phase::kNormal;
-  AppId serving_ = kNoApp;  // balloon owner during phases 1-4
-  TimeNs balloon_start_ = 0;
   TimeNs owner_idle_since_ = -1;
-  bool balloon_notified_ = false;
   EventId retry_event_ = kInvalidEventId;
 
   // Per-command hang watchdogs, keyed by command id.
   std::unordered_map<uint64_t, std::unique_ptr<Watchdog>> cmd_watchdogs_;
-  // Guards balloon drain phases (kDrainOthers / kDrainPsbox).
-  std::unique_ptr<Watchdog> drain_watchdog_;
-  TimeNs drain_enter_ = -1;  // entry time of the current drain phase
 
   // Frequency virtualisation contexts; context 0 is global.
   std::unordered_map<int, int> context_opp_;

@@ -24,7 +24,8 @@ bool CpuScheduler::Core::QueuedLess::operator()(const Entity& a, const Entity& b
 
 CpuScheduler::CpuScheduler(Simulator* sim, CpuDevice* cpu, SchedConfig config,
                            Kernel* kernel)
-    : sim_(sim), cpu_(cpu), config_(config), kernel_(kernel) {
+    : ResourceDomain(sim, HwComponent::kCpu, /*drain_timeout=*/0),
+      cpu_(cpu), config_(config), kernel_(kernel) {
   const int n = cpu_->num_cores();
   cores_.reserve(static_cast<size_t>(n));
   for (CoreId c = 0; c < n; ++c) {
@@ -596,6 +597,20 @@ void CpuScheduler::ProcessActions(CoreId core) {
         BlockCurrent(core);
         return;
       }
+      case ActionKind::kSubmitStorage: {
+        kernel_->HandleSubmitStorage(t, a);
+        t->set_remaining_compute(config_.syscall_overhead);
+        break;
+      }
+      case ActionKind::kWaitStorage: {
+        if (t->pending_storage_completions >= a.count) {
+          t->pending_storage_completions -= a.count;
+          break;
+        }
+        t->awaited_storage_completions = a.count;
+        BlockCurrent(core);
+        return;
+      }
       case ActionKind::kExit: {
         ExitCurrent(core);
         return;
@@ -675,6 +690,27 @@ void CpuScheduler::AfterCurrentLeft(CoreId core) {
 TaskGroup* CpuScheduler::CreateGroup(AppId app, PsboxId psbox) {
   groups_.push_back(std::make_unique<TaskGroup>(app, psbox, num_cores()));
   return groups_.back().get();
+}
+
+void CpuScheduler::BindBox(AppId app, PsboxId box) {
+  kernel_->RegisterCpuContext(box);
+  group_by_box_[box] = CreateGroup(app, box);
+}
+
+void CpuScheduler::SetSandboxed(AppId app, PsboxId box) {
+  EnterGroup(group_by_box_.at(box), kernel_->AppTasks(app));
+}
+
+void CpuScheduler::ClearSandboxed(AppId app) {
+  // The group may already be disarmed if the app never ran sandboxed.
+  TaskGroup* group = ActiveGroup(app);
+  if (group != nullptr) {
+    LeaveGroup(group);
+  }
+}
+
+AppId CpuScheduler::balloon_owner() const {
+  return active_balloon_ != nullptr ? active_balloon_->app() : kNoApp;
 }
 
 TaskGroup* CpuScheduler::ActiveGroup(AppId app) const {
@@ -813,7 +849,7 @@ void CpuScheduler::StartBalloon(CoreId initiator, TaskGroup* group) {
   group->coscheduling_ = true;
   group->owned_notified_ = false;
   group->balloon_started_ = sim_->Now();
-  ++stats_.balloons_started;
+  RecordBalloonStart();
   // Remove the group's entities from every runqueue: while coscheduled the
   // group is "on cpu" everywhere.
   for (CoreId c = 0; c < num_cores(); ++c) {
@@ -842,7 +878,7 @@ void CpuScheduler::StartBalloon(CoreId initiator, TaskGroup* group) {
   sim_->ScheduleAt(owned_from, [this, group, owned_from] {
     if (group->coscheduling_ && observer_ != nullptr) {
       group->owned_notified_ = true;
-      observer_->OnBalloonIn(group->psbox(), HwComponent::kCpu, owned_from);
+      NotifyBalloonIn(group->psbox(), owned_from);
     }
   });
   group->slice_timer_ = sim_->ScheduleAfter(config_.max_balloon_slice, [this, group] {
@@ -938,13 +974,13 @@ void CpuScheduler::EndBalloon(TaskGroup* group, bool group_blocked) {
   group->coscheduling_ = false;
   PSBOX_CHECK(active_balloon_ == group);
   active_balloon_ = nullptr;
-  stats_.total_balloon_time += sim_->Now() - group->balloon_started_;
+  RecordBalloonTime(sim_->Now() - group->balloon_started_);
   if (group->slice_timer_ != kInvalidEventId) {
     sim_->Cancel(group->slice_timer_);
     group->slice_timer_ = kInvalidEventId;
   }
   if (group->owned_notified_ && observer_ != nullptr) {
-    observer_->OnBalloonOut(group->psbox(), HwComponent::kCpu, sim_->Now());
+    NotifyBalloonOut(group->psbox(), sim_->Now());
     group->owned_notified_ = false;
   }
   // Tear down per-core occupancy; running group tasks go back to runnable.

@@ -33,9 +33,8 @@
 
 #include "src/base/types.h"
 #include "src/hw/cpu_device.h"
-#include "src/kernel/balloon_observer.h"
+#include "src/kernel/resource_domain.h"
 #include "src/kernel/task.h"
-#include "src/kernel/usage_ledger.h"
 #include "src/sim/simulator.h"
 
 namespace psbox {
@@ -98,12 +97,14 @@ class TaskGroup {
   int runnable_tasks_ = 0;
 };
 
-class CpuScheduler {
+// The spatial CPU domain: unlike the temporal domains it has its own
+// coscheduling lifecycle (balloons start whenever the group entity is
+// picked), so it drives the ResourceDomain primitives directly instead of
+// the five-phase machine.
+class CpuScheduler : public ResourceDomain {
  public:
   CpuScheduler(Simulator* sim, CpuDevice* cpu, SchedConfig config, Kernel* kernel);
-  ~CpuScheduler();
-  CpuScheduler(const CpuScheduler&) = delete;
-  CpuScheduler& operator=(const CpuScheduler&) = delete;
+  ~CpuScheduler() override;
 
   // --- task lifecycle -------------------------------------------------
   // Adds |task| (owned by the kernel) to the scheduler; placed on the least
@@ -114,7 +115,18 @@ class CpuScheduler {
   // Asks the scheduler to re-evaluate |core| at the next opportunity.
   void Resched(CoreId core);
 
-  // --- psbox task-group extension --------------------------------------
+  // --- psbox task-group extension (ResourceDomain) ----------------------
+  // Creates the psbox's task group and CPU frequency context.
+  void BindBox(AppId app, PsboxId box) override;
+  // Moves the app's tasks into the box's group and arms the spatial balloon.
+  void SetSandboxed(AppId app, PsboxId box) override;
+  // Disarms the balloon and moves the tasks back to the normal runqueues.
+  void ClearSandboxed(AppId app) override;
+  // App of the in-progress coscheduling period (kNoApp when none).
+  AppId balloon_owner() const override;
+
+  // Lower-level group surface (used by the overrides above; tests drive it
+  // directly when no kernel is attached).
   TaskGroup* CreateGroup(AppId app, PsboxId psbox);
   // Moves all of |app|'s current tasks into |group| and arms the spatial
   // balloon: from now on the group's tasks only run inside coscheduling
@@ -124,9 +136,6 @@ class CpuScheduler {
   void LeaveGroup(TaskGroup* group);
   // Group an app's tasks currently belong to (nullptr when unsandboxed).
   TaskGroup* ActiveGroup(AppId app) const;
-
-  void set_balloon_observer(BalloonObserver* observer) { observer_ = observer; }
-  void set_ledger(UsageLedger* ledger) { ledger_ = ledger; }
 
   // --- DVFS coupling ----------------------------------------------------
   // Changes the cluster OPP; accounts for all in-progress compute first so
@@ -150,8 +159,6 @@ class CpuScheduler {
   struct Stats {
     uint64_t context_switches = 0;
     uint64_t shootdown_ipis = 0;
-    uint64_t balloons_started = 0;
-    DurationNs total_balloon_time = 0;
     uint64_t wakeups = 0;
     DurationNs total_wake_latency = 0;  // wake -> first run
     uint64_t steals = 0;
@@ -260,14 +267,12 @@ class CpuScheduler {
   void RemoveFromGroupRunnable(Task* task);
   double ClampVruntime(CoreId core, double vr) const;
 
-  Simulator* sim_;
   CpuDevice* cpu_;
   SchedConfig config_;
   Kernel* kernel_;
-  BalloonObserver* observer_ = nullptr;
-  UsageLedger* ledger_ = nullptr;
   std::vector<Core> cores_;
   std::vector<std::unique_ptr<TaskGroup>> groups_;
+  std::unordered_map<PsboxId, TaskGroup*> group_by_box_;
   std::unordered_map<AppId, TaskGroup*> active_group_by_app_;
   // At most one coscheduling period at a time (balloons span all cores).
   TaskGroup* active_balloon_ = nullptr;

@@ -23,15 +23,14 @@ Kernel::Kernel(Board* board, KernelConfig config)
   dsp_driver_ = std::make_unique<AccelDriver>(&board_->sim(), &board_->dsp(),
                                               HwComponent::kDsp, this, dsp_cfg);
   net_ = std::make_unique<NetStack>(&board_->sim(), &board_->wifi(), this, config_.net);
+  storage_driver_ = std::make_unique<StorageDriver>(
+      &board_->sim(), &board_->storage(), this, config_.storage_driver);
 
-  scheduler_->set_balloon_observer(this);
-  scheduler_->set_ledger(&ledger_);
-  gpu_driver_->set_balloon_observer(this);
-  gpu_driver_->set_ledger(&ledger_);
-  dsp_driver_->set_balloon_observer(this);
-  dsp_driver_->set_ledger(&ledger_);
-  net_->set_balloon_observer(this);
-  net_->set_ledger(&ledger_);
+  RegisterDomain(scheduler_.get());
+  RegisterDomain(gpu_driver_.get());
+  RegisterDomain(dsp_driver_.get());
+  RegisterDomain(net_.get());
+  RegisterDomain(storage_driver_.get());
   governor_->Start();
 }
 
@@ -75,15 +74,37 @@ bool Kernel::AppFinished(AppId app) const {
   return true;
 }
 
-AccelDriver& Kernel::DriverFor(HwComponent hw) {
-  switch (hw) {
-    case HwComponent::kGpu:
-      return *gpu_driver_;
-    case HwComponent::kDsp:
-      return *dsp_driver_;
-    default:
-      PSBOX_CHECK(false);
+void Kernel::RegisterDomain(ResourceDomain* domain) {
+  const size_t slot = static_cast<size_t>(domain->kind());
+  if (domains_[slot] != nullptr) {
+    CheckFail(__FILE__, __LINE__,
+              std::string("duplicate ResourceDomain registration for ") +
+                  domain->name());
   }
+  domains_[slot] = domain;
+  domain->set_balloon_observer(this);
+  domain->set_ledger(&ledger_);
+}
+
+ResourceDomain& Kernel::domain(HwComponent hw) {
+  ResourceDomain* d = FindDomain(hw);
+  if (d == nullptr) {
+    CheckFail(__FILE__, __LINE__,
+              std::string("no ResourceDomain registered for ") +
+                  HwComponentName(hw) +
+                  " (entanglement-free components carry no balloon protocol)");
+  }
+  return *d;
+}
+
+AccelDriver& Kernel::DriverFor(HwComponent hw) {
+  if (hw != HwComponent::kGpu && hw != HwComponent::kDsp) {
+    CheckFail(__FILE__, __LINE__,
+              std::string("DriverFor: ") + HwComponentName(hw) +
+                  " is not an accelerator (use domain() for the generic "
+                  "balloon surface)");
+  }
+  return static_cast<AccelDriver&>(domain(hw));
 }
 
 void Kernel::RegisterCpuContext(PsboxId box) {
@@ -130,11 +151,28 @@ void Kernel::HandleSend(Task* task, const Action& action) {
   net_->Send(task, action);
 }
 
+void Kernel::HandleSubmitStorage(Task* task, const Action& action) {
+  StorageCommand cmd;
+  cmd.is_write = action.storage_write;
+  cmd.bytes = action.bytes;
+  storage_driver_->Submit(task, cmd);
+}
+
 void Kernel::DeliverAccelCompletion(Task* task) {
   if (task->state() == TaskState::kBlocked && task->awaited_accel_completions > 0 &&
       task->pending_accel_completions >= task->awaited_accel_completions) {
     task->pending_accel_completions -= task->awaited_accel_completions;
     task->awaited_accel_completions = 0;
+    scheduler_->WakeTask(task);
+  }
+}
+
+void Kernel::DeliverStorageCompletion(Task* task) {
+  if (task->state() == TaskState::kBlocked &&
+      task->awaited_storage_completions > 0 &&
+      task->pending_storage_completions >= task->awaited_storage_completions) {
+    task->pending_storage_completions -= task->awaited_storage_completions;
+    task->awaited_storage_completions = 0;
     scheduler_->WakeTask(task);
   }
 }

@@ -10,6 +10,7 @@
 #ifndef SRC_KERNEL_KERNEL_H_
 #define SRC_KERNEL_KERNEL_H_
 
+#include <array>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -22,6 +23,8 @@
 #include "src/kernel/cpufreq_governor.h"
 #include "src/kernel/net_stack.h"
 #include "src/kernel/psbox_service.h"
+#include "src/kernel/resource_domain.h"
+#include "src/kernel/storage_driver.h"
 #include "src/kernel/task.h"
 #include "src/kernel/usage_ledger.h"
 
@@ -33,6 +36,7 @@ struct KernelConfig {
   AccelDriverConfig gpu_driver;
   AccelDriverConfig dsp_driver;
   NetConfig net;
+  StorageDriverConfig storage_driver;
   // Ablation: when false, CPU balloons do not switch DVFS contexts (the
   // sandbox sees whatever operating point the system happens to be in).
   bool virtualize_cpu_freq = true;
@@ -64,7 +68,19 @@ class Kernel : public BalloonObserver {
   AccelDriver& dsp_driver() { return *dsp_driver_; }
   AccelDriver& DriverFor(HwComponent hw);
   NetStack& net() { return *net_; }
+  StorageDriver& storage_driver() { return *storage_driver_; }
   UsageLedger& ledger() { return ledger_; }
+
+  // --- resource-domain registry -------------------------------------------
+  // Every sandboxable resource registers its ResourceDomain here at kernel
+  // construction; the psbox manager addresses them uniformly by component.
+  // Aborts with a descriptive message when |hw| has no domain (display/GPS
+  // are entanglement-free and carry no balloon protocol).
+  ResourceDomain& domain(HwComponent hw);
+  // Null instead of aborting for unbound components.
+  ResourceDomain* FindDomain(HwComponent hw) {
+    return domains_[static_cast<size_t>(hw)];
+  }
 
   // --- psbox integration ----------------------------------------------
   void set_psbox_service(PsboxService* service) { psbox_service_ = service; }
@@ -84,7 +100,9 @@ class Kernel : public BalloonObserver {
   void ScheduleTaskWake(Task* task, DurationNs delay);
   void HandleSubmitAccel(Task* task, const Action& action);
   void HandleSend(Task* task, const Action& action);
+  void HandleSubmitStorage(Task* task, const Action& action);
   void DeliverAccelCompletion(Task* task);
+  void DeliverStorageCompletion(Task* task);
   void DeliverNetDone(Task* task);
   void ExpectRx(Task* task, size_t bytes);
   void DeliverRx(AppId app, size_t bytes);
@@ -93,6 +111,11 @@ class Kernel : public BalloonObserver {
   void RunUntil(TimeNs deadline) { board_->sim().RunUntil(deadline); }
 
  private:
+  // Binds |domain| into the registry slot for its component and attaches the
+  // kernel-side observer and the usage ledger — the one place balloon
+  // plumbing happens.
+  void RegisterDomain(ResourceDomain* domain);
+
   Board* board_;
   KernelConfig config_;
   UsageLedger ledger_;
@@ -101,6 +124,8 @@ class Kernel : public BalloonObserver {
   std::unique_ptr<AccelDriver> gpu_driver_;
   std::unique_ptr<AccelDriver> dsp_driver_;
   std::unique_ptr<NetStack> net_;
+  std::unique_ptr<StorageDriver> storage_driver_;
+  std::array<ResourceDomain*, kNumHwComponents> domains_{};
   PsboxService* psbox_service_ = nullptr;
   BalloonObserver* external_observer_ = nullptr;
 

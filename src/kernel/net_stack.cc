@@ -9,7 +9,8 @@
 namespace psbox {
 
 NetStack::NetStack(Simulator* sim, WifiDevice* device, Kernel* kernel, NetConfig config)
-    : sim_(sim), device_(device), kernel_(kernel), config_(config) {
+    : ResourceDomain(sim, HwComponent::kWifi, config.drain_timeout),
+      device_(device), kernel_(kernel), config_(config) {
   device_->set_on_frame_done([this](const WifiFrameDone& d) { OnFrameDone(d); });
 }
 
@@ -49,7 +50,7 @@ AppId NetStack::BestPendingApp(bool exclude_owner) const {
     if (!wants_nic) {
       continue;
     }
-    if (exclude_owner && app == serving_) {
+    if (exclude_owner && app == balloon_owner()) {
       continue;
     }
     if (s.credit_bytes < best_credit) {
@@ -96,8 +97,8 @@ void NetStack::Pump() {
     // with RX, which we cannot pre-empt.
     const bool nic_free = !our_tx_pending_ && !device_->busy() &&
                           device_->queued_frames() == 0;
-    switch (phase_) {
-      case Phase::kNormal: {
+    switch (balloon_phase()) {
+      case BalloonPhase::kIdle: {
         if (!nic_free) {
           return;
         }
@@ -136,38 +137,32 @@ void NetStack::Pump() {
             }
             best = fallback;
           } else {
-            serving_ = best;
-            phase_ = Phase::kDrainOthers;
-            balloon_start_ = sim_->Now();
+            BalloonRequest(best, SockFor(best).box);
             penalty_bytes_ = 0.0;
-            ++stats_.balloons;
             continue;
           }
         }
         DispatchFrom(best);
         return;
       }
-      case Phase::kDrainOthers: {
+      case BalloonPhase::kDrainOthers: {
         if (!nic_free) {
           return;
         }
-        // Balloon-in: apply the sandbox's virtualised NIC power state.
-        Socket& s = SockFor(serving_);
+        // Balloon-in: apply the sandbox's virtualised NIC power state before
+        // the observer looks.
+        Socket& s = SockFor(balloon_owner());
         if (config_.virtualize_power_state) {
           global_state_ = device_->power_state();
           device_->SetPowerState(s.vstate);
         }
-        balloon_notified_ = true;
-        if (observer_ != nullptr) {
-          observer_->OnBalloonIn(s.box, HwComponent::kWifi, sim_->Now());
-        }
-        phase_ = Phase::kServePsbox;
+        BalloonServe();
         continue;
       }
-      case Phase::kServePsbox: {
-        Socket& s = SockFor(serving_);
+      case BalloonPhase::kServe: {
+        Socket& s = SockFor(balloon_owner());
         const AppId contender = BestPendingApp(/*exclude_owner=*/true);
-        const bool grant_over = sim_->Now() - balloon_start_ >= config_.min_grant;
+        const bool grant_over = sim_->Now() - balloon_start() >= config_.min_grant;
         // The owner's NIC session covers queued TX, in-flight TX, responses
         // the channel still owes it, and its power-save tail afterwards.
         const bool owner_active =
@@ -193,12 +188,12 @@ void NetStack::Pump() {
         if (owner_idle ||
             (contender != kNoApp && grant_over && lead_exceeded &&
              owner_transmitting)) {
-          phase_ = Phase::kDrainPsbox;
+          BalloonRelease();
           continue;
         }
         if (!nic_free || s.q.empty()) {
           if (contender != kNoApp && !grant_over) {
-            const TimeNs when = balloon_start_ + config_.min_grant;
+            const TimeNs when = balloon_start() + config_.min_grant;
             sim_->ScheduleAt(std::max(when, sim_->Now()), [this] { Pump(); });
           } else if (in_tail && contender == kNoApp) {
             // Come back when the tail expires to release the idle balloon.
@@ -220,14 +215,14 @@ void NetStack::Pump() {
               std::min(s.q.front().frame.bytes,
                        SockFor(contender).q.front().frame.bytes));
         }
-        DispatchFrom(serving_);
+        DispatchFrom(balloon_owner());
         return;
       }
-      case Phase::kDrainPsbox: {
+      case BalloonPhase::kDrainOwner: {
         if (our_tx_pending_) {
           return;
         }
-        Socket& s = SockFor(serving_);
+        Socket& s = SockFor(balloon_owner());
         // Balloon-out: restore the global power state, charge the lost
         // opportunities to the sandboxed app.
         if (config_.virtualize_power_state) {
@@ -238,13 +233,7 @@ void NetStack::Pump() {
           s.credit_bytes += penalty_bytes_;
         }
         penalty_bytes_ = 0.0;
-        stats_.total_balloon_time += sim_->Now() - balloon_start_;
-        if (observer_ != nullptr && balloon_notified_) {
-          observer_->OnBalloonOut(s.box, HwComponent::kWifi, sim_->Now());
-        }
-        balloon_notified_ = false;
-        serving_ = kNoApp;
-        phase_ = Phase::kNormal;
+        BalloonFinish();
         continue;
       }
     }
@@ -265,8 +254,9 @@ void NetStack::OnFrameDone(const WifiFrameDone& done) {
     // RX landing inside the app's own balloon while others wait is likewise
     // a lost sharing opportunity; the charge is capped by what the displaced
     // competitor could actually have sent.
-    if ((phase_ == Phase::kServePsbox || phase_ == Phase::kDrainPsbox) &&
-        done.frame.app == serving_) {
+    if ((balloon_phase() == BalloonPhase::kServe ||
+         balloon_phase() == BalloonPhase::kDrainOwner) &&
+        done.frame.app == balloon_owner()) {
       const AppId contender = BestPendingApp(/*exclude_owner=*/true);
       if (contender != kNoApp) {
         penalty_bytes_ += static_cast<double>(
@@ -322,6 +312,7 @@ void NetStack::HandleTxLoss(SockPacket p) {
   ++p.retries;
   if (p.retries > config_.max_tx_retries) {
     ++stats_.tx_failed;
+    RecordRecovery();
     DeliverSocketError(p);
     return;
   }
@@ -363,14 +354,28 @@ void NetStack::SetSandboxed(AppId app, PsboxId box) {
 void NetStack::ClearSandboxed(AppId app) {
   Socket& s = SockFor(app);
   s.sandboxed = false;
-  if (serving_ == app) {
-    if (phase_ == Phase::kDrainOthers) {
-      serving_ = kNoApp;
-      phase_ = Phase::kNormal;
-    } else if (phase_ == Phase::kServePsbox) {
-      phase_ = Phase::kDrainPsbox;
+  if (balloon_owner() == app) {
+    if (balloon_phase() == BalloonPhase::kDrainOthers) {
+      BalloonCancel();
+    } else if (balloon_phase() == BalloonPhase::kServe) {
+      BalloonRelease();
     }
   }
+  Pump();
+}
+
+void NetStack::OnDrainTimeout() {
+  Socket& s = SockFor(balloon_owner());
+  if (balloon_phase() == BalloonPhase::kDrainOwner &&
+      config_.virtualize_power_state) {
+    s.vstate = device_->power_state();
+    device_->SetPowerState(global_state_);
+  }
+  if (config_.charge_lost_opportunity) {
+    s.credit_bytes += penalty_bytes_;
+  }
+  penalty_bytes_ = 0.0;
+  BalloonAbort();
   Pump();
 }
 

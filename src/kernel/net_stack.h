@@ -22,9 +22,8 @@
 
 #include "src/base/types.h"
 #include "src/hw/wifi_device.h"
-#include "src/kernel/balloon_observer.h"
+#include "src/kernel/resource_domain.h"
 #include "src/kernel/task.h"
-#include "src/kernel/usage_ledger.h"
 #include "src/sim/simulator.h"
 
 namespace psbox {
@@ -47,9 +46,12 @@ struct NetConfig {
   int max_tx_retries = 5;
   DurationNs retransmit_backoff_base = 1 * kMillisecond;
   DurationNs retransmit_backoff_cap = 32 * kMillisecond;
+  // Drain-phase watchdog bound; 0 (the default) leaves the drains unbounded —
+  // on this NIC model every frame completes, so a wedged drain cannot occur.
+  DurationNs drain_timeout = 0;
 };
 
-class NetStack {
+class NetStack : public ResourceDomain {
  public:
   NetStack(Simulator* sim, WifiDevice* device, Kernel* kernel, NetConfig config = {});
 
@@ -62,20 +64,15 @@ class NetStack {
   // deferred by the driver).
   void InjectRx(AppId app, size_t bytes);
 
-  // --- psbox temporal balloons ---
-  void SetSandboxed(AppId app, PsboxId box);
-  void ClearSandboxed(AppId app);
-
-  void set_balloon_observer(BalloonObserver* observer) { observer_ = observer; }
-  void set_ledger(UsageLedger* ledger) { ledger_ = ledger; }
+  // --- psbox temporal balloons (ResourceDomain) ---
+  void SetSandboxed(AppId app, PsboxId box) override;
+  void ClearSandboxed(AppId app) override;
 
   struct Stats {
     uint64_t tx_frames = 0;
     uint64_t rx_frames = 0;
-    uint64_t balloons = 0;
     DurationNs total_tx_latency = 0;  // enqueue -> airtime start
     DurationNs max_tx_latency = 0;
-    DurationNs total_balloon_time = 0;
     // Recovery counters.
     uint64_t tx_retransmits = 0;   // lost frames re-enqueued after backoff
     uint64_t tx_failed = 0;        // packets dropped after max_tx_retries
@@ -84,11 +81,8 @@ class NetStack {
   const Stats& stats() const { return stats_; }
   size_t BytesDelivered(AppId app) const;
   uint64_t SocketErrors(AppId app) const;
-  AppId balloon_owner() const { return serving_; }
 
  private:
-  enum class Phase { kNormal, kDrainOthers, kServePsbox, kDrainPsbox };
-
   struct SockPacket {
     WifiFrame frame;
     Task* task;
@@ -127,23 +121,19 @@ class NetStack {
   // error once the retry budget is spent.
   void HandleTxLoss(SockPacket p);
   void DeliverSocketError(const SockPacket& p);
+  // A drain phase exceeded the (optionally) configured bound: unwind the
+  // balloon, restoring the global power state and settling the penalty.
+  void OnDrainTimeout() override;
 
-  Simulator* sim_;
   WifiDevice* device_;
   Kernel* kernel_;
   NetConfig config_;
-  BalloonObserver* observer_ = nullptr;
-  UsageLedger* ledger_ = nullptr;
 
   std::map<AppId, Socket> socks_;
   std::unordered_map<uint64_t, SockPacket> tx_in_flight_;
   uint64_t next_frame_id_ = 1;
   bool our_tx_pending_ = false;  // a TX frame of ours occupies the NIC queue
 
-  Phase phase_ = Phase::kNormal;
-  AppId serving_ = kNoApp;
-  TimeNs balloon_start_ = 0;
-  bool balloon_notified_ = false;
   EventId retry_event_ = kInvalidEventId;
   double penalty_bytes_ = 0.0;  // lost sharing opportunity during the balloon
   WifiPowerState global_state_;

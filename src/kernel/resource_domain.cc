@@ -1,0 +1,121 @@
+#include "src/kernel/resource_domain.h"
+
+#include "src/base/check.h"
+
+namespace psbox {
+
+ResourceDomain::ResourceDomain(Simulator* sim, HwComponent kind,
+                               DurationNs drain_timeout)
+    : sim_(sim), kind_(kind) {
+  if (drain_timeout > 0) {
+    drain_watchdog_ = std::make_unique<Watchdog>(sim_, drain_timeout, [this] {
+      if (phase_ == BalloonPhase::kDrainOthers ||
+          phase_ == BalloonPhase::kDrainOwner) {
+        OnDrainTimeout();
+      }
+    });
+  }
+}
+
+ResourceDomain::~ResourceDomain() = default;
+
+void ResourceDomain::NotifyBalloonIn(PsboxId box, TimeNs when) {
+  if (observer_ != nullptr) {
+    observer_->OnBalloonIn(box, kind_, when);
+  }
+}
+
+void ResourceDomain::NotifyBalloonOut(PsboxId box, TimeNs when) {
+  if (observer_ != nullptr) {
+    observer_->OnBalloonOut(box, kind_, when);
+  }
+}
+
+void ResourceDomain::BalloonRequest(AppId app, PsboxId box) {
+  PSBOX_CHECK(phase_ == BalloonPhase::kIdle);
+  PSBOX_CHECK(app != kNoApp);
+  owner_ = app;
+  owner_box_ = box;
+  phase_ = BalloonPhase::kDrainOthers;
+  balloon_start_ = sim_->Now();
+  drain_enter_ = sim_->Now();
+  if (drain_watchdog_ != nullptr) {
+    drain_watchdog_->Arm();
+  }
+  RecordBalloonStart();
+}
+
+void ResourceDomain::BalloonServe() {
+  PSBOX_CHECK(phase_ == BalloonPhase::kDrainOthers);
+  if (drain_watchdog_ != nullptr) {
+    drain_watchdog_->Disarm();
+  }
+  notified_ = true;
+  NotifyBalloonIn(owner_box_, sim_->Now());
+  phase_ = BalloonPhase::kServe;
+}
+
+void ResourceDomain::BalloonRelease() {
+  PSBOX_CHECK(phase_ == BalloonPhase::kServe);
+  phase_ = BalloonPhase::kDrainOwner;
+  drain_enter_ = sim_->Now();
+  if (drain_watchdog_ != nullptr) {
+    drain_watchdog_->Arm();
+  }
+}
+
+DurationNs ResourceDomain::BalloonFinish() {
+  PSBOX_CHECK(phase_ == BalloonPhase::kDrainOwner);
+  if (drain_watchdog_ != nullptr) {
+    drain_watchdog_->Disarm();
+  }
+  const DurationNs held = sim_->Now() - balloon_start_;
+  RecordBalloonTime(held);
+  if (notified_) {
+    NotifyBalloonOut(owner_box_, sim_->Now());
+  }
+  notified_ = false;
+  owner_ = kNoApp;
+  owner_box_ = kNoPsbox;
+  drain_enter_ = -1;
+  phase_ = BalloonPhase::kIdle;
+  return held;
+}
+
+void ResourceDomain::BalloonCancel() {
+  PSBOX_CHECK(phase_ == BalloonPhase::kDrainOthers);
+  if (drain_watchdog_ != nullptr) {
+    drain_watchdog_->Disarm();
+  }
+  notified_ = false;
+  owner_ = kNoApp;
+  owner_box_ = kNoPsbox;
+  drain_enter_ = -1;
+  phase_ = BalloonPhase::kIdle;
+}
+
+DurationNs ResourceDomain::BalloonAbort() {
+  PSBOX_CHECK(phase_ == BalloonPhase::kDrainOthers ||
+              phase_ == BalloonPhase::kDrainOwner);
+  if (drain_watchdog_ != nullptr) {
+    drain_watchdog_->Disarm();
+  }
+  // A balloon that never reached ownership bills nothing; one aborted in its
+  // owner drain bills only the service actually rendered — the stuck drain
+  // is the hardware's fault, not the sandbox's.
+  const DurationNs served =
+      phase_ == BalloonPhase::kDrainOwner ? BalloonServed() : 0;
+  RecordBalloonTime(served);
+  RecordAbort();
+  if (notified_) {
+    NotifyBalloonOut(owner_box_, sim_->Now());
+  }
+  notified_ = false;
+  owner_ = kNoApp;
+  owner_box_ = kNoPsbox;
+  drain_enter_ = -1;
+  phase_ = BalloonPhase::kIdle;
+  return served;
+}
+
+}  // namespace psbox

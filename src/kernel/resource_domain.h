@@ -1,0 +1,155 @@
+// ResourceDomain: the common OS-facing layer of the balloon protocol.
+//
+// The paper implements one concept — per-resource power balloons with
+// drain/serve accounting (§4) — once per resource class: spatial balloons in
+// the CPU scheduler, five-phase temporal balloons in the accelerator
+// drivers, credit-based balloons in the network stack. ResourceDomain hoists
+// everything those implementations share out of the policies:
+//
+//   * the balloon lifecycle state machine
+//       request (drain others) -> serve -> release (drain owner) -> finish
+//                    \-> cancel                    \-> abort (watchdog)
+//   * the per-box accounting window (balloon_start .. finish/abort) and the
+//     unified DomainStats every domain reports;
+//   * BalloonObserver dispatch at the ownership edges (balloon-in/out), which
+//     is what feeds the psbox virtual power meters;
+//   * drain-watchdog arming, so a wedged drain phase always unwinds.
+//
+// Policies (CpuScheduler, AccelDriver, NetStack, StorageDriver) keep only
+// what is genuinely resource-specific: queueing, fairness credits, device
+// dispatch, power-state virtualisation and recovery actions. The kernel and
+// the psbox manager address every domain uniformly through a registry keyed
+// by HwComponent — adding a sandboxed resource means implementing this
+// interface, not wiring a fourth special case through the stack.
+//
+// Two shapes of policy:
+//   * temporal domains (accelerators, NIC, storage) drive the five-phase
+//     machine directly via BalloonRequest/Serve/Release/Finish/Cancel/Abort;
+//   * the spatial CPU domain has its own coscheduling lifecycle and uses the
+//     primitives (Notify*/Record*) so its accounting and observer dispatch
+//     still flow through the common layer.
+
+#ifndef SRC_KERNEL_RESOURCE_DOMAIN_H_
+#define SRC_KERNEL_RESOURCE_DOMAIN_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/base/types.h"
+#include "src/kernel/balloon_observer.h"
+#include "src/kernel/usage_ledger.h"
+#include "src/sim/simulator.h"
+#include "src/sim/watchdog.h"
+
+namespace psbox {
+
+// The stats every resource domain reports, uniformly (the per-resource
+// driver stats keep only their subsystem-specific counters).
+struct DomainStats {
+  // Balloon requests (whether they reached ownership or were unwound).
+  uint64_t balloons = 0;
+  // Billed ownership time: full windows for finished balloons, only the
+  // service actually rendered for aborted ones.
+  DurationNs total_balloon_time = 0;
+  // Balloons unwound by a drain watchdog (never more than |balloons|).
+  uint64_t aborted = 0;
+  // Recovery actions the domain took (device resets, retransmit give-ups);
+  // zero unless faults are injected.
+  uint64_t recoveries = 0;
+};
+
+class ResourceDomain {
+ public:
+  // |drain_timeout| == 0 disables the drain watchdog (the domain's drain
+  // phases are then unbounded, e.g. the NIC whose frames always complete).
+  ResourceDomain(Simulator* sim, HwComponent kind, DurationNs drain_timeout);
+  virtual ~ResourceDomain();
+  ResourceDomain(const ResourceDomain&) = delete;
+  ResourceDomain& operator=(const ResourceDomain&) = delete;
+
+  HwComponent kind() const { return kind_; }
+  const char* name() const { return HwComponentName(kind_); }
+
+  // --- registry surface (driven by Kernel / PsboxManager) -----------------
+  // One-time per-psbox setup at psbox_create (task group / context
+  // creation); default is nothing.
+  virtual void BindBox(AppId app, PsboxId box) {
+    (void)app;
+    (void)box;
+  }
+  // Arms / disarms balloons for |app| (psbox enter / leave).
+  virtual void SetSandboxed(AppId app, PsboxId box) = 0;
+  virtual void ClearSandboxed(AppId app) = 0;
+
+  void set_balloon_observer(BalloonObserver* observer) { observer_ = observer; }
+  void set_ledger(UsageLedger* ledger) { ledger_ = ledger; }
+
+  const DomainStats& domain_stats() const { return dstats_; }
+  // Current balloon owner (kNoApp when none).
+  virtual AppId balloon_owner() const { return owner_; }
+
+ protected:
+  enum class BalloonPhase { kIdle, kDrainOthers, kServe, kDrainOwner };
+
+  // --- primitives (used by every domain, incl. the spatial CPU one) -------
+  void NotifyBalloonIn(PsboxId box, TimeNs when);
+  void NotifyBalloonOut(PsboxId box, TimeNs when);
+  void RecordBalloonStart() { ++dstats_.balloons; }
+  void RecordBalloonTime(DurationNs held) { dstats_.total_balloon_time += held; }
+  void RecordAbort() { ++dstats_.aborted; }
+  void RecordRecovery() { ++dstats_.recoveries; }
+
+  // --- the temporal five-phase lifecycle ----------------------------------
+  BalloonPhase balloon_phase() const { return phase_; }
+  TimeNs balloon_start() const { return balloon_start_; }
+  PsboxId owner_box() const { return owner_box_; }
+  // Ownership window rendered before the current drain-owner phase began
+  // (what an aborted balloon is billed for).
+  DurationNs BalloonServed() const { return drain_enter_ - balloon_start_; }
+
+  // kIdle -> kDrainOthers: counts the balloon, opens the accounting window,
+  // arms the drain watchdog.
+  void BalloonRequest(AppId app, PsboxId box);
+  // kDrainOthers -> kServe: disarms the watchdog and signals balloon-in.
+  // The policy swaps its virtualised power state *before* calling this, so
+  // the observer sees the sandbox's own operating point from the first
+  // owned instant.
+  void BalloonServe();
+  // kServe -> kDrainOwner: arms the drain watchdog.
+  void BalloonRelease();
+  // kDrainOwner -> kIdle: bills the full window, signals balloon-out.
+  // Returns the held duration (the policy's fairness charge).
+  DurationNs BalloonFinish();
+  // kDrainOthers -> kIdle without billing or an abort count: the sandbox
+  // left before ownership ever began.
+  void BalloonCancel();
+  // Either drain phase -> kIdle on watchdog expiry: bills only the service
+  // rendered (zero when ownership never began), counts the abort and signals
+  // balloon-out if ownership had been announced. Returns the billed span.
+  DurationNs BalloonAbort();
+
+  // Policy hook run when the drain watchdog expires while a drain phase is
+  // still pending. The policy clears wedged hardware, settles its fairness
+  // credits and calls BalloonAbort().
+  virtual void OnDrainTimeout() {}
+
+  Simulator* sim_;
+  BalloonObserver* observer_ = nullptr;
+  UsageLedger* ledger_ = nullptr;
+
+ private:
+  HwComponent kind_;
+  BalloonPhase phase_ = BalloonPhase::kIdle;
+  AppId owner_ = kNoApp;
+  PsboxId owner_box_ = kNoPsbox;
+  TimeNs balloon_start_ = 0;
+  TimeNs drain_enter_ = -1;
+  bool notified_ = false;
+  // Guards the drain phases; null when drain_timeout == 0.
+  std::unique_ptr<Watchdog> drain_watchdog_;
+  DomainStats dstats_;
+};
+
+}  // namespace psbox
+
+#endif  // SRC_KERNEL_RESOURCE_DOMAIN_H_

@@ -51,6 +51,29 @@ Action Action::WaitNet() {
   return a;
 }
 
+Action Action::StorageRead(size_t bytes) {
+  Action a;
+  a.kind = ActionKind::kSubmitStorage;
+  a.bytes = bytes;
+  a.storage_write = false;
+  return a;
+}
+
+Action Action::StorageWrite(size_t bytes) {
+  Action a;
+  a.kind = ActionKind::kSubmitStorage;
+  a.bytes = bytes;
+  a.storage_write = true;
+  return a;
+}
+
+Action Action::WaitStorage(int count) {
+  Action a;
+  a.kind = ActionKind::kWaitStorage;
+  a.count = count;
+  return a;
+}
+
 Action Action::Exit() {
   Action a;
   a.kind = ActionKind::kExit;

@@ -37,6 +37,12 @@ enum class ActionKind : uint8_t {
   // Block until all of this task's submitted packets have left the NIC and
   // all pending responses have been received.
   kWaitNet,
+  // Enqueue a storage transfer of |bytes| (|storage_write| selects the
+  // direction); non-blocking.
+  kSubmitStorage,
+  // Block until |count| storage completions have been delivered to this task
+  // (counting from previous waits).
+  kWaitStorage,
   // Terminate the task.
   kExit,
 };
@@ -54,6 +60,8 @@ struct Action {
   // |response_delay| apart (a streaming download).
   int response_count = 1;
   int count = 1;
+  // Direction of a kSubmitStorage transfer (|bytes| is its size).
+  bool storage_write = false;
 
   static Action Compute(DurationNs d, double intensity = 1.0);
   static Action Sleep(DurationNs d);
@@ -62,6 +70,9 @@ struct Action {
   static Action Send(size_t bytes, size_t response_bytes = 0,
                      DurationNs response_delay = 0, int response_count = 1);
   static Action WaitNet();
+  static Action StorageRead(size_t bytes);
+  static Action StorageWrite(size_t bytes);
+  static Action WaitStorage(int count = 1);
   static Action Exit();
 };
 
@@ -112,6 +123,9 @@ class Task {
   // Packets in flight (TX not done or response not yet received).
   int net_inflight = 0;
   bool waiting_net = false;
+  // Storage completions delivered but not yet consumed by kWaitStorage.
+  int pending_storage_completions = 0;
+  int awaited_storage_completions = 0;
 
   // Core this task currently prefers / runs on; -1 before first placement.
   CoreId core = -1;

@@ -9,7 +9,9 @@ namespace psbox {
 PowerSandbox::PowerSandbox(PsboxId id, AppId app, std::vector<HwComponent> hw,
                            TimeNs created)
     : id_(id), app_(app), hw_(std::move(hw)), meter_start_(created),
-      sample_cursor_(created) {}
+      sample_cursor_(created) {
+  open_since_.fill(-1);
+}
 
 bool PowerSandbox::BoundTo(HwComponent hw) const {
   return std::find(hw_.begin(), hw_.end(), hw) != hw_.end();

@@ -97,7 +97,7 @@ class PowerSandbox {
   TimeNs meter_start_;
   TimeNs sample_cursor_;
   std::array<IntervalSet, kNumHwComponents> owned_;
-  std::array<TimeNs, kNumHwComponents> open_since_{-1, -1, -1, -1, -1, -1};
+  std::array<TimeNs, kNumHwComponents> open_since_;  // filled with -1 in ctor
 };
 
 }  // namespace psbox

@@ -31,9 +31,11 @@ int PsboxManager::CreateBox(AppId app, const std::vector<HwComponent>& hw) {
   const PsboxId id = static_cast<PsboxId>(boxes_.size());
   boxes_.push_back(std::make_unique<PowerSandbox>(id, app, hw, kernel_->Now()));
   for (HwComponent component : hw) {
-    if (component == HwComponent::kCpu) {
-      kernel_->RegisterCpuContext(id);
-      cpu_groups_[id] = kernel_->scheduler().CreateGroup(app, id);
+    // Each bound resource domain does its one-time per-box setup (the CPU
+    // domain creates the task group and DVFS context). Entanglement-free
+    // components (display, GPS) have no domain and nothing to bind.
+    if (ResourceDomain* domain = kernel_->FindDomain(component)) {
+      domain->BindBox(app, id);
     }
   }
   return id;
@@ -57,22 +59,9 @@ void PsboxManager::ApplyEnter(int box) {
     return;  // left again before the switch applied
   }
   for (HwComponent hw : sb.hardware()) {
-    switch (hw) {
-      case HwComponent::kCpu:
-        kernel_->scheduler().EnterGroup(cpu_groups_.at(sb.id()),
-                                        kernel_->AppTasks(sb.app()));
-        break;
-      case HwComponent::kGpu:
-      case HwComponent::kDsp:
-        kernel_->DriverFor(hw).SetSandboxed(sb.app(), sb.id());
-        break;
-      case HwComponent::kWifi:
-        kernel_->net().SetSandboxed(sb.app(), sb.id());
-        break;
-      case HwComponent::kDisplay:
-      case HwComponent::kGps:
-        // Entanglement-free hardware (§7): no balloons to arm.
-        break;
+    // Entanglement-free hardware (§7) has no domain — nothing to arm.
+    if (ResourceDomain* domain = kernel_->FindDomain(hw)) {
+      domain->SetSandboxed(sb.app(), sb.id());
     }
   }
 }
@@ -92,23 +81,8 @@ void PsboxManager::ApplyLeave(int box) {
     return;  // re-entered before the switch applied
   }
   for (HwComponent hw : sb.hardware()) {
-    switch (hw) {
-      case HwComponent::kCpu: {
-        TaskGroup* group = cpu_groups_.at(sb.id());
-        // The group may already be disarmed if the app never ran sandboxed.
-        kernel_->scheduler().LeaveGroup(group);
-        break;
-      }
-      case HwComponent::kGpu:
-      case HwComponent::kDsp:
-        kernel_->DriverFor(hw).ClearSandboxed(sb.app());
-        break;
-      case HwComponent::kWifi:
-        kernel_->net().ClearSandboxed(sb.app());
-        break;
-      case HwComponent::kDisplay:
-      case HwComponent::kGps:
-        break;
+    if (ResourceDomain* domain = kernel_->FindDomain(hw)) {
+      domain->ClearSandboxed(sb.app());
     }
   }
 }

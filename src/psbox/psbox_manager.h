@@ -68,7 +68,6 @@ class PsboxManager : public PsboxService, public BalloonObserver {
   Kernel* kernel_;
   Rng rng_;
   std::vector<std::unique_ptr<PowerSandbox>> boxes_;
-  std::unordered_map<PsboxId, TaskGroup*> cpu_groups_;
 };
 
 }  // namespace psbox

@@ -59,6 +59,7 @@ FaultInjector::FaultInjector(FaultPlan plan)
   PSBOX_CHECK_GE(plan_.wifi_tx_loss_prob, 0.0);
   PSBOX_CHECK_GE(plan_.freq_fail_prob, 0.0);
   PSBOX_CHECK_GE(plan_.accel_latency_factor, 1.0);
+  PSBOX_CHECK_GE(plan_.storage_hang_prob, 0.0);
 }
 
 Rng& FaultInjector::StreamFor(const std::string& scope) {
@@ -114,6 +115,17 @@ bool FaultInjector::ShouldFailFreqTransition(const std::string& scope) {
     return false;
   }
   ++stats_.freq_transition_fails;
+  return true;
+}
+
+bool FaultInjector::ShouldHangStorageCommand() {
+  if (plan_.storage_hang_prob <= 0.0) {
+    return false;
+  }
+  if (!StreamFor("storage").Bernoulli(plan_.storage_hang_prob)) {
+    return false;
+  }
+  ++stats_.storage_hangs;
   return true;
 }
 

@@ -66,11 +66,18 @@ struct FaultPlan {
   // hardware stays at the previous operating point and reports failure.
   double freq_fail_prob = 0.0;
 
+  // --- Storage faults (scope "storage") -----------------------------------
+  // Probability that a dispatched flash command wedges the channel: it holds
+  // the bus busy (and the rail hot) and never completes until the driver
+  // resets the controller.
+  double storage_hang_prob = 0.0;
+
   // True when the plan can inject anything at all.
   bool Any() const {
     return accel_hang_prob > 0.0 || accel_latency_prob > 0.0 ||
            wifi_tx_loss_prob > 0.0 || !wifi_link_down.empty() ||
-           !meter_dropout.empty() || freq_fail_prob > 0.0;
+           !meter_dropout.empty() || freq_fail_prob > 0.0 ||
+           storage_hang_prob > 0.0;
   }
 };
 
@@ -87,6 +94,7 @@ class FaultInjector {
   double CommandLatencyFactor(const std::string& scope);
   bool ShouldDropTxFrame(TimeNs now);
   bool ShouldFailFreqTransition(const std::string& scope);
+  bool ShouldHangStorageCommand();
 
   // --- scheduled-window queries (pure functions of time) ------------------
   bool LinkUpAt(TimeNs t) const;
@@ -101,9 +109,10 @@ class FaultInjector {
     uint64_t accel_latency_spikes = 0;
     uint64_t wifi_frames_dropped = 0;
     uint64_t freq_transition_fails = 0;
+    uint64_t storage_hangs = 0;
     uint64_t Total() const {
       return accel_hangs + accel_latency_spikes + wifi_frames_dropped +
-             freq_transition_fails;
+             freq_transition_fails + storage_hangs;
     }
   };
   const Stats& stats() const { return stats_; }

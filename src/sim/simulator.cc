@@ -1,5 +1,6 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace psbox {
@@ -7,7 +8,8 @@ namespace psbox {
 EventId Simulator::ScheduleAt(TimeNs when, std::function<void()> fn) {
   PSBOX_CHECK_GE(when, now_);
   const EventId id = ++next_id_;
-  queue_.push(Event{when, next_seq_++, id});
+  queue_.push_back(Event{when, next_seq_++, id});
+  std::push_heap(queue_.begin(), queue_.end(), EventLater{});
   closures_.emplace(id, std::move(fn));
   return id;
 }
@@ -17,16 +19,43 @@ bool Simulator::Cancel(EventId id) {
     return false;
   }
   // Eagerly drop the closure (and everything it captures); the heap entry
-  // stays behind as a tombstone and is skipped when popped.
-  return closures_.erase(id) > 0;
+  // stays behind as a tombstone and is skipped when popped — unless
+  // tombstones pile up enough to warrant a sweep.
+  if (closures_.erase(id) == 0) {
+    return false;
+  }
+  ++tombstones_;
+  MaybeCompact();
+  return true;
+}
+
+void Simulator::MaybeCompact() {
+  if (tombstones_ <= queue_.size() / 2) {
+    return;
+  }
+  // Erase every entry whose closure is gone, in one pass, then restore the
+  // heap invariant. Ordering among survivors is untouched: (when, seq) keys
+  // don't change, so determinism is preserved.
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [this](const Event& e) {
+                                return closures_.count(e.id) == 0;
+                              }),
+               queue_.end());
+  std::make_heap(queue_.begin(), queue_.end(), EventLater{});
+  tombstones_compacted_ += tombstones_;
+  tombstones_ = 0;
 }
 
 bool Simulator::PopNext(TimeNs deadline, Event* out, std::function<void()>* fn) {
   while (!queue_.empty()) {
-    const Event& top = queue_.top();
+    const Event& top = queue_.front();
     auto it = closures_.find(top.id);
     if (it == closures_.end()) {
-      queue_.pop();  // tombstone of a cancelled event
+      // Tombstone of a cancelled event.
+      std::pop_heap(queue_.begin(), queue_.end(), EventLater{});
+      queue_.pop_back();
+      PSBOX_CHECK_GT(tombstones_, 0u);
+      --tombstones_;
       continue;
     }
     if (deadline >= 0 && top.when > deadline) {
@@ -35,7 +64,8 @@ bool Simulator::PopNext(TimeNs deadline, Event* out, std::function<void()>* fn) 
     *out = top;
     *fn = std::move(it->second);
     closures_.erase(it);
-    queue_.pop();
+    std::pop_heap(queue_.begin(), queue_.end(), EventLater{});
+    queue_.pop_back();
     return true;
   }
   return false;

@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -57,6 +56,9 @@ class Simulator {
 
   size_t pending_events() const { return closures_.size(); }
   uint64_t total_fired() const { return total_fired_; }
+  // Tombstones swept out of the heap by compaction (see MaybeCompact). A
+  // cheap proxy for how much cancel-heavy workloads stress the queue.
+  uint64_t tombstones_compacted() const { return tombstones_compacted_; }
 
  private:
   // Heap entries carry only ordering state; the closure lives in |closures_|
@@ -64,6 +66,9 @@ class Simulator {
   // no longer in |closures_| is a tombstone and is skipped on pop — cancelled
   // events therefore cost O(log n) heap residue but never keep captured
   // objects (e.g. |this| pointers) alive until the queue drains past them.
+  // When tombstones outnumber live entries the heap is compacted in one
+  // O(n) sweep (timer-heavy workloads re-arm watchdogs far more often than
+  // they let them fire, so residue would otherwise dominate the heap).
   struct Event {
     TimeNs when;
     uint64_t seq;  // tie-break: FIFO among same-time events
@@ -81,12 +86,18 @@ class Simulator {
   // Pops the next live event into |out|; false when the queue is exhausted
   // or the next live event lies past |deadline| (no deadline when < 0).
   bool PopNext(TimeNs deadline, Event* out, std::function<void()>* fn);
+  // Sweeps tombstones out of the heap once they exceed half of it.
+  void MaybeCompact();
 
   TimeNs now_ = 0;
   uint64_t next_seq_ = 1;
   EventId next_id_ = 1;
   uint64_t total_fired_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  uint64_t tombstones_ = 0;  // cancelled entries still in the heap
+  uint64_t tombstones_compacted_ = 0;
+  // Binary heap ordered by EventLater (std::push_heap/pop_heap), kept as a
+  // plain vector so compaction can erase tombstones in place.
+  std::vector<Event> queue_;
   std::unordered_map<EventId, std::function<void()>> closures_;
 };
 

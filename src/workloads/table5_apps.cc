@@ -292,6 +292,48 @@ AppHandle SpawnWget(Kernel& kernel, const std::string& name, AppOptions opts) {
 }
 
 // ---------------------------------------------------------------------------
+// Storage apps. One iteration = one synced photo / scanned file batch.
+// ---------------------------------------------------------------------------
+
+AppHandle SpawnPhotoSync(Kernel& kernel, const std::string& name, AppOptions opts) {
+  const double j = opts.jitter;
+  const auto photo =
+      static_cast<size_t>(768.0 * 1024 * opts.work_scale);
+  return SpawnLoopApp(
+      kernel, name, {HwComponent::kCpu, HwComponent::kStorage}, opts,
+      [j, photo](TaskEnv&, uint64_t, Rng& rng) {
+        // Encode a photo on the CPU, then write it out in two chunks. The
+        // writes land in the device's write-back buffer; the flush tail that
+        // follows is exactly the §4.1 lingering power state the storage
+        // balloon must keep inside the owner's window.
+        return std::vector<Action>{
+            Action::Compute(Jitter(rng, 2500 * kMicrosecond, j), 1.1),
+            Action::StorageWrite(photo / 2),
+            Action::StorageWrite(photo / 2),
+            Action::WaitStorage(2),
+            Action::Sleep(Jitter(rng, 3 * kMillisecond, j)),
+        };
+      });
+}
+
+AppHandle SpawnMediaScan(Kernel& kernel, const std::string& name, AppOptions opts) {
+  const double j = opts.jitter;
+  const auto chunk =
+      static_cast<size_t>(256.0 * 1024 * opts.work_scale);
+  return SpawnLoopApp(
+      kernel, name, {HwComponent::kStorage}, opts,
+      [j, chunk](TaskEnv&, uint64_t, Rng& rng) {
+        // Read a batch of files, then a short metadata-extraction burst.
+        return std::vector<Action>{
+            Action::StorageRead(chunk),
+            Action::StorageRead(chunk),
+            Action::WaitStorage(2),
+            Action::Compute(Jitter(rng, 600 * kMicrosecond, j), 0.8),
+        };
+      });
+}
+
+// ---------------------------------------------------------------------------
 // Websites & attacker camouflage (§2.5)
 // ---------------------------------------------------------------------------
 

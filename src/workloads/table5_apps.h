@@ -68,6 +68,14 @@ AppHandle SpawnWifiBrowser(Kernel& kernel, const std::string& name, AppOptions o
 AppHandle SpawnScp(Kernel& kernel, const std::string& name, AppOptions opts);
 AppHandle SpawnWget(Kernel& kernel, const std::string& name, AppOptions opts);
 
+// --- Storage apps ----------------------------------------------------------
+// Photo sync: CPU encode bursts followed by large write batches; binds its
+// psbox to {CPU, Storage} — the two components its energy actually lands on.
+AppHandle SpawnPhotoSync(Kernel& kernel, const std::string& name, AppOptions opts);
+// Media-library scan: read-dominated with light per-file metadata compute;
+// binds to {Storage} only.
+AppHandle SpawnMediaScan(Kernel& kernel, const std::string& name, AppOptions opts);
+
 // --- Websites (for the §2.5 side channel) ---------------------------------
 // Number of distinct website GPU profiles available (the "Alexa top-10").
 constexpr int kNumWebsites = 10;

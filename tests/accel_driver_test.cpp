@@ -88,7 +88,7 @@ TEST(AccelDriverTest, BalloonsBilledToOwner) {
   // completes no more than the plain app.
   EXPECT_LE(s.kernel.gpu_driver().CompletedFor(a.app),
             s.kernel.gpu_driver().CompletedFor(b.app));
-  EXPECT_GT(s.kernel.gpu_driver().stats().balloons, 0u);
+  EXPECT_GT(s.kernel.gpu_driver().domain_stats().balloons, 0u);
 }
 
 TEST(AccelDriverTest, DispatchLatencyGrowsUnderPsbox) {

@@ -1,9 +1,12 @@
-// Tests for the prior-approach accounting splitters.
+// Tests for the prior-approach accounting splitters, plus the full-stack
+// accounting bound for a psbox spanning CPU + storage.
 
 #include <gtest/gtest.h>
 
 #include "src/accounting/power_splitter.h"
 #include "src/sim/simulator.h"
+#include "src/workloads/table5_apps.h"
+#include "tests/test_util.h"
 
 namespace psbox {
 namespace {
@@ -149,6 +152,36 @@ TEST_F(SplitterTest, WindowGranularityRespected) {
   std::vector<UsageRecord> records = {{1, 0, Millis(10), 1.0}};
   auto series = splitter.ShareSeries(rail_, records, 1, 0, Millis(10));
   EXPECT_EQ(series.size(), 10u);
+}
+
+// The paper's accounting bound, extended to the fourth resource: a psbox
+// bound to {CPU, Storage} observes (near enough) the same energy for a fixed
+// amount of work whether it runs alone or against a storage-hungry co-runner
+// — the flush-tail entanglement is kept out of its window by the balloon.
+TEST(FullStackAccountingTest, CpuPlusStorageBoxErrorWithinBound) {
+  auto observe = [&](bool co_run) {
+    TestStack s;
+    AppOptions opts;
+    opts.iterations = 20;
+    opts.use_psbox = true;
+    AppHandle main_app = SpawnPhotoSync(s.kernel, "sync", opts);
+    if (co_run) {
+      AppOptions co;
+      co.deadline = Seconds(10);
+      SpawnMediaScan(s.kernel, "scan", co);
+    }
+    while (!s.kernel.AppFinished(main_app.app) && s.kernel.Now() < Seconds(30)) {
+      s.kernel.RunUntil(s.kernel.Now() + Millis(50));
+    }
+    EXPECT_TRUE(s.kernel.AppFinished(main_app.app));
+    EXPECT_GT(main_app.stats->psbox_energy, 0.0);
+    return main_app.stats->psbox_energy;
+  };
+  const Joules alone = observe(false);
+  const Joules co_run = observe(true);
+  ASSERT_GT(alone, 0.0);
+  // Same bound the component-local consistency sweeps use (paper: mostly <5%).
+  EXPECT_NEAR(co_run / alone, 1.0, 0.10);
 }
 
 }  // namespace

@@ -102,8 +102,9 @@ TEST(BalloonTest, ShootdownUsesIpis) {
   Sandbox(s, app);
   s.kernel.RunUntil(Millis(500));
   const auto& st = s.kernel.scheduler().stats();
-  EXPECT_GT(st.balloons_started, 0u);
-  EXPECT_EQ(st.shootdown_ipis, st.balloons_started);  // one peer core
+  const auto& dom = s.kernel.scheduler().domain_stats();
+  EXPECT_GT(dom.balloons, 0u);
+  EXPECT_EQ(st.shootdown_ipis, dom.balloons);  // one peer core
 }
 
 TEST(BalloonTest, MaxSliceBoundsBalloon) {
@@ -112,10 +113,10 @@ TEST(BalloonTest, MaxSliceBoundsBalloon) {
   s.kernel.SpawnTask(app, "t", std::make_unique<BusyBehavior>());
   Sandbox(s, app);
   s.kernel.RunUntil(Seconds(1));
-  const auto& st = s.kernel.scheduler().stats();
-  ASSERT_GT(st.balloons_started, 0u);
-  const double avg = static_cast<double>(st.total_balloon_time) /
-                     static_cast<double>(st.balloons_started);
+  const auto& dom = s.kernel.scheduler().domain_stats();
+  ASSERT_GT(dom.balloons, 0u);
+  const double avg = static_cast<double>(dom.total_balloon_time) /
+                     static_cast<double>(dom.balloons);
   EXPECT_LE(avg, static_cast<double>(s.kernel.scheduler().config().max_balloon_slice) * 1.1);
 }
 

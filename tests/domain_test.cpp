@@ -1,0 +1,95 @@
+// The uniform ResourceDomain surface: every sandboxed resource reports the
+// same DomainStats with the same invariants, and the kernel registry rejects
+// components that carry no balloon protocol.
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/table5_apps.h"
+#include "tests/test_util.h"
+
+namespace psbox {
+namespace {
+
+using Factory = AppHandle (*)(Kernel&, const std::string&, AppOptions);
+
+struct DomainCase {
+  HwComponent hw;
+  Factory factory;  // spawns an app exercising exactly this component's domain
+};
+
+class DomainStatsParity : public ::testing::TestWithParam<DomainCase> {};
+
+TEST_P(DomainStatsParity, InvariantsHoldOnEveryDomain) {
+  const DomainCase c = GetParam();
+  TestStack s;
+  AppOptions sandboxed;
+  sandboxed.deadline = Millis(600);
+  sandboxed.use_psbox = true;
+  c.factory(s.kernel, "boxed", sandboxed);
+  // A same-kind competitor so balloons actually have someone to drain.
+  AppOptions plain;
+  plain.deadline = Millis(600);
+  c.factory(s.kernel, "rival", plain);
+
+  s.kernel.RunUntil(Millis(300));
+  const DomainStats mid = s.kernel.domain(c.hw).domain_stats();
+  s.kernel.RunUntil(Millis(700));
+  const DomainStats end = s.kernel.domain(c.hw).domain_stats();
+
+  // The sandboxed app got balloons, and the counters are well-formed.
+  EXPECT_GT(end.balloons, 0u) << HwComponentName(c.hw);
+  EXPECT_GT(end.total_balloon_time, 0) << HwComponentName(c.hw);
+  EXPECT_LE(end.aborted, end.balloons) << HwComponentName(c.hw);
+
+  // Monotonicity across snapshots.
+  EXPECT_GE(end.balloons, mid.balloons) << HwComponentName(c.hw);
+  EXPECT_GE(end.total_balloon_time, mid.total_balloon_time)
+      << HwComponentName(c.hw);
+  EXPECT_GE(end.aborted, mid.aborted) << HwComponentName(c.hw);
+
+  // Recovery actions only ever happen under fault injection.
+  EXPECT_EQ(end.recoveries, 0u) << HwComponentName(c.hw);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDomains, DomainStatsParity,
+    ::testing::Values(DomainCase{HwComponent::kCpu, &SpawnCalib3d},
+                      DomainCase{HwComponent::kGpu, &SpawnTriangle},
+                      DomainCase{HwComponent::kDsp, &SpawnSgemm},
+                      DomainCase{HwComponent::kWifi, &SpawnScp},
+                      DomainCase{HwComponent::kStorage, &SpawnMediaScan}),
+    [](const ::testing::TestParamInfo<DomainCase>& info) {
+      return std::string(HwComponentName(info.param.hw));
+    });
+
+TEST(DomainRegistryTest, TypedAccessorsAliasTheRegistry) {
+  TestStack s;
+  EXPECT_EQ(&s.kernel.domain(HwComponent::kCpu),
+            static_cast<ResourceDomain*>(&s.kernel.scheduler()));
+  EXPECT_EQ(&s.kernel.domain(HwComponent::kGpu),
+            static_cast<ResourceDomain*>(&s.kernel.gpu_driver()));
+  EXPECT_EQ(&s.kernel.domain(HwComponent::kDsp),
+            static_cast<ResourceDomain*>(&s.kernel.dsp_driver()));
+  EXPECT_EQ(&s.kernel.domain(HwComponent::kWifi),
+            static_cast<ResourceDomain*>(&s.kernel.net()));
+  EXPECT_EQ(&s.kernel.domain(HwComponent::kStorage),
+            static_cast<ResourceDomain*>(&s.kernel.storage_driver()));
+}
+
+TEST(DomainRegistryTest, UnboundComponentAbortsWithClearMessage) {
+  TestStack s;
+  // Display and GPS take the §7 entanglement-free path: no balloon protocol,
+  // no domain. Asking for one is a caller bug, reported by name.
+  EXPECT_DEATH(s.kernel.domain(HwComponent::kDisplay),
+               "no ResourceDomain registered for Display");
+  EXPECT_EQ(s.kernel.FindDomain(HwComponent::kDisplay), nullptr);
+  EXPECT_EQ(s.kernel.FindDomain(HwComponent::kGps), nullptr);
+}
+
+TEST(DomainRegistryTest, DriverForRejectsNonAccelerators) {
+  TestStack s;
+  EXPECT_DEATH(s.kernel.DriverFor(HwComponent::kWifi), "not an accelerator");
+}
+
+}  // namespace
+}  // namespace psbox

@@ -201,8 +201,7 @@ TEST(FaultRecoveryTest, DrainTimeoutAbortsBalloon) {
   const int box = s.manager.CreateBox(boxed.app, {HwComponent::kGpu});
   s.manager.EnterBox(box);
   s.kernel.RunUntil(Seconds(2));
-  const auto& st = s.kernel.gpu_driver().stats();
-  EXPECT_GT(st.balloons_aborted, 0u);
+  EXPECT_GT(s.kernel.gpu_driver().domain_stats().aborted, 0u);
   // Aborts unwind to fair scheduling: both apps keep completing.
   EXPECT_GT(s.kernel.gpu_driver().CompletedFor(boxed.app), 0u);
   EXPECT_GT(s.kernel.gpu_driver().CompletedFor(other.app), 0u);
@@ -373,7 +372,7 @@ RunFingerprint RunCombinedFaultScenario() {
   put(static_cast<double>(gst.device_resets));
   put(static_cast<double>(gst.command_retries));
   put(static_cast<double>(gst.commands_failed));
-  put(static_cast<double>(gst.balloons_aborted));
+  put(static_cast<double>(s.kernel.gpu_driver().domain_stats().aborted));
   put(static_cast<double>(gst.completed));
   put(static_cast<double>(gst.submitted));
   put(static_cast<double>(nst.tx_frames));

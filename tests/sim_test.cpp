@@ -113,5 +113,48 @@ TEST(Simulator, PendingCount) {
   EXPECT_EQ(sim.total_fired(), 1u);
 }
 
+TEST(Simulator, CompactsTombstonesWhenCancelsDominate) {
+  Simulator sim;
+  // One far-future survivor, then a burst of cancelled timers (the re-armed
+  // watchdog pattern): the heap must sweep the residue, not carry it.
+  bool survivor_fired = false;
+  sim.ScheduleAt(1'000'000, [&] { survivor_fired = true; });
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.ScheduleAt(100 + i, [] {}));
+  }
+  for (const EventId id : ids) {
+    EXPECT_TRUE(sim.Cancel(id));
+  }
+  // 100 tombstones vs 1 live entry: compaction must have triggered.
+  EXPECT_GT(sim.tombstones_compacted(), 0u);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.RunToCompletion();
+  EXPECT_TRUE(survivor_fired);
+  EXPECT_EQ(sim.total_fired(), 1u);
+}
+
+TEST(Simulator, CompactionPreservesOrderAndCancelSemantics) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(500, [&] { order.push_back(5); });
+  sim.ScheduleAt(100, [&] { order.push_back(1); });
+  sim.ScheduleAt(100, [&] { order.push_back(2); });  // FIFO among same-time
+  // Cancel enough events to force at least one sweep mid-stream.
+  for (int round = 0; round < 10; ++round) {
+    std::vector<EventId> ids;
+    for (int i = 0; i < 8; ++i) {
+      ids.push_back(sim.ScheduleAt(200 + round, [] {}));
+    }
+    for (const EventId id : ids) {
+      sim.Cancel(id);
+    }
+  }
+  sim.ScheduleAt(300, [&] { order.push_back(3); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 5}));
+  EXPECT_GT(sim.tombstones_compacted(), 0u);
+}
+
 }  // namespace
 }  // namespace psbox

@@ -55,7 +55,7 @@ TEST(Smoke, SandboxedCpuAppCompletes) {
   EXPECT_TRUE(s.kernel.AppFinished(app.app));
   EXPECT_EQ(app.stats->iterations, 40u);
   EXPECT_GT(app.stats->psbox_energy, 0.0);
-  EXPECT_GT(s.kernel.scheduler().stats().balloons_started, 0u);
+  EXPECT_GT(s.kernel.scheduler().domain_stats().balloons, 0u);
 }
 
 TEST(Smoke, GpuAppsCompleteWithAndWithoutPsbox) {
@@ -70,7 +70,7 @@ TEST(Smoke, GpuAppsCompleteWithAndWithoutPsbox) {
   s.kernel.RunUntil(Seconds(3));
   EXPECT_TRUE(s.kernel.AppFinished(browser.app));
   EXPECT_GT(browser.stats->psbox_energy, 0.0);
-  EXPECT_GT(s.kernel.gpu_driver().stats().balloons, 0u);
+  EXPECT_GT(s.kernel.gpu_driver().domain_stats().balloons, 0u);
 }
 
 TEST(Smoke, DspAppsComplete) {

@@ -1,0 +1,184 @@
+// Storage as the fourth sandboxed resource: device model (channel, write-back
+// buffer, flush tail), StorageDriver balloons, and watchdog recovery.
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/table5_apps.h"
+#include "tests/test_util.h"
+
+namespace psbox {
+namespace {
+
+// --- Device model ----------------------------------------------------------
+
+TEST(StorageDeviceTest, ReadCompletesAtBusRate) {
+  Simulator sim;
+  PowerRail rail(&sim, "storage", 0.0);
+  StorageConfig cfg;
+  StorageDevice dev(&sim, &rail, cfg);
+  TimeNs end = -1;
+  dev.set_on_complete([&](const StorageCompletion& c) { end = c.end_time; });
+  StorageCommand cmd;
+  cmd.id = 1;
+  cmd.bytes = 1 << 20;  // 1 MiB
+  dev.Dispatch(cmd);
+  sim.RunToCompletion();
+  // overhead + bytes / (read_mbps_high MB/s), in nanoseconds.
+  const double rate = cfg.read_mbps_high * 1e6 / 1e9;  // bytes per ns
+  const auto expected = static_cast<TimeNs>(
+      cfg.per_command_overhead + static_cast<double>(cmd.bytes) / rate);
+  EXPECT_NEAR(static_cast<double>(end), static_cast<double>(expected), 2.0);
+  EXPECT_TRUE(dev.Quiescent());
+}
+
+TEST(StorageDeviceTest, WriteLandsInBufferThenFlushes) {
+  Simulator sim;
+  PowerRail rail(&sim, "storage", 0.0);
+  StorageConfig cfg;
+  StorageDevice dev(&sim, &rail, cfg);
+  TimeNs completed_at = -1;
+  dev.set_on_complete(
+      [&](const StorageCompletion& c) { completed_at = c.end_time; });
+  StorageCommand cmd;
+  cmd.id = 1;
+  cmd.is_write = true;
+  cmd.bytes = 512 * 1024;
+  dev.Dispatch(cmd);
+  // The completion interrupt fires at bus speed, long before the data is on
+  // the NAND array — the §2.3 blurry request boundary.
+  sim.RunUntil(Millis(5));
+  EXPECT_GT(completed_at, 0);
+  EXPECT_GT(dev.buffered_bytes(), 0u);
+  EXPECT_FALSE(dev.Quiescent());
+  // After the coalescing delay the background flush drains the buffer and
+  // keeps the rail above idle the whole time.
+  StoragePowerState ps;
+  const TimeNs mid_flush = ps.flush_delay + Millis(5);
+  sim.RunUntil(mid_flush);
+  EXPECT_TRUE(dev.flushing());
+  EXPECT_GE(rail.trace().ValueAt(mid_flush - 1),
+            cfg.idle_power + cfg.flush_power - 1e-9);
+  sim.RunToCompletion();
+  EXPECT_TRUE(dev.Quiescent());
+  EXPECT_EQ(dev.buffered_bytes(), 0u);
+  EXPECT_NEAR(rail.trace().ValueAt(sim.Now()), cfg.idle_power, 1e-12);
+}
+
+TEST(StorageDeviceTest, PowerStateRescalesInProgressTransfer) {
+  Simulator sim;
+  PowerRail rail(&sim, "storage", 0.0);
+  StorageConfig cfg;
+  StorageDevice dev(&sim, &rail, cfg);
+  TimeNs slow_end = -1;
+  dev.set_on_complete([&](const StorageCompletion& c) { slow_end = c.end_time; });
+  StorageCommand cmd;
+  cmd.id = 1;
+  cmd.bytes = 1 << 20;
+  dev.Dispatch(cmd);
+  // Halfway through, drop to the low bus performance level: the remainder
+  // streams at the slow rate, so the transfer finishes later than at high.
+  const double rate_hi = cfg.read_mbps_high * 1e6 / 1e9;
+  const auto full_hi = static_cast<TimeNs>(
+      cfg.per_command_overhead + static_cast<double>(cmd.bytes) / rate_hi);
+  sim.RunUntil(full_hi / 2);
+  StoragePowerState low;
+  low.perf_level = 0;
+  dev.SetPowerState(low);
+  sim.RunToCompletion();
+  EXPECT_GT(slow_end, full_hi);
+}
+
+// --- Driver balloons -------------------------------------------------------
+
+TEST(StorageDriverTest, SandboxedAppGetsBalloonsAndBothComplete) {
+  TestStack s;
+  AppOptions sandboxed;
+  sandboxed.deadline = Millis(400);
+  sandboxed.use_psbox = true;
+  AppHandle a = SpawnMediaScan(s.kernel, "scan", sandboxed);
+  AppOptions plain;
+  plain.deadline = Millis(400);
+  AppHandle b = SpawnPhotoSync(s.kernel, "sync", plain);
+  s.kernel.RunUntil(Millis(500));
+
+  const StorageDriver& drv = s.kernel.storage_driver();
+  EXPECT_GT(drv.domain_stats().balloons, 0u);
+  EXPECT_GT(drv.domain_stats().total_balloon_time, 0);
+  EXPECT_GT(drv.CompletedFor(a.app), 0u);
+  EXPECT_GT(drv.CompletedFor(b.app), 0u);
+  EXPECT_GT(a.stats->iterations, 0u);
+  EXPECT_GT(b.stats->iterations, 0u);
+  // The sandbox owns real intervals on the storage component.
+  ASSERT_EQ(s.manager.box_count(), 1u);
+  EXPECT_FALSE(s.manager.sandbox(0).owned(HwComponent::kStorage)
+                   .intervals().empty());
+  EXPECT_GT(s.manager.ReadEnergyFor(0, HwComponent::kStorage), 0.0);
+}
+
+TEST(StorageDriverTest, OwnerFlushTailBilledInsideWindow) {
+  // One sandboxed writer, one competitor issuing reads: every balloon-out
+  // must happen with the device quiescent, i.e. the owner's flush tail never
+  // leaks past its ownership interval.
+  TestStack s;
+  AppOptions writer;
+  writer.deadline = Millis(300);
+  writer.use_psbox = true;
+  SpawnPhotoSync(s.kernel, "sync", writer);
+  AppOptions reader;
+  reader.deadline = Millis(300);
+  SpawnMediaScan(s.kernel, "scan", reader);
+  s.kernel.RunUntil(Millis(400));
+
+  const StorageDriver& drv = s.kernel.storage_driver();
+  ASSERT_GT(drv.domain_stats().balloons, 0u);
+  ASSERT_EQ(s.manager.box_count(), 1u);
+  const auto& owned = s.manager.sandbox(0).owned(HwComponent::kStorage);
+  ASSERT_FALSE(owned.intervals().empty());
+  // Ownership windows include the flush: they are far longer than the bus
+  // transfer alone (flush_mbps is ~8x slower than the write bus).
+  DurationNs longest = 0;
+  for (const auto& iv : owned.intervals()) {
+    longest = std::max(longest, iv.end - iv.begin);
+  }
+  const double flush_rate =
+      s.board.storage().config().flush_mbps * 1e6 / 1e9;  // bytes per ns
+  const auto min_window = static_cast<DurationNs>(384.0 * 1024 / flush_rate);
+  EXPECT_GT(longest, min_window);
+}
+
+// --- Faults & recovery -----------------------------------------------------
+
+TEST(StorageFaultTest, HangRecoversViaResetAndAppFinishes) {
+  BoardConfig cfg;
+  cfg.faults.storage_hang_prob = 0.2;
+  TestStack s(cfg);
+  AppOptions opts;
+  opts.iterations = 30;
+  AppHandle a = SpawnMediaScan(s.kernel, "scan", opts);
+  s.kernel.RunUntil(Seconds(20));
+
+  const StorageDriver& drv = s.kernel.storage_driver();
+  EXPECT_GT(s.board.fault_injector().stats().storage_hangs, 0u);
+  EXPECT_GT(drv.stats().device_resets, 0u);
+  EXPECT_GT(drv.domain_stats().recoveries, 0u);
+  // Recovery is transparent to the app: it still finished every iteration.
+  EXPECT_EQ(a.stats->iterations, 30u);
+  EXPECT_GT(a.stats->finish_time, 0);
+}
+
+TEST(StorageFaultTest, NoRecoveriesWithoutInjection) {
+  TestStack s;
+  AppOptions opts;
+  opts.iterations = 10;
+  opts.use_psbox = true;
+  SpawnPhotoSync(s.kernel, "sync", opts);
+  s.kernel.RunUntil(Seconds(5));
+  const StorageDriver& drv = s.kernel.storage_driver();
+  EXPECT_EQ(drv.domain_stats().recoveries, 0u);
+  EXPECT_EQ(drv.domain_stats().aborted, 0u);
+  EXPECT_EQ(drv.stats().device_resets, 0u);
+  EXPECT_EQ(drv.stats().commands_failed, 0u);
+}
+
+}  // namespace
+}  // namespace psbox
