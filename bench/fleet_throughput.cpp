@@ -1,0 +1,143 @@
+// Fleet throughput bench: how fast the shard pool advances simulated boards.
+//
+//   ./fleet_throughput [--json PATH] [--seconds S]
+//
+// Runs the same per-board workload at 1, 4 and 8 shards (worker threads
+// matched to the shard count, capped at the hardware concurrency) and
+// reports boards-advanced-per-second: board-seconds of simulation completed
+// per wall-clock second. Also emits machine-readable JSON (default
+// BENCH_fleet.json) so CI can track the shard-scaling trend, plus each run's
+// fleet fingerprint — a throughput number from a non-deterministic run would
+// be meaningless.
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/csv.h"
+#include "src/fleet/fleet_coordinator.h"
+
+namespace psbox {
+namespace {
+
+// Every board runs the same three-app mix: a sandboxed CPU app (spatial
+// balloons), a sandboxed GPU app (temporal balloons) and a plain co-runner —
+// enough cross-domain traffic that shard advancement is representative.
+FleetScenario BenchScenario(int boards, int seconds) {
+  FleetScenario scenario;
+  scenario.seed = 0xBE7C;
+  scenario.horizon = Seconds(seconds);
+  scenario.epoch = 10 * kMillisecond;
+  scenario.migration.enabled = false;  // measure pure shard advancement
+  scenario.boards.resize(static_cast<size_t>(boards));
+  for (int b = 0; b < boards; ++b) {
+    const struct {
+      const char* name;
+      AppFactory factory;
+      bool sandboxed;
+    } mix[] = {
+        {"calib3d", &SpawnCalib3d, true},
+        {"triangle", &SpawnTriangle, true},
+        {"bodytrack", &SpawnBodytrack, false},
+    };
+    for (const auto& m : mix) {
+      FleetAppSpec spec;
+      spec.name = std::string(m.name) + std::to_string(b);
+      spec.factory = m.factory;
+      spec.board = b;
+      spec.options.deadline = scenario.horizon;
+      spec.options.use_psbox = m.sandboxed;
+      scenario.apps.push_back(spec);
+    }
+  }
+  return scenario;
+}
+
+struct Result {
+  int boards = 0;
+  int threads = 0;
+  double wall_s = 0.0;
+  double board_seconds_per_s = 0.0;
+  uint64_t fingerprint = 0;
+};
+
+Result RunOnce(int boards, int seconds) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  Result r;
+  r.boards = boards;
+  r.threads = static_cast<int>(
+      std::min<unsigned>(static_cast<unsigned>(boards), hw > 0 ? hw : 1));
+  FleetCoordinator fleet(BenchScenario(boards, seconds), r.threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  const FleetStats stats = fleet.Run();
+  const auto t1 = std::chrono::steady_clock::now();
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.board_seconds_per_s =
+      r.wall_s > 0.0 ? boards * static_cast<double>(seconds) / r.wall_s : 0.0;
+  r.fingerprint = stats.Fingerprint();
+  return r;
+}
+
+}  // namespace
+}  // namespace psbox
+
+int main(int argc, char** argv) {
+  using namespace psbox;
+  std::string json_path = "BENCH_fleet.json";
+  int seconds = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--seconds" && i + 1 < argc) {
+      seconds = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: fleet_throughput [--json PATH] [--seconds S]\n");
+      return 2;
+    }
+  }
+
+  std::vector<Result> results;
+  for (int boards : {1, 4, 8}) {
+    results.push_back(RunOnce(boards, seconds));
+  }
+
+  TextTable table({"boards", "threads", "wall (s)", "board-s/s", "fingerprint"});
+  for (const Result& r : results) {
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(r.fingerprint));
+    table.AddRow({std::to_string(r.boards), std::to_string(r.threads),
+                  FormatDouble(r.wall_s, 3),
+                  FormatDouble(r.board_seconds_per_s, 1), fp});
+  }
+  std::printf("fleet throughput (%d simulated second(s) per board)\n\n", seconds);
+  table.Print(std::cout);
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  json << "{\n  \"bench\": \"fleet_throughput\",\n  \"horizon_s\": " << seconds
+       << ",\n  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(r.fingerprint));
+    json << "    {\"boards\": " << r.boards << ", \"threads\": " << r.threads
+         << ", \"wall_s\": " << FormatDouble(r.wall_s, 6)
+         << ", \"board_seconds_per_s\": "
+         << FormatDouble(r.board_seconds_per_s, 3) << ", \"fingerprint\": \""
+         << fp << "\"}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("\nJSON written to %s\n", json_path.c_str());
+  return 0;
+}

@@ -1,0 +1,177 @@
+// Fleet runner CLI: simulate N boards in parallel shards with cross-board
+// app migration, and print per-board energy/balloon/migration stats plus the
+// deterministic fleet fingerprint.
+//
+//   ./fleet_cli [--boards N] [--threads T] [--seconds S] [--seed X]
+//               [--fail BOARD@MS] [--trace-dir DIR]
+//
+// A default mix of Table-5 apps is placed round-robin: sandboxed CPU, GPU
+// and WiFi apps with energy budgets (migratable under budget pressure) plus
+// plain co-runners. --fail makes a board lose power at MS milliseconds; its
+// sandboxed apps are crash-migrated to the least-loaded surviving board.
+// With --trace-dir, every board's balloon timelines are exported as
+// DIR/board<i>_balloons_<domain>.csv.
+//
+// Example: ./fleet_cli --boards 4 --threads 4 --seconds 2 --fail 1@600
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/fleet/fleet_coordinator.h"
+#include "src/kernel/balloon_timeline.h"
+
+namespace psbox {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: fleet_cli [--boards N] [--threads T] [--seconds S] "
+               "[--seed X] [--fail BOARD@MS] [--trace-dir DIR]\n");
+  return 2;
+}
+
+FleetScenario BuildScenario(int boards, int seconds, uint64_t seed,
+                            int fail_board, int fail_ms) {
+  FleetScenario scenario;
+  scenario.seed = seed;
+  scenario.horizon = Seconds(seconds);
+  scenario.epoch = 10 * kMillisecond;
+  scenario.boards.resize(static_cast<size_t>(boards));
+  if (fail_board >= 0 && fail_board < boards) {
+    scenario.boards[static_cast<size_t>(fail_board)].fail_at = Millis(fail_ms);
+  }
+
+  // The placed mix: one sandboxed, budgeted, migratable app per component
+  // class plus a plain co-runner, spread round-robin over the boards.
+  struct Mix {
+    const char* name;
+    AppFactory factory;
+    bool sandboxed;
+    Joules budget;
+  };
+  const Mix mix[] = {
+      {"calib3d", &SpawnCalib3d, true, 1.2},
+      {"bodytrack", &SpawnBodytrack, false, 0.0},
+      {"triangle", &SpawnTriangle, true, 0.8},
+      {"scp", &SpawnScp, true, 0.6},
+      {"dedup", &SpawnDedup, false, 0.0},
+      {"mediascan", &SpawnMediaScan, true, 0.5},
+  };
+  int board = 0;
+  for (const Mix& m : mix) {
+    FleetAppSpec spec;
+    spec.name = std::string(m.name) + std::to_string(board);
+    spec.factory = m.factory;
+    spec.board = board;
+    spec.options.deadline = scenario.horizon;
+    spec.options.use_psbox = m.sandboxed;
+    spec.energy_budget = m.budget;
+    spec.migratable = m.sandboxed;
+    scenario.apps.push_back(spec);
+    board = (board + 1) % boards;
+  }
+  return scenario;
+}
+
+}  // namespace
+}  // namespace psbox
+
+int main(int argc, char** argv) {
+  using namespace psbox;
+  int boards = 2;
+  int threads = 2;
+  int seconds = 2;
+  uint64_t seed = 0x5eed;
+  int fail_board = -1;
+  int fail_ms = 0;
+  std::string trace_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--boards" && i + 1 < argc) {
+      boards = std::atoi(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg == "--seconds" && i + 1 < argc) {
+      seconds = std::atoi(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--fail" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const size_t at = spec.find('@');
+      if (at == std::string::npos) {
+        return Usage();
+      }
+      fail_board = std::atoi(spec.substr(0, at).c_str());
+      fail_ms = std::atoi(spec.substr(at + 1).c_str());
+    } else if (arg == "--trace-dir" && i + 1 < argc) {
+      trace_dir = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+  if (boards < 1 || threads < 1 || seconds < 1) {
+    return Usage();
+  }
+
+  FleetCoordinator fleet(
+      BuildScenario(boards, seconds, seed, fail_board, fail_ms), threads);
+  const FleetStats stats = fleet.Run();
+
+  std::printf("fleet: %d board(s), %d worker thread(s), %d s simulated\n\n",
+              boards, threads, seconds);
+  std::printf("%-6s %-6s %10s %12s %9s %8s %6s %6s\n", "board", "state",
+              "ran(ms)", "energy(mJ)", "balloons", "iters", "in", "out");
+  for (size_t i = 0; i < stats.boards.size(); ++i) {
+    const FleetBoardStats& b = stats.boards[i];
+    std::printf("%-6zu %-6s %10.0f %12.1f %9llu %8llu %6d %6d\n", i,
+                b.failed ? "FAILED" : "ok", ToMillis(b.ran_until),
+                b.rail_energy * 1e3,
+                static_cast<unsigned long long>(b.balloons),
+                static_cast<unsigned long long>(b.iterations), b.migrations_in,
+                b.migrations_out);
+  }
+
+  std::printf("\n%-14s %5s %6s %6s %8s %14s\n", "app", "hops", "board",
+              "state", "iters", "billed(mJ)");
+  for (const FleetAppOutcome& a : stats.apps) {
+    char billed[32];
+    if (a.billed_energy >= 0) {
+      std::snprintf(billed, sizeof(billed), "%.1f", a.billed_energy * 1e3);
+    } else {
+      std::snprintf(billed, sizeof(billed), "-");
+    }
+    std::printf("%-14s %5d %6d %6s %8llu %14s\n", a.name.c_str(), a.hops,
+                a.final_board,
+                a.lost ? "lost" : (a.finished ? "done" : "run"),
+                static_cast<unsigned long long>(a.iterations),
+                billed);
+  }
+
+  if (!stats.migrations.empty()) {
+    std::printf("\nmigrations:\n");
+    for (const MigrationRecord& m : stats.migrations) {
+      std::printf("  %7.0f ms  %-14s board %d -> %d  (%s, %.1f mJ billed, "
+                  "%.1f mJ budget carried)\n",
+                  ToMillis(m.when), m.app.c_str(), m.from, m.to,
+                  m.crash ? "crash" : "drain", m.consumed_source * 1e3,
+                  m.budget_carried * 1e3);
+    }
+  }
+
+  if (!trace_dir.empty()) {
+    int files = 0;
+    for (int i = 0; i < fleet.board_count(); ++i) {
+      files += ExportBalloonTimelines(fleet.kernel(i), trace_dir,
+                                      "board" + std::to_string(i) + "_");
+    }
+    std::printf("\n%d balloon timeline(s) written to %s/board<i>_balloons_"
+                "<domain>.csv\n",
+                files, trace_dir.c_str());
+  }
+
+  std::printf("\nfleet fingerprint: %016llx\n",
+              static_cast<unsigned long long>(stats.Fingerprint()));
+  return 0;
+}

@@ -2,12 +2,14 @@
 // some of them, run for a while, and dump energies/throughputs plus CSV
 // power traces for external plotting.
 //
-//   ./scenario_cli [--seconds N] [--csv PREFIX] APP[*] [APP[*] ...]
+//   ./scenario_cli [--seconds N] [--csv PREFIX] [--trace-dir DIR] APP[*] ...
 //
 // APP is one of: calib3d bodytrack dedup browser magic cube triangle sgemm
 // dgemm monte wifi_browser scp wget. A trailing '*' sandboxes that app in a
 // psbox bound to its component. With --csv, per-rail power traces are
-// written to PREFIX_<rail>.csv (time_ms,watts).
+// written to PREFIX_<rail>.csv (time_ms,watts). With --trace-dir, per-domain
+// balloon timelines are written to DIR/balloons_<domain>.csv
+// (time_ms,edge,app,psbox).
 //
 // Example: ./scenario_cli --seconds 2 calib3d* bodytrack dedup
 
@@ -20,6 +22,7 @@
 
 #include "src/base/csv.h"
 #include "src/hw/board.h"
+#include "src/kernel/balloon_timeline.h"
 #include "src/kernel/kernel.h"
 #include "src/psbox/psbox_manager.h"
 #include "src/workloads/table5_apps.h"
@@ -62,7 +65,8 @@ void DumpRailCsv(const std::string& prefix, const std::string& rail_name,
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: scenario_cli [--seconds N] [--csv PREFIX] APP[*] ...\n"
+               "usage: scenario_cli [--seconds N] [--csv PREFIX] "
+               "[--trace-dir DIR] APP[*] ...\n"
                "apps:");
   for (const auto& [name, spec] : kApps) {
     (void)spec;
@@ -79,6 +83,7 @@ int main(int argc, char** argv) {
   using namespace psbox;
   int seconds = 2;
   std::string csv_prefix;
+  std::string trace_dir;
   std::vector<std::pair<std::string, bool>> requested;  // (name, sandboxed)
 
   for (int i = 1; i < argc; ++i) {
@@ -87,6 +92,8 @@ int main(int argc, char** argv) {
       seconds = std::atoi(argv[++i]);
     } else if (arg == "--csv" && i + 1 < argc) {
       csv_prefix = argv[++i];
+    } else if (arg == "--trace-dir" && i + 1 < argc) {
+      trace_dir = argv[++i];
     } else {
       bool sandboxed = false;
       if (!arg.empty() && arg.back() == '*') {
@@ -154,6 +161,11 @@ int main(int argc, char** argv) {
       DumpRailCsv(csv_prefix, rail_name, board.RailFor(hw), Seconds(seconds));
     }
     std::printf("\nCSV traces written to %s_<rail>.csv\n", csv_prefix.c_str());
+  }
+  if (!trace_dir.empty()) {
+    const int files = ExportBalloonTimelines(kernel, trace_dir);
+    std::printf("\n%d balloon timeline(s) written to %s/balloons_<domain>.csv\n",
+                files, trace_dir.c_str());
   }
   return 0;
 }

@@ -1,0 +1,73 @@
+#include "src/fleet/fleet.h"
+
+#include <cstring>
+
+namespace psbox {
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+void HashBytes(uint64_t* h, const void* data, size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    *h ^= bytes[i];
+    *h *= kFnvPrime;
+  }
+}
+
+void HashU64(uint64_t* h, uint64_t v) { HashBytes(h, &v, sizeof(v)); }
+void HashI64(uint64_t* h, int64_t v) { HashBytes(h, &v, sizeof(v)); }
+void HashDouble(uint64_t* h, double v) {
+  // Bit-pattern hash: the determinism contract is bit-identical doubles, not
+  // approximately equal ones.
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  HashU64(h, bits);
+}
+void HashString(uint64_t* h, const std::string& s) {
+  HashU64(h, s.size());
+  HashBytes(h, s.data(), s.size());
+}
+
+}  // namespace
+
+uint64_t FleetStats::Fingerprint() const {
+  uint64_t h = kFnvOffset;
+  HashU64(&h, boards.size());
+  for (const FleetBoardStats& b : boards) {
+    HashU64(&h, b.failed ? 1 : 0);
+    HashI64(&h, b.ran_until);
+    HashDouble(&h, b.rail_energy);
+    HashU64(&h, b.balloons);
+    HashU64(&h, b.balloons_aborted);
+    HashU64(&h, b.iterations);
+    HashI64(&h, b.migrations_in);
+    HashI64(&h, b.migrations_out);
+  }
+  HashU64(&h, apps.size());
+  for (const FleetAppOutcome& a : apps) {
+    HashString(&h, a.name);
+    HashI64(&h, a.hops);
+    HashI64(&h, a.final_board);
+    HashU64(&h, a.finished ? 1 : 0);
+    HashU64(&h, a.lost ? 1 : 0);
+    HashU64(&h, a.iterations);
+    HashDouble(&h, a.billed_energy);
+  }
+  HashU64(&h, migrations.size());
+  for (const MigrationRecord& m : migrations) {
+    HashI64(&h, m.when);
+    HashString(&h, m.app);
+    HashI64(&h, m.from);
+    HashI64(&h, m.to);
+    HashU64(&h, m.crash ? 1 : 0);
+    HashDouble(&h, m.consumed_source);
+    HashDouble(&h, m.budget_carried);
+    HashU64(&h, m.iterations_done);
+  }
+  return h;
+}
+
+}  // namespace psbox

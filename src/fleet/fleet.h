@@ -1,0 +1,130 @@
+// Fleet scenario and result types: a fleet is N independent simulated boards
+// ("shards"), each a full Board + Kernel + PsboxManager island with its own
+// derived seed and fault plan, advanced in lock-step epochs and exchanging
+// apps through cross-board migration (fleet_coordinator.h).
+//
+// Everything here is plain configuration/result data; the coordinator owns
+// the runtime objects.
+
+#ifndef SRC_FLEET_FLEET_H_
+#define SRC_FLEET_FLEET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/hw/board.h"
+#include "src/kernel/kernel.h"
+#include "src/workloads/table5_apps.h"
+
+namespace psbox {
+
+// A Table-5 style app factory (SpawnCalib3d, SpawnTriangle, ...).
+using AppFactory = AppHandle (*)(Kernel&, const std::string&, AppOptions);
+
+// One app placed somewhere in the fleet.
+struct FleetAppSpec {
+  std::string name;
+  AppFactory factory = nullptr;
+  // Index of the board the app initially runs on.
+  int board = 0;
+  // Spawn options; `stop` is managed by the coordinator (the migration drain
+  // flag) and must be left null here. Migration billing needs `use_psbox`.
+  AppOptions options;
+  // Energy budget in joules; > 0 makes the app eligible for budget-pressure
+  // migration once its consumption crosses the policy watermark. 0 = no
+  // budget (the app never migrates on pressure, only on board failure).
+  Joules energy_budget = 0.0;
+  // Whether the migration policy may move this app at all.
+  bool migratable = false;
+};
+
+// One board of the fleet.
+struct FleetBoardSpec {
+  // Hardware configuration. The coordinator overrides `board.seed` and
+  // `board.faults.seed` with values derived from FleetScenario::seed and the
+  // board index, so shard randomness is a pure function of (fleet seed,
+  // board index) regardless of how specs are assembled.
+  BoardConfig board;
+  KernelConfig kernel;
+  // Simulated instant at which this board fails outright (power loss): its
+  // shard freezes there and its migratable apps are crash-migrated at the
+  // next epoch barrier. 0 = never fails.
+  TimeNs fail_at = 0;
+};
+
+struct MigrationConfig {
+  bool enabled = true;
+  // Budget pressure watermark: an app starts draining once the energy
+  // consumed on its current board reaches this fraction of its remaining
+  // budget.
+  double pressure_fraction = 0.6;
+  // Migration count cap per app (budget-pressure migrations; board-failure
+  // evacuations ignore the cap — dying boards always evict).
+  int max_hops = 1;
+};
+
+struct FleetScenario {
+  // Master seed; shard i's board/fault seeds are derived from it.
+  uint64_t seed = 0x5eed;
+  // Epoch barrier spacing: shards drift at most one epoch apart mid-round
+  // and are exactly synchronised at every barrier.
+  DurationNs epoch = 10 * kMillisecond;
+  // Total simulated time per board.
+  TimeNs horizon = Seconds(2);
+  std::vector<FleetBoardSpec> boards;
+  std::vector<FleetAppSpec> apps;
+  MigrationConfig migration;
+};
+
+// One completed migration (graceful drain or crash evacuation).
+struct MigrationRecord {
+  TimeNs when = 0;           // barrier time the hand-off happened at
+  std::string app;           // FleetAppSpec::name
+  int from = -1;
+  int to = -1;
+  bool crash = false;        // board-failure evacuation vs budget drain
+  Joules consumed_source = 0.0;  // billed on the source board this hop
+  Joules budget_carried = 0.0;   // remaining budget moved to the target
+  uint64_t iterations_done = 0;  // iterations completed before the hand-off
+};
+
+// Aggregated per-board results.
+struct FleetBoardStats {
+  bool failed = false;
+  TimeNs ran_until = 0;          // horizon, or fail_at for failed boards
+  Joules rail_energy = 0.0;      // summed over all seven rails
+  uint64_t balloons = 0;         // summed over all resource domains
+  uint64_t balloons_aborted = 0;
+  uint64_t iterations = 0;       // app iterations completed on this board
+  int migrations_in = 0;
+  int migrations_out = 0;
+};
+
+// Final per-app outcome, across however many boards the app visited.
+struct FleetAppOutcome {
+  std::string name;
+  int hops = 0;               // completed migrations
+  int final_board = -1;
+  bool finished = false;      // ran to its iteration/deadline end
+  bool lost = false;          // died with its board (non-migratable / no target)
+  uint64_t iterations = 0;    // total across all boards
+  // Total energy billed through the app's psboxes, summed across boards.
+  // -1 when the app never ran sandboxed.
+  Joules billed_energy = -1.0;
+};
+
+struct FleetStats {
+  std::vector<FleetBoardStats> boards;
+  std::vector<FleetAppOutcome> apps;
+  std::vector<MigrationRecord> migrations;
+
+  // Order-sensitive FNV-1a hash over every field above. Two runs of the same
+  // scenario produce the same fingerprint regardless of the worker-thread
+  // count — the determinism contract fleet_test pins down.
+  uint64_t Fingerprint() const;
+};
+
+}  // namespace psbox
+
+#endif  // SRC_FLEET_FLEET_H_

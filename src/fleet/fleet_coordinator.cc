@@ -1,0 +1,289 @@
+#include "src/fleet/fleet_coordinator.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace psbox {
+namespace {
+
+// SplitMix64 step: derives statistically independent per-shard seeds from
+// (fleet seed, stream index) so board randomness never depends on how many
+// boards exist before it in the spec list.
+uint64_t DeriveSeed(uint64_t master, uint64_t stream) {
+  uint64_t z = master + (stream + 1) * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FleetCoordinator::FleetCoordinator(FleetScenario scenario, int threads)
+    : scenario_(std::move(scenario)),
+      policy_(scenario_.migration),
+      pool_(threads) {
+  PSBOX_CHECK(!scenario_.boards.empty());
+  PSBOX_CHECK_GT(scenario_.epoch, 0);
+  PSBOX_CHECK_GT(scenario_.horizon, 0);
+
+  shards_.reserve(scenario_.boards.size());
+  board_iterations_.assign(scenario_.boards.size(), 0);
+  for (size_t i = 0; i < scenario_.boards.size(); ++i) {
+    const FleetBoardSpec& spec = scenario_.boards[i];
+    auto shard = std::make_unique<Shard>();
+    shard->index = static_cast<int>(i);
+    shard->fail_at = spec.fail_at;
+    BoardConfig board_config = spec.board;
+    board_config.seed = DeriveSeed(scenario_.seed, i * 2);
+    board_config.faults.seed = DeriveSeed(scenario_.seed, i * 2 + 1);
+    shard->board = std::make_unique<Board>(board_config);
+    shard->kernel = std::make_unique<Kernel>(shard->board.get(), spec.kernel);
+    shard->manager = std::make_unique<PsboxManager>(shard->kernel.get());
+    shards_.push_back(std::move(shard));
+  }
+
+  apps_.reserve(scenario_.apps.size());
+  for (const FleetAppSpec& spec : scenario_.apps) {
+    PSBOX_CHECK(spec.factory != nullptr);
+    PSBOX_CHECK_GE(spec.board, 0);
+    PSBOX_CHECK_LT(static_cast<size_t>(spec.board), shards_.size());
+    PSBOX_CHECK(spec.options.stop == nullptr);  // the coordinator owns this
+    AppRuntime app;
+    app.spec = spec;
+    app.budget_remaining = spec.energy_budget;
+    app.remaining = spec.options.iterations;
+    apps_.push_back(std::move(app));
+  }
+  for (AppRuntime& app : apps_) {
+    SpawnOn(app, app.spec.board);
+  }
+}
+
+FleetCoordinator::~FleetCoordinator() = default;
+
+void FleetCoordinator::SpawnOn(AppRuntime& app, int board_index) {
+  Shard& shard = *shards_[static_cast<size_t>(board_index)];
+  AppOptions opts = app.spec.options;
+  opts.iterations = app.remaining;
+  app.stop = std::make_shared<bool>(false);
+  opts.stop = app.stop;
+  std::string label = app.spec.name;
+  if (app.hops > 0) {
+    // Hop-qualified label so every instance is distinct in per-board output.
+    label += "@b" + std::to_string(board_index);
+  }
+  app.handle = app.spec.factory(*shard.kernel, label, opts);
+  app.board = board_index;
+  app.draining = false;
+}
+
+Joules FleetCoordinator::CloseHop(AppRuntime& app) {
+  // Energy billed on this board: the wrap behaviour's exit reading when the
+  // app drained cleanly, otherwise (crash evacuation, end-of-run settle) a
+  // live virtual-meter read at the shard's current instant.
+  Joules consumed = 0.0;
+  if (app.spec.options.use_psbox && app.handle.stats != nullptr) {
+    app.ever_sandboxed = true;
+    if (app.handle.stats->psbox_energy >= 0.0) {
+      consumed = app.handle.stats->psbox_energy;
+    } else if (app.handle.stats->box >= 0) {
+      Shard& shard = *shards_[static_cast<size_t>(app.board)];
+      consumed = shard.manager->ReadEnergy(app.handle.stats->box);
+    }
+  }
+  app.billed += consumed;
+  app.budget_remaining = std::max(0.0, app.budget_remaining - consumed);
+
+  // Iteration progress: fold this hop into the app's running total, shrink
+  // the remaining target, and attribute the work to the board it ran on.
+  const uint64_t done_hop =
+      app.handle.stats != nullptr ? app.handle.stats->iterations : 0;
+  app.iterations_prev += done_hop;
+  if (app.remaining > 0) {
+    app.remaining = done_hop >= app.remaining ? 0 : app.remaining - done_hop;
+  }
+  board_iterations_[static_cast<size_t>(app.board)] += done_hop;
+  return consumed;
+}
+
+std::vector<BoardLoad> FleetCoordinator::LoadSnapshot() const {
+  std::vector<BoardLoad> loads(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    loads[i].alive = !shards_[i]->failed;
+  }
+  for (const AppRuntime& app : apps_) {
+    if (!app.finished && !app.lost && app.board >= 0) {
+      ++loads[static_cast<size_t>(app.board)].active_apps;
+    }
+  }
+  return loads;
+}
+
+void FleetCoordinator::ProcessBarrier(TimeNs now) {
+  // --- 1. board failures: freeze the shard, evacuate its residents --------
+  for (auto& shard : shards_) {
+    if (shard->failed || shard->fail_at <= 0 || now < shard->fail_at) {
+      continue;
+    }
+    shard->failed = true;  // shard->now stopped exactly at fail_at
+    for (AppRuntime& app : apps_) {
+      if (app.board != shard->index || app.finished || app.lost) {
+        continue;
+      }
+      const Joules consumed = CloseHop(app);
+      const bool work_done =
+          (app.spec.options.iterations > 0 && app.remaining == 0) ||
+          shard->kernel->AppFinished(app.handle.app);
+      if (work_done) {
+        app.finished = true;
+        continue;
+      }
+      const int target =
+          app.spec.migratable ? policy_.PickTarget(LoadSnapshot(), app.board) : -1;
+      if (target < 0) {
+        app.lost = true;  // died with its board
+        continue;
+      }
+      migrations_.push_back({now, app.spec.name, app.board, target,
+                             /*crash=*/true, consumed, app.budget_remaining,
+                             app.iterations_prev});
+      ++app.hops;
+      SpawnOn(app, target);
+    }
+  }
+
+  // --- 2. completions & graceful hand-offs --------------------------------
+  for (AppRuntime& app : apps_) {
+    if (app.finished || app.lost || app.board < 0) {
+      continue;
+    }
+    Shard& shard = *shards_[static_cast<size_t>(app.board)];
+    if (shard.failed || !shard.kernel->AppFinished(app.handle.app)) {
+      continue;
+    }
+    const Joules consumed = CloseHop(app);
+    const bool work_done =
+        (app.spec.options.iterations > 0 && app.remaining == 0) ||
+        (app.spec.options.deadline > 0 && now >= app.spec.options.deadline);
+    if (!app.draining || work_done) {
+      app.finished = true;
+      continue;
+    }
+    // Drained on the policy's order: hand the remainder to a target board.
+    const int target = policy_.PickTarget(LoadSnapshot(), app.board);
+    if (target < 0) {
+      app.finished = true;  // nowhere to go; what ran is the outcome
+      continue;
+    }
+    migrations_.push_back({now, app.spec.name, app.board, target,
+                           /*crash=*/false, consumed, app.budget_remaining,
+                           app.iterations_prev});
+    ++app.hops;
+    ++app.budget_hops;
+    SpawnOn(app, target);
+  }
+
+  // --- 3. budget-pressure drain decisions ----------------------------------
+  if (!policy_.config().enabled) {
+    return;
+  }
+  const std::vector<BoardLoad> loads = LoadSnapshot();
+  for (AppRuntime& app : apps_) {
+    if (app.finished || app.lost || app.draining || !app.spec.migratable ||
+        app.board < 0) {
+      continue;
+    }
+    Shard& shard = *shards_[static_cast<size_t>(app.board)];
+    if (shard.failed || !app.spec.options.use_psbox ||
+        app.handle.stats->box < 0) {
+      continue;
+    }
+    const Joules consumed = shard.manager->ReadEnergy(app.handle.stats->box);
+    if (policy_.ShouldDrain(consumed, app.budget_remaining, app.budget_hops) &&
+        policy_.PickTarget(loads, app.board) >= 0) {
+      *app.stop = true;  // LoopBehaviors exit at their next iteration boundary
+      app.draining = true;
+    }
+  }
+}
+
+FleetStats FleetCoordinator::Run() {
+  PSBOX_CHECK(!ran_);
+  ran_ = true;
+
+  TimeNs t = 0;
+  while (t < scenario_.horizon) {
+    const TimeNs next = std::min(t + scenario_.epoch, scenario_.horizon);
+    // Parallel phase: each alive shard advances independently to the next
+    // barrier (or to its failure instant, whichever comes first). Shards
+    // share no mutable state, so this cannot perturb any shard's event
+    // order; WaitIdle() publishes all shard writes back to this thread.
+    for (auto& shard : shards_) {
+      if (shard->failed) {
+        continue;
+      }
+      const TimeNs target =
+          shard->fail_at > 0 ? std::min(next, shard->fail_at) : next;
+      if (target <= shard->now) {
+        continue;
+      }
+      Shard* s = shard.get();
+      pool_.Submit([s, target] { s->kernel->RunUntil(target); });
+      shard->now = target;
+    }
+    pool_.WaitIdle();
+    // Single-threaded barrier: failures, hand-offs, drain decisions — all in
+    // fixed board/app order.
+    ProcessBarrier(next);
+    t = next;
+  }
+
+  // Settle apps still running at the horizon so their last hop is billed.
+  for (AppRuntime& app : apps_) {
+    if (!app.finished && !app.lost) {
+      CloseHop(app);
+    }
+  }
+  return Aggregate();
+}
+
+FleetStats FleetCoordinator::Aggregate() const {
+  FleetStats stats;
+  stats.boards.resize(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    FleetBoardStats& b = stats.boards[i];
+    b.failed = shard.failed;
+    b.ran_until = shard.now;
+    b.iterations = board_iterations_[i];
+    for (size_t c = 0; c < kNumHwComponents; ++c) {
+      const HwComponent hw = static_cast<HwComponent>(c);
+      b.rail_energy += shard.board->RailFor(hw).EnergyOver(0, shard.now);
+      const DomainStats& d = shard.kernel->domain(hw).domain_stats();
+      b.balloons += d.balloons;
+      b.balloons_aborted += d.aborted;
+    }
+  }
+  for (const MigrationRecord& m : migrations_) {
+    ++stats.boards[static_cast<size_t>(m.from)].migrations_out;
+    ++stats.boards[static_cast<size_t>(m.to)].migrations_in;
+  }
+  stats.migrations = migrations_;
+
+  stats.apps.reserve(apps_.size());
+  for (const AppRuntime& app : apps_) {
+    FleetAppOutcome out;
+    out.name = app.spec.name;
+    out.hops = app.hops;
+    out.final_board = app.board;
+    out.finished = app.finished;
+    out.lost = app.lost;
+    out.iterations = app.iterations_prev;
+    out.billed_energy = app.ever_sandboxed ? app.billed : -1.0;
+    stats.apps.push_back(std::move(out));
+  }
+  return stats;
+}
+
+}  // namespace psbox

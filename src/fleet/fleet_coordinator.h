@@ -1,0 +1,112 @@
+// FleetCoordinator: runs a FleetScenario — N Board+Kernel+PsboxManager
+// shards advanced in bounded-lag epochs on a thread pool, with cross-board
+// app migration decided and executed at single-threaded epoch barriers.
+//
+// Determinism: each shard is a self-contained deterministic island (its own
+// Simulator, Rng streams derived from the fleet seed and board index, its
+// own FaultInjector). Worker threads only ever run one shard's RunUntil at a
+// time and shards share no mutable state, so the parallel phase cannot
+// perturb any shard's event order. Everything cross-shard — failure
+// detection, drain decisions, hand-offs, respawns, stats — happens between
+// rounds on the coordinator thread, iterating boards and apps in fixed index
+// order. Results are therefore bit-identical for a fixed scenario at any
+// worker-thread count; fleet_test pins this with FleetStats::Fingerprint().
+//
+// Migration protocol (one app, one hop):
+//   1. decide   — at a barrier, MigrationPolicy::ShouldDrain fires (budget
+//                 pressure) or the app's board hits fail_at (crash).
+//   2. drain    — budget case: the coordinator raises the app's cooperative
+//                 stop flag; its LoopBehaviors exit at the next iteration
+//                 boundary and the psbox teardown (psbox_leave ->
+//                 ClearSandboxed) unwinds any in-flight balloons through the
+//                 existing ResourceDomain abort path. Crash case: the shard
+//                 froze at fail_at; there is nothing left to drain.
+//   3. snapshot — billed energy so far (the psbox's own reading) and
+//                 completed iterations are captured; the budget remainder is
+//                 budget - consumed.
+//   4. respawn  — the same factory re-spawns the behavior on the target
+//                 board with the leftover iteration count and the budget
+//                 remainder; billing continues in the app's fresh psbox.
+
+#ifndef SRC_FLEET_FLEET_COORDINATOR_H_
+#define SRC_FLEET_FLEET_COORDINATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fleet/fleet.h"
+#include "src/fleet/migration.h"
+#include "src/fleet/thread_pool.h"
+#include "src/psbox/psbox_manager.h"
+
+namespace psbox {
+
+class FleetCoordinator {
+ public:
+  // |threads| sizes the shard worker pool (>= 1). The thread count affects
+  // wall-clock time only, never results.
+  FleetCoordinator(FleetScenario scenario, int threads);
+  ~FleetCoordinator();
+  FleetCoordinator(const FleetCoordinator&) = delete;
+  FleetCoordinator& operator=(const FleetCoordinator&) = delete;
+
+  // Advances every shard to the scenario horizon and returns the aggregated
+  // fleet stats. Call once.
+  FleetStats Run();
+
+  // Post-run access for trace export (valid after Run()).
+  int board_count() const { return static_cast<int>(shards_.size()); }
+  Kernel& kernel(int board) { return *shards_[static_cast<size_t>(board)]->kernel; }
+
+ private:
+  struct Shard {
+    int index = 0;
+    TimeNs fail_at = 0;       // 0 = never
+    bool failed = false;
+    TimeNs now = 0;           // local clock at the last barrier
+    std::unique_ptr<Board> board;
+    std::unique_ptr<Kernel> kernel;
+    std::unique_ptr<PsboxManager> manager;
+  };
+
+  // Runtime state of one FleetAppSpec instance as it moves across boards.
+  struct AppRuntime {
+    FleetAppSpec spec;
+    int board = -1;
+    int hops = 0;              // completed migrations (any kind)
+    int budget_hops = 0;       // budget-pressure migrations (capped)
+    bool draining = false;
+    bool finished = false;
+    bool lost = false;
+    Joules billed = 0.0;       // accumulated over completed hops
+    bool ever_sandboxed = false;
+    Joules budget_remaining = 0.0;
+    uint64_t iterations_prev = 0;  // completed on boards already left
+    uint64_t remaining = 0;        // iteration target for the current hop
+    std::shared_ptr<bool> stop;
+    AppHandle handle;
+  };
+
+  void SpawnOn(AppRuntime& app, int board_index);
+  // Bills the current hop (energy + iterations, attributed to the board it
+  // ran on) and returns the energy consumed on it.
+  Joules CloseHop(AppRuntime& app);
+  std::vector<BoardLoad> LoadSnapshot() const;
+  void ProcessBarrier(TimeNs now);
+  FleetStats Aggregate() const;
+
+  FleetScenario scenario_;
+  MigrationPolicy policy_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<AppRuntime> apps_;
+  std::vector<MigrationRecord> migrations_;
+  // App iterations completed per board (cross-hop attribution).
+  std::vector<uint64_t> board_iterations_;
+  bool ran_ = false;
+};
+
+}  // namespace psbox
+
+#endif  // SRC_FLEET_FLEET_COORDINATOR_H_

@@ -1,0 +1,70 @@
+// MigrationPolicy: the decision half of cross-board app migration.
+//
+// The coordinator asks two questions at every epoch barrier, always from the
+// single-threaded barrier context and always in deterministic order:
+//
+//   ShouldDrain  — has this app's consumption crossed the budget-pressure
+//                  watermark on its current board?
+//   PickTarget   — which alive board should receive an evicted app?
+//
+// The policy is pure: it reads the snapshot the coordinator hands it and
+// never touches shard state itself, so its decisions are trivially
+// reproducible across thread counts.
+
+#ifndef SRC_FLEET_MIGRATION_H_
+#define SRC_FLEET_MIGRATION_H_
+
+#include <vector>
+
+#include "src/fleet/fleet.h"
+
+namespace psbox {
+
+// Per-board load snapshot the coordinator assembles at each barrier.
+struct BoardLoad {
+  bool alive = true;
+  // Apps currently resident and still running.
+  int active_apps = 0;
+};
+
+class MigrationPolicy {
+ public:
+  explicit MigrationPolicy(MigrationConfig config) : config_(config) {}
+
+  const MigrationConfig& config() const { return config_; }
+
+  // True when |consumed| joules spent on the current board warrant draining
+  // an app that has |budget_remaining| joules left and |hops| completed
+  // budget migrations.
+  bool ShouldDrain(Joules consumed, Joules budget_remaining, int hops) const {
+    if (!config_.enabled || hops >= config_.max_hops) {
+      return false;
+    }
+    if (budget_remaining <= 0.0) {
+      return false;  // budgetless apps never feel pressure
+    }
+    return consumed >= config_.pressure_fraction * budget_remaining;
+  }
+
+  // Least-loaded alive board other than |source|; ties break towards the
+  // lowest index. Returns -1 when no board can take the app.
+  int PickTarget(const std::vector<BoardLoad>& loads, int source) const {
+    int best = -1;
+    for (int i = 0; i < static_cast<int>(loads.size()); ++i) {
+      if (i == source || !loads[i].alive) {
+        continue;
+      }
+      if (best < 0 || loads[i].active_apps < loads[static_cast<size_t>(best)].active_apps) {
+        best = i;
+      }
+    }
+    return best;
+  }
+
+ private:
+  MigrationConfig config_;
+};
+
+}  // namespace psbox
+
+#endif  // SRC_FLEET_MIGRATION_H_

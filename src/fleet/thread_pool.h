@@ -1,0 +1,51 @@
+// A small fixed-size thread pool for advancing fleet shards in parallel.
+//
+// The coordinator submits one closure per shard each epoch and then blocks in
+// WaitIdle(), which returns only after every submitted closure has finished
+// running. WaitIdle() synchronises-with the workers (mutex hand-off), so all
+// shard state written inside a closure is visible to the coordinator thread
+// afterwards — the epoch barrier the determinism argument leans on.
+
+#ifndef SRC_FLEET_THREAD_POOL_H_
+#define SRC_FLEET_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace psbox {
+
+class ThreadPool {
+ public:
+  // Spawns |threads| (>= 1) workers immediately.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues |fn| for execution on some worker. Never blocks.
+  void Submit(std::function<void()> fn);
+
+  // Blocks until the queue is empty and no worker is mid-task.
+  void WaitIdle();
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signalled on submit / shutdown
+  std::condition_variable idle_cv_;   // signalled when a worker finishes
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int busy_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace psbox
+
+#endif  // SRC_FLEET_THREAD_POOL_H_

@@ -850,6 +850,7 @@ void CpuScheduler::StartBalloon(CoreId initiator, TaskGroup* group) {
   group->owned_notified_ = false;
   group->balloon_started_ = sim_->Now();
   RecordBalloonStart();
+  RecordEdge(BalloonEdge::Kind::kRequest, group->app(), group->psbox());
   // Remove the group's entities from every runqueue: while coscheduled the
   // group is "on cpu" everywhere.
   for (CoreId c = 0; c < num_cores(); ++c) {
@@ -879,6 +880,7 @@ void CpuScheduler::StartBalloon(CoreId initiator, TaskGroup* group) {
     if (group->coscheduling_ && observer_ != nullptr) {
       group->owned_notified_ = true;
       NotifyBalloonIn(group->psbox(), owned_from);
+      RecordEdge(BalloonEdge::Kind::kServe, group->app(), group->psbox());
     }
   });
   group->slice_timer_ = sim_->ScheduleAfter(config_.max_balloon_slice, [this, group] {
@@ -975,6 +977,8 @@ void CpuScheduler::EndBalloon(TaskGroup* group, bool group_blocked) {
   PSBOX_CHECK(active_balloon_ == group);
   active_balloon_ = nullptr;
   RecordBalloonTime(sim_->Now() - group->balloon_started_);
+  // Spatial balloons end in one step — no separate release/drain edge.
+  RecordEdge(BalloonEdge::Kind::kFinish, group->app(), group->psbox());
   if (group->slice_timer_ != kInvalidEventId) {
     sim_->Cancel(group->slice_timer_);
     group->slice_timer_ = kInvalidEventId;

@@ -1,0 +1,83 @@
+// Thin ResourceDomain policies for the §7 entanglement-free hardware.
+//
+// The display (OLED) and GPS need no balloon protocol: display power is
+// per-pixel additive, so each app's contribution is exactly attributable,
+// and GPS operating power may be safely revealed to every sandbox (only the
+// off/acquiring states are hidden behind idle power, closing the usage side
+// channel of §4.1). These domains therefore implement the registry surface
+// with pass-through accounting — SetSandboxed/ClearSandboxed arm nothing,
+// the balloon counters stay at zero forever, and the psbox virtual meter
+// reads app power through the direct_metered() surface instead of ownership
+// windows. With them registered the domain registry covers every
+// HwComponent and the psbox manager needs no per-component special cases.
+
+#ifndef SRC_KERNEL_DIRECT_DOMAIN_H_
+#define SRC_KERNEL_DIRECT_DOMAIN_H_
+
+#include "src/hw/display_device.h"
+#include "src/hw/gps_device.h"
+#include "src/kernel/resource_domain.h"
+
+namespace psbox {
+
+// OLED display: per-app surface power is separable, so the sandbox reads
+// exactly its own pixels' energy — no DAQ rail, no balloons.
+class DisplayDomain : public ResourceDomain {
+ public:
+  DisplayDomain(Simulator* sim, DisplayDevice* display)
+      : ResourceDomain(sim, HwComponent::kDisplay, /*drain_timeout=*/0),
+        display_(display) {}
+
+  void SetSandboxed(AppId app, PsboxId box) override {
+    (void)app;
+    (void)box;  // nothing to arm: attribution needs no exclusivity
+  }
+  void ClearSandboxed(AppId app) override { (void)app; }
+
+  bool direct_metered() const override { return true; }
+  Watts DirectPowerAt(AppId app, TimeNs t) const override {
+    return display_->AppPowerAt(app, t);
+  }
+  Joules DirectEnergyOver(AppId app, TimeNs t0, TimeNs t1) const override {
+    return display_->AppEnergy(app, t0, t1);
+  }
+
+ private:
+  DisplayDevice* display_;
+};
+
+// GPS receiver: while the device operates its power may be revealed to every
+// psbox; off/acquiring periods read as idle power so no sandbox can infer
+// other apps' (past) GPS usage. The reading is app-independent by design.
+class GpsDomain : public ResourceDomain {
+ public:
+  GpsDomain(Simulator* sim, GpsDevice* gps)
+      : ResourceDomain(sim, HwComponent::kGps, /*drain_timeout=*/0), gps_(gps) {}
+
+  void SetSandboxed(AppId app, PsboxId box) override {
+    (void)app;
+    (void)box;
+  }
+  void ClearSandboxed(AppId app) override { (void)app; }
+
+  bool direct_metered() const override { return true; }
+  Watts DirectPowerAt(AppId app, TimeNs t) const override {
+    (void)app;
+    return gps_->operating_trace().ValueAt(t) > 0.5 ? gps_->config().on_power
+                                                    : gps_->config().off_power;
+  }
+  Joules DirectEnergyOver(AppId app, TimeNs t0, TimeNs t1) const override {
+    (void)app;
+    const double operating_s = gps_->operating_trace().IntegralOver(t0, t1);
+    const double window_s = ToSeconds(t1 - t0);
+    return gps_->config().on_power * operating_s +
+           gps_->config().off_power * (window_s - operating_s);
+  }
+
+ private:
+  GpsDevice* gps_;
+};
+
+}  // namespace psbox
+
+#endif  // SRC_KERNEL_DIRECT_DOMAIN_H_

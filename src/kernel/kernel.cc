@@ -25,12 +25,16 @@ Kernel::Kernel(Board* board, KernelConfig config)
   net_ = std::make_unique<NetStack>(&board_->sim(), &board_->wifi(), this, config_.net);
   storage_driver_ = std::make_unique<StorageDriver>(
       &board_->sim(), &board_->storage(), this, config_.storage_driver);
+  display_domain_ = std::make_unique<DisplayDomain>(&board_->sim(), &board_->display());
+  gps_domain_ = std::make_unique<GpsDomain>(&board_->sim(), &board_->gps());
 
   RegisterDomain(scheduler_.get());
   RegisterDomain(gpu_driver_.get());
   RegisterDomain(dsp_driver_.get());
   RegisterDomain(net_.get());
   RegisterDomain(storage_driver_.get());
+  RegisterDomain(display_domain_.get());
+  RegisterDomain(gps_domain_.get());
   governor_->Start();
 }
 
@@ -91,8 +95,7 @@ ResourceDomain& Kernel::domain(HwComponent hw) {
   if (d == nullptr) {
     CheckFail(__FILE__, __LINE__,
               std::string("no ResourceDomain registered for ") +
-                  HwComponentName(hw) +
-                  " (entanglement-free components carry no balloon protocol)");
+                  HwComponentName(hw));
   }
   return *d;
 }

@@ -21,6 +21,7 @@
 #include "src/kernel/balloon_observer.h"
 #include "src/kernel/cpu_scheduler.h"
 #include "src/kernel/cpufreq_governor.h"
+#include "src/kernel/direct_domain.h"
 #include "src/kernel/net_stack.h"
 #include "src/kernel/psbox_service.h"
 #include "src/kernel/resource_domain.h"
@@ -72,10 +73,11 @@ class Kernel : public BalloonObserver {
   UsageLedger& ledger() { return ledger_; }
 
   // --- resource-domain registry -------------------------------------------
-  // Every sandboxable resource registers its ResourceDomain here at kernel
-  // construction; the psbox manager addresses them uniformly by component.
-  // Aborts with a descriptive message when |hw| has no domain (display/GPS
-  // are entanglement-free and carry no balloon protocol).
+  // Every HwComponent registers a ResourceDomain here at kernel
+  // construction — balloon-carrying policies for CPU/GPU/DSP/WiFi/storage,
+  // thin direct-metered policies for the §7 entanglement-free display and
+  // GPS — and the psbox manager addresses them uniformly by component.
+  // Aborts with a descriptive message when |hw| has no domain (a wiring bug).
   ResourceDomain& domain(HwComponent hw);
   // Null instead of aborting for unbound components.
   ResourceDomain* FindDomain(HwComponent hw) {
@@ -125,6 +127,8 @@ class Kernel : public BalloonObserver {
   std::unique_ptr<AccelDriver> dsp_driver_;
   std::unique_ptr<NetStack> net_;
   std::unique_ptr<StorageDriver> storage_driver_;
+  std::unique_ptr<DisplayDomain> display_domain_;
+  std::unique_ptr<GpsDomain> gps_domain_;
   std::array<ResourceDomain*, kNumHwComponents> domains_{};
   PsboxService* psbox_service_ = nullptr;
   BalloonObserver* external_observer_ = nullptr;

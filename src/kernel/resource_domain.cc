@@ -4,6 +4,24 @@
 
 namespace psbox {
 
+const char* BalloonEdgeKindName(BalloonEdge::Kind kind) {
+  switch (kind) {
+    case BalloonEdge::Kind::kRequest:
+      return "request";
+    case BalloonEdge::Kind::kServe:
+      return "serve";
+    case BalloonEdge::Kind::kRelease:
+      return "release";
+    case BalloonEdge::Kind::kFinish:
+      return "finish";
+    case BalloonEdge::Kind::kCancel:
+      return "cancel";
+    case BalloonEdge::Kind::kAbort:
+      return "abort";
+  }
+  return "?";
+}
+
 ResourceDomain::ResourceDomain(Simulator* sim, HwComponent kind,
                                DurationNs drain_timeout)
     : sim_(sim), kind_(kind) {
@@ -18,6 +36,25 @@ ResourceDomain::ResourceDomain(Simulator* sim, HwComponent kind,
 }
 
 ResourceDomain::~ResourceDomain() = default;
+
+Watts ResourceDomain::DirectPowerAt(AppId app, TimeNs t) const {
+  (void)app;
+  (void)t;
+  CheckFail(__FILE__, __LINE__,
+            std::string(name()) + " is balloon-metered, not direct-metered");
+}
+
+Joules ResourceDomain::DirectEnergyOver(AppId app, TimeNs t0, TimeNs t1) const {
+  (void)app;
+  (void)t0;
+  (void)t1;
+  CheckFail(__FILE__, __LINE__,
+            std::string(name()) + " is balloon-metered, not direct-metered");
+}
+
+void ResourceDomain::RecordEdge(BalloonEdge::Kind kind, AppId app, PsboxId box) {
+  timeline_.push_back({sim_->Now(), kind, app, box});
+}
 
 void ResourceDomain::NotifyBalloonIn(PsboxId box, TimeNs when) {
   if (observer_ != nullptr) {
@@ -43,6 +80,7 @@ void ResourceDomain::BalloonRequest(AppId app, PsboxId box) {
     drain_watchdog_->Arm();
   }
   RecordBalloonStart();
+  RecordEdge(BalloonEdge::Kind::kRequest, owner_, owner_box_);
 }
 
 void ResourceDomain::BalloonServe() {
@@ -52,12 +90,14 @@ void ResourceDomain::BalloonServe() {
   }
   notified_ = true;
   NotifyBalloonIn(owner_box_, sim_->Now());
+  RecordEdge(BalloonEdge::Kind::kServe, owner_, owner_box_);
   phase_ = BalloonPhase::kServe;
 }
 
 void ResourceDomain::BalloonRelease() {
   PSBOX_CHECK(phase_ == BalloonPhase::kServe);
   phase_ = BalloonPhase::kDrainOwner;
+  RecordEdge(BalloonEdge::Kind::kRelease, owner_, owner_box_);
   drain_enter_ = sim_->Now();
   if (drain_watchdog_ != nullptr) {
     drain_watchdog_->Arm();
@@ -71,6 +111,7 @@ DurationNs ResourceDomain::BalloonFinish() {
   }
   const DurationNs held = sim_->Now() - balloon_start_;
   RecordBalloonTime(held);
+  RecordEdge(BalloonEdge::Kind::kFinish, owner_, owner_box_);
   if (notified_) {
     NotifyBalloonOut(owner_box_, sim_->Now());
   }
@@ -87,6 +128,7 @@ void ResourceDomain::BalloonCancel() {
   if (drain_watchdog_ != nullptr) {
     drain_watchdog_->Disarm();
   }
+  RecordEdge(BalloonEdge::Kind::kCancel, owner_, owner_box_);
   notified_ = false;
   owner_ = kNoApp;
   owner_box_ = kNoPsbox;
@@ -107,6 +149,7 @@ DurationNs ResourceDomain::BalloonAbort() {
       phase_ == BalloonPhase::kDrainOwner ? BalloonServed() : 0;
   RecordBalloonTime(served);
   RecordAbort();
+  RecordEdge(BalloonEdge::Kind::kAbort, owner_, owner_box_);
   if (notified_) {
     NotifyBalloonOut(owner_box_, sim_->Now());
   }

@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "src/base/types.h"
 #include "src/kernel/balloon_observer.h"
@@ -42,6 +43,20 @@
 #include "src/sim/watchdog.h"
 
 namespace psbox {
+
+// One lifecycle edge of a balloon. Every domain keeps the full edge
+// sequence (request → serve → release → finish, or the cancel/abort
+// unwinds) so accounting disputes can be replayed offline from the CSV
+// export next to the rail traces (balloon_timeline.h).
+struct BalloonEdge {
+  enum class Kind : uint8_t { kRequest, kServe, kRelease, kFinish, kCancel, kAbort };
+  TimeNs when = 0;
+  Kind kind = Kind::kRequest;
+  AppId app = kNoApp;
+  PsboxId box = kNoPsbox;
+};
+
+const char* BalloonEdgeKindName(BalloonEdge::Kind kind);
 
 // The stats every resource domain reports, uniformly (the per-resource
 // driver stats keep only their subsystem-specific counters).
@@ -88,12 +103,32 @@ class ResourceDomain {
   // Current balloon owner (kNoApp when none).
   virtual AppId balloon_owner() const { return owner_; }
 
+  // Full lifecycle-edge sequence since construction, in time order (the
+  // domain-level trace the CSV export streams out).
+  const std::vector<BalloonEdge>& timeline() const { return timeline_; }
+
+  // --- §7 entanglement-free (direct-metered) domains ----------------------
+  // Display power is separable per app and GPS operating power is safely
+  // revealable, so their domains carry no balloon protocol: the psbox
+  // virtual meter reads app-attributable power directly instead of gating
+  // on ownership windows. Domains with balloons return false and must not
+  // be asked for direct readings.
+  virtual bool direct_metered() const { return false; }
+  // App-attributable power at instant |t|; aborts unless direct_metered().
+  virtual Watts DirectPowerAt(AppId app, TimeNs t) const;
+  // App-attributable energy over [t0, t1); aborts unless direct_metered().
+  virtual Joules DirectEnergyOver(AppId app, TimeNs t0, TimeNs t1) const;
+
  protected:
   enum class BalloonPhase { kIdle, kDrainOthers, kServe, kDrainOwner };
 
   // --- primitives (used by every domain, incl. the spatial CPU one) -------
   void NotifyBalloonIn(PsboxId box, TimeNs when);
   void NotifyBalloonOut(PsboxId box, TimeNs when);
+  // Appends a lifecycle edge to the timeline. The five-phase methods record
+  // their own edges; the spatial CPU domain calls this at its coscheduling
+  // start/owned/end points.
+  void RecordEdge(BalloonEdge::Kind kind, AppId app, PsboxId box);
   void RecordBalloonStart() { ++dstats_.balloons; }
   void RecordBalloonTime(DurationNs held) { dstats_.total_balloon_time += held; }
   void RecordAbort() { ++dstats_.aborted; }
@@ -148,6 +183,7 @@ class ResourceDomain {
   // Guards the drain phases; null when drain_timeout == 0.
   std::unique_ptr<Watchdog> drain_watchdog_;
   DomainStats dstats_;
+  std::vector<BalloonEdge> timeline_;
 };
 
 }  // namespace psbox

@@ -32,11 +32,9 @@ int PsboxManager::CreateBox(AppId app, const std::vector<HwComponent>& hw) {
   boxes_.push_back(std::make_unique<PowerSandbox>(id, app, hw, kernel_->Now()));
   for (HwComponent component : hw) {
     // Each bound resource domain does its one-time per-box setup (the CPU
-    // domain creates the task group and DVFS context). Entanglement-free
-    // components (display, GPS) have no domain and nothing to bind.
-    if (ResourceDomain* domain = kernel_->FindDomain(component)) {
-      domain->BindBox(app, id);
-    }
+    // domain creates the task group and DVFS context; direct-metered
+    // domains bind nothing).
+    kernel_->domain(component).BindBox(app, id);
   }
   return id;
 }
@@ -59,10 +57,7 @@ void PsboxManager::ApplyEnter(int box) {
     return;  // left again before the switch applied
   }
   for (HwComponent hw : sb.hardware()) {
-    // Entanglement-free hardware (§7) has no domain — nothing to arm.
-    if (ResourceDomain* domain = kernel_->FindDomain(hw)) {
-      domain->SetSandboxed(sb.app(), sb.id());
-    }
+    kernel_->domain(hw).SetSandboxed(sb.app(), sb.id());
   }
 }
 
@@ -81,9 +76,7 @@ void PsboxManager::ApplyLeave(int box) {
     return;  // re-entered before the switch applied
   }
   for (HwComponent hw : sb.hardware()) {
-    if (ResourceDomain* domain = kernel_->FindDomain(hw)) {
-      domain->ClearSandboxed(sb.app());
-    }
+    kernel_->domain(hw).ClearSandboxed(sb.app());
   }
 }
 
@@ -95,32 +88,20 @@ PowerSandbox::EnergyDetail PsboxManager::ComponentEnergyDetail(PowerSandbox& sb,
                                                                HwComponent hw,
                                                                TimeNs now) {
   Board& board = kernel_->board();
-  PowerSandbox::EnergyDetail d;
-  switch (hw) {
-    case HwComponent::kDisplay:
-      // OLED pixels are separable (§7): the sandbox reads exactly its app's
-      // own surface energy; no balloons (and no DAQ rail) involved.
-      d.measured = board.display().AppEnergy(sb.app(), sb.meter_start(), now);
-      d.measured_time = now - sb.meter_start();
-      return d;
-    case HwComponent::kGps: {
-      // While the device operates, its power may be safely revealed to every
-      // psbox; off/acquiring periods read as idle power so that no sandbox
-      // can infer other apps' (past) GPS usage (§4.1, §7).
-      const double operating_s =
-          board.gps().operating_trace().IntegralOver(sb.meter_start(), now);
-      const double window_s = ToSeconds(now - sb.meter_start());
-      d.measured = board.gps().config().on_power * operating_s +
-                   board.gps().config().off_power * (window_s - operating_s);
-      d.measured_time = now - sb.meter_start();
-      return d;
-    }
-    default:
-      // DAQ-metered rails degrade to model-based estimation inside
-      // meter-dropout fault windows.
-      return sb.ObservedEnergyDetail(board.RailFor(hw), hw, now,
-                                     &board.fault_injector());
+  const ResourceDomain& domain = kernel_->domain(hw);
+  if (domain.direct_metered()) {
+    // §7 entanglement-free hardware: the domain attributes energy directly
+    // (exact per-app surface energy for the display; safely-revealable
+    // operating power for GPS) — no balloons, no DAQ rail, no estimation.
+    PowerSandbox::EnergyDetail d;
+    d.measured = domain.DirectEnergyOver(sb.app(), sb.meter_start(), now);
+    d.measured_time = now - sb.meter_start();
+    return d;
   }
+  // DAQ-metered rails degrade to model-based estimation inside
+  // meter-dropout fault windows.
+  return sb.ObservedEnergyDetail(board.RailFor(hw), hw, now,
+                                 &board.fault_injector());
 }
 
 Joules PsboxManager::ReadEnergy(int box) {
@@ -181,19 +162,13 @@ size_t PsboxManager::Sample(int box, std::vector<PowerSample>* buf,
   std::vector<PowerSample> sum;
   for (HwComponent hw : sb.hardware()) {
     std::vector<PowerSample> samples;
-    if (hw == HwComponent::kDisplay || hw == HwComponent::kGps) {
+    const ResourceDomain& domain = kernel_->domain(hw);
+    if (domain.direct_metered()) {
       // Entanglement-free hardware (§7): sample the directly-attributable
       // series instead of balloon-gated rail power.
       samples.reserve(static_cast<size_t>((t1 - t0) / meter.sample_period) + 1);
       for (TimeNs t = t0; t < t1; t += meter.sample_period) {
-        Watts truth = 0.0;
-        if (hw == HwComponent::kDisplay) {
-          truth = kernel_->board().display().AppPowerAt(sb.app(), t);
-        } else {
-          truth = kernel_->board().gps().operating_trace().ValueAt(t) > 0.5
-                      ? kernel_->board().gps().config().on_power
-                      : kernel_->board().gps().config().off_power;
-        }
+        const Watts truth = domain.DirectPowerAt(sb.app(), t);
         samples.push_back(
             {t, std::max(0.0, truth + rng_.Gaussian(0.0, meter.noise_stddev))});
       }

@@ -8,9 +8,11 @@
 namespace psbox {
 
 LoopBehavior::LoopBehavior(std::shared_ptr<WorkloadStats> stats, StepFn step,
-                           uint64_t max_iterations, TimeNs deadline, Rng rng)
+                           uint64_t max_iterations, TimeNs deadline, Rng rng,
+                           std::shared_ptr<const bool> stop)
     : stats_(std::move(stats)), step_(std::move(step)),
-      max_iterations_(max_iterations), deadline_(deadline), rng_(rng) {
+      max_iterations_(max_iterations), deadline_(deadline), rng_(rng),
+      stop_(std::move(stop)) {
   PSBOX_CHECK(stats_ != nullptr);
 }
 
@@ -31,7 +33,11 @@ Action LoopBehavior::NextAction(TaskEnv& env) {
     }
     const bool over_iters = max_iterations_ > 0 && iter_ >= max_iterations_;
     const bool over_deadline = deadline_ > 0 && env.now >= deadline_;
-    if (over_iters || over_deadline) {
+    const bool stopped = stop_ != nullptr && *stop_;
+    if (stopped) {
+      stats_->evicted = true;
+    }
+    if (over_iters || over_deadline || stopped) {
       finished_ = true;
       stats_->finish_time = std::max(stats_->finish_time, env.now);
       return Action::Exit();

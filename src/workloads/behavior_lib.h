@@ -29,6 +29,9 @@ struct WorkloadStats {
   // Energy observed through the app's own psbox (PsboxWrapBehavior).
   Joules psbox_energy = -1.0;
   int box = -1;
+  // True when the loop ended because its eviction flag was raised rather
+  // than by iteration/deadline exhaustion (fleet migration drains).
+  bool evicted = false;
 };
 
 class LoopBehavior : public Behavior {
@@ -38,8 +41,12 @@ class LoopBehavior : public Behavior {
   // boundaries), or when |step| returns an empty vector.
   using StepFn = std::function<std::vector<Action>(TaskEnv&, uint64_t iter, Rng&)>;
 
+  // |stop|, when non-null, is a cooperative eviction flag: the loop checks it
+  // at every iteration boundary and exits cleanly (marking stats->evicted)
+  // once it reads true — the graceful-drain half of fleet migration.
   LoopBehavior(std::shared_ptr<WorkloadStats> stats, StepFn step,
-               uint64_t max_iterations, TimeNs deadline, Rng rng);
+               uint64_t max_iterations, TimeNs deadline, Rng rng,
+               std::shared_ptr<const bool> stop = nullptr);
 
   Action NextAction(TaskEnv& env) override;
 
@@ -51,6 +58,7 @@ class LoopBehavior : public Behavior {
   uint64_t max_iterations_;
   TimeNs deadline_;
   Rng rng_;
+  std::shared_ptr<const bool> stop_;
   std::deque<Action> queue_;
   uint64_t iter_ = 0;
   bool started_ = false;

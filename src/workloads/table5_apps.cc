@@ -24,7 +24,8 @@ AppHandle SpawnLoopApp(Kernel& kernel, const std::string& name,
       iters = opts.iterations / threads + (t < opts.iterations % threads ? 1 : 0);
     }
     std::unique_ptr<Behavior> behavior = std::make_unique<LoopBehavior>(
-        handle.stats, step, iters, opts.deadline, kernel.board().rng().Fork());
+        handle.stats, step, iters, opts.deadline, kernel.board().rng().Fork(),
+        opts.stop);
     if (opts.use_psbox && t == 0) {
       behavior = std::make_unique<PsboxWrapBehavior>(std::move(behavior), psbox_hw,
                                                      handle.stats);

@@ -42,6 +42,11 @@ struct AppOptions {
   // first worker drives the psbox lifecycle; siblings join its task group
   // automatically when it enters (the box encloses the whole app).
   int threads = 1;
+  // Cooperative eviction flag, checked by every worker at iteration
+  // boundaries; raising it makes the app drain and exit cleanly (psbox
+  // energy recorded). The fleet migration path raises this on the source
+  // board, then respawns the app's remaining work on the target.
+  std::shared_ptr<bool> stop;
 };
 
 // --- CPU apps -------------------------------------------------------------

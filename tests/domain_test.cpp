@@ -1,6 +1,7 @@
 // The uniform ResourceDomain surface: every sandboxed resource reports the
-// same DomainStats with the same invariants, and the kernel registry rejects
-// components that carry no balloon protocol.
+// same DomainStats with the same invariants, and the kernel registry covers
+// every HwComponent — balloon-carrying policies for CPU/GPU/DSP/WiFi/storage
+// and direct-metered policies for the §7 entanglement-free display and GPS.
 
 #include <gtest/gtest.h>
 
@@ -76,14 +77,34 @@ TEST(DomainRegistryTest, TypedAccessorsAliasTheRegistry) {
             static_cast<ResourceDomain*>(&s.kernel.storage_driver()));
 }
 
-TEST(DomainRegistryTest, UnboundComponentAbortsWithClearMessage) {
+TEST(DomainRegistryTest, RegistryCoversEveryComponent) {
   TestStack s;
-  // Display and GPS take the §7 entanglement-free path: no balloon protocol,
-  // no domain. Asking for one is a caller bug, reported by name.
-  EXPECT_DEATH(s.kernel.domain(HwComponent::kDisplay),
-               "no ResourceDomain registered for Display");
-  EXPECT_EQ(s.kernel.FindDomain(HwComponent::kDisplay), nullptr);
-  EXPECT_EQ(s.kernel.FindDomain(HwComponent::kGps), nullptr);
+  for (size_t i = 0; i < kNumHwComponents; ++i) {
+    const HwComponent hw = static_cast<HwComponent>(i);
+    EXPECT_NE(s.kernel.FindDomain(hw), nullptr) << HwComponentName(hw);
+  }
+}
+
+TEST(DomainRegistryTest, DirectMeteredDomainsCarryNoBalloonProtocol) {
+  TestStack s;
+  // Display and GPS take the §7 entanglement-free path: thin pass-through
+  // policies whose balloon counters stay at zero forever.
+  for (HwComponent hw : {HwComponent::kDisplay, HwComponent::kGps}) {
+    ResourceDomain& domain = s.kernel.domain(hw);
+    EXPECT_TRUE(domain.direct_metered()) << HwComponentName(hw);
+    domain.SetSandboxed(/*app=*/0, /*box=*/1);  // arming is a no-op
+    s.kernel.RunUntil(Millis(50));
+    const DomainStats stats = domain.domain_stats();
+    EXPECT_EQ(stats.balloons, 0u) << HwComponentName(hw);
+    EXPECT_EQ(stats.aborted, 0u) << HwComponentName(hw);
+    EXPECT_EQ(domain.balloon_owner(), kNoApp) << HwComponentName(hw);
+    EXPECT_TRUE(domain.timeline().empty()) << HwComponentName(hw);
+  }
+  // Balloon-metered domains reject the direct surface: asking the CPU
+  // scheduler for a direct reading is a caller bug, reported by name.
+  EXPECT_FALSE(s.kernel.domain(HwComponent::kCpu).direct_metered());
+  EXPECT_DEATH(s.kernel.domain(HwComponent::kCpu).DirectPowerAt(0, 0),
+               "balloon-metered, not direct-metered");
 }
 
 TEST(DomainRegistryTest, DriverForRejectsNonAccelerators) {

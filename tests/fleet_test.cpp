@@ -1,0 +1,226 @@
+// The fleet subsystem's two contracts:
+//
+//   determinism — a FleetScenario is a pure function of (seed, board specs,
+//     app placement): the aggregated FleetStats fingerprint is bit-identical
+//     at any worker-thread count, because shards are isolated deterministic
+//     islands and all cross-shard work happens single-threaded at epoch
+//     barriers in fixed board/app order;
+//
+//   budget conservation — migrating an app moves its billing, it never
+//     creates or destroys energy: source billing + target billing matches
+//     what a single board would have billed for the same work, within the
+//     existing virtual-meter accounting bound.
+
+#include <gtest/gtest.h>
+
+#include "src/fleet/fleet_coordinator.h"
+
+namespace psbox {
+namespace {
+
+// A small but non-trivial fleet: three boards, budgeted sandboxed apps on
+// each component class plus plain co-runners, budgets tight enough that
+// migrations actually fire.
+FleetScenario MixedScenario(uint64_t seed) {
+  FleetScenario scenario;
+  scenario.seed = seed;
+  scenario.horizon = Seconds(1);
+  scenario.epoch = 10 * kMillisecond;
+  scenario.boards.resize(3);
+
+  struct Mix {
+    const char* name;
+    AppFactory factory;
+    int board;
+    bool sandboxed;
+    Joules budget;
+  };
+  const Mix mix[] = {
+      {"calib3d", &SpawnCalib3d, 0, true, 1.0},
+      {"triangle", &SpawnTriangle, 0, true, 0.7},
+      {"bodytrack", &SpawnBodytrack, 1, false, 0.0},
+      {"scp", &SpawnScp, 1, true, 0.5},
+      {"mediascan", &SpawnMediaScan, 2, true, 0.4},
+      {"dedup", &SpawnDedup, 2, false, 0.0},
+  };
+  for (const Mix& m : mix) {
+    FleetAppSpec spec;
+    spec.name = m.name;
+    spec.factory = m.factory;
+    spec.board = m.board;
+    spec.options.deadline = scenario.horizon;
+    spec.options.use_psbox = m.sandboxed;
+    spec.energy_budget = m.budget;
+    spec.migratable = m.sandboxed;
+    scenario.apps.push_back(spec);
+  }
+  return scenario;
+}
+
+uint64_t RunFingerprint(const FleetScenario& scenario, int threads) {
+  FleetCoordinator fleet(scenario, threads);
+  return fleet.Run().Fingerprint();
+}
+
+TEST(FleetDeterminismTest, FingerprintIdenticalAcrossThreadCounts) {
+  const FleetScenario scenario = MixedScenario(0xF1EE7);
+  const uint64_t one = RunFingerprint(scenario, 1);
+  const uint64_t two = RunFingerprint(scenario, 2);
+  const uint64_t four = RunFingerprint(scenario, 4);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+}
+
+TEST(FleetDeterminismTest, RepeatedRunsIdentical) {
+  const FleetScenario scenario = MixedScenario(0xF1EE7);
+  EXPECT_EQ(RunFingerprint(scenario, 2), RunFingerprint(scenario, 2));
+}
+
+TEST(FleetDeterminismTest, SeedChangesResults) {
+  EXPECT_NE(RunFingerprint(MixedScenario(0xF1EE7), 2),
+            RunFingerprint(MixedScenario(0xBEEF), 2));
+}
+
+TEST(FleetDeterminismTest, MigrationsActuallyHappenInTheMixedScenario) {
+  // Guards the determinism tests against vacuity: the fingerprints above
+  // must cover real cross-board activity, not three idle islands.
+  FleetCoordinator fleet(MixedScenario(0xF1EE7), 2);
+  const FleetStats stats = fleet.Run();
+  EXPECT_FALSE(stats.migrations.empty());
+  uint64_t balloons = 0;
+  for (const FleetBoardStats& b : stats.boards) {
+    balloons += b.balloons;
+  }
+  EXPECT_GT(balloons, 0u);
+}
+
+// One app, fixed iteration count, alone in the fleet. Run it (a) on a single
+// board with no migration, (b) across two boards with a budget watermark
+// that forces one mid-run migration. Total billed energy and completed
+// iterations must match within the established accounting bound.
+TEST(FleetMigrationTest, BudgetConservedAcrossMigration) {
+  constexpr uint64_t kIterations = 120;
+
+  FleetScenario single;
+  single.seed = 0x5eed;
+  single.horizon = Seconds(4);
+  single.epoch = 10 * kMillisecond;
+  single.boards.resize(1);
+  FleetAppSpec app;
+  app.name = "calib3d";
+  app.factory = &SpawnCalib3d;
+  app.board = 0;
+  app.options.iterations = kIterations;
+  app.options.use_psbox = true;
+  app.energy_budget = 0.0;  // never migrates
+  app.migratable = false;
+  single.apps.push_back(app);
+
+  FleetScenario split = single;
+  split.boards.resize(2);
+  // Tight budget: the pressure watermark trips mid-run and the remainder of
+  // the work is respawned on board 1 with the leftover budget.
+  split.apps[0].energy_budget = 0.8;
+  split.apps[0].migratable = true;
+  split.migration.pressure_fraction = 0.5;
+
+  FleetCoordinator single_fleet(single, 1);
+  const FleetStats single_stats = single_fleet.Run();
+  FleetCoordinator split_fleet(split, 2);
+  const FleetStats split_stats = split_fleet.Run();
+
+  ASSERT_EQ(single_stats.apps.size(), 1u);
+  ASSERT_EQ(split_stats.apps.size(), 1u);
+  const FleetAppOutcome& alone = single_stats.apps[0];
+  const FleetAppOutcome& moved = split_stats.apps[0];
+
+  // The migration really happened and the app still completed all its work.
+  ASSERT_EQ(split_stats.migrations.size(), 1u);
+  EXPECT_FALSE(split_stats.migrations[0].crash);
+  EXPECT_EQ(split_stats.migrations[0].from, 0);
+  EXPECT_EQ(split_stats.migrations[0].to, 1);
+  EXPECT_EQ(moved.hops, 1);
+  EXPECT_TRUE(alone.finished);
+  EXPECT_TRUE(moved.finished);
+  EXPECT_EQ(alone.iterations, kIterations);
+  EXPECT_EQ(moved.iterations, kIterations);
+
+  // Budget conservation: source billing + target billing == single-board
+  // billing for the same work, within the virtual-meter accounting bound
+  // (same 10% accounting_test pins for co-run vs alone readings).
+  ASSERT_GT(alone.billed_energy, 0.0);
+  ASSERT_GT(moved.billed_energy, 0.0);
+  EXPECT_NEAR(moved.billed_energy / alone.billed_energy, 1.0, 0.10);
+
+  // The hand-off carried exactly the unspent budget: consumed + carried ==
+  // original budget (exact, it's the coordinator's own arithmetic).
+  const MigrationRecord& m = split_stats.migrations[0];
+  EXPECT_NEAR(m.consumed_source + m.budget_carried, 0.8, 1e-9);
+  // And the source-side billing in the app outcome includes that hop.
+  EXPECT_GE(moved.billed_energy + 1e-9, m.consumed_source);
+}
+
+// A board that loses power mid-run freezes there; its migratable sandboxed
+// app is evacuated at the next barrier and finishes elsewhere.
+TEST(FleetMigrationTest, BoardFailureEvacuatesApps) {
+  FleetScenario scenario;
+  scenario.seed = 0x5eed;
+  scenario.horizon = Seconds(2);
+  scenario.epoch = 10 * kMillisecond;
+  scenario.boards.resize(2);
+  scenario.boards[0].fail_at = Millis(300);
+
+  FleetAppSpec app;
+  app.name = "calib3d";
+  app.factory = &SpawnCalib3d;
+  app.board = 0;
+  app.options.deadline = scenario.horizon;
+  app.options.use_psbox = true;
+  app.migratable = true;
+  scenario.apps.push_back(app);
+
+  FleetAppSpec doomed = app;
+  doomed.name = "bodytrack";
+  doomed.factory = &SpawnBodytrack;
+  doomed.options.use_psbox = false;
+  doomed.migratable = false;  // rides the board down
+  scenario.apps.push_back(doomed);
+
+  FleetCoordinator fleet(scenario, 2);
+  const FleetStats stats = fleet.Run();
+
+  EXPECT_TRUE(stats.boards[0].failed);
+  EXPECT_EQ(stats.boards[0].ran_until, Millis(300));
+  EXPECT_FALSE(stats.boards[1].failed);
+  EXPECT_EQ(stats.boards[1].ran_until, Seconds(2));
+
+  ASSERT_EQ(stats.migrations.size(), 1u);
+  EXPECT_TRUE(stats.migrations[0].crash);
+  EXPECT_EQ(stats.migrations[0].when, Millis(300));
+
+  const FleetAppOutcome& evacuated = stats.apps[0];
+  EXPECT_EQ(evacuated.hops, 1);
+  EXPECT_EQ(evacuated.final_board, 1);
+  EXPECT_FALSE(evacuated.lost);
+  EXPECT_GT(evacuated.billed_energy, 0.0);  // both hops billed
+
+  const FleetAppOutcome& dead = stats.apps[1];
+  EXPECT_TRUE(dead.lost);
+  EXPECT_EQ(dead.final_board, 0);
+}
+
+// The worker pool actually runs submitted work and WaitIdle() is a barrier.
+TEST(ThreadPoolTest, RunsAllSubmittedWork) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.WaitIdle();
+    EXPECT_EQ(count.load(), (round + 1) * 64);
+  }
+}
+
+}  // namespace
+}  // namespace psbox
