@@ -1,0 +1,323 @@
+// StepTrace hot-path microbench: cursored lookups + prefix-sum energy vs the
+// pre-optimisation implementation (per-query binary search, range-scan
+// integrals), which is embedded below as NaiveTrace.
+//
+//   ./steptrace_sampling [--json PATH] [--steps N]
+//
+// Four cases over an N-step trace (default 1e5, the trace size a busy rail
+// accumulates in tens of simulated seconds):
+//   valueat_sweep   — monotone ValueAt probes, the virtual meter's pattern;
+//   integral_window — advancing fixed-width energy windows (power_splitter);
+//   resample_100khz — one 100 kHz Resample over the whole trace, the DAQ
+//                     emulation path (the headline case: the cursor makes it
+//                     amortized O(1) per sample instead of O(log n));
+//   trim_long_run   — sustained append + windowed queries with TrimBefore
+//                     keeping the working set bounded, vs the same load on
+//                     an unbounded naive trace.
+// Each case cross-checks the two implementations' results, then reports
+// wall time and speedup to stdout and machine-readable JSON (default
+// BENCH_steptrace.json) for CI trend tracking.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/csv.h"
+#include "src/base/rng.h"
+#include "src/base/step_trace.h"
+
+namespace psbox {
+namespace {
+
+// The pre-optimisation StepTrace, verbatim semantics: every lookup is a full
+// binary search, every integral a range scan, no cursor, no prefix sums.
+class NaiveTrace {
+ public:
+  struct Step {
+    TimeNs time;
+    double value;
+  };
+
+  void Set(TimeNs time, double value) {
+    if (!steps_.empty()) {
+      if (steps_.back().time == time) {
+        steps_.back().value = value;
+        return;
+      }
+      if (steps_.back().value == value) {
+        return;
+      }
+    }
+    steps_.push_back({time, value});
+  }
+
+  double ValueAt(TimeNs time) const {
+    const ptrdiff_t idx = FindIndex(time);
+    return idx < 0 ? 0.0 : steps_[static_cast<size_t>(idx)].value;
+  }
+
+  double IntegralOver(TimeNs t0, TimeNs t1) const {
+    if (steps_.empty() || t0 == t1) {
+      return 0.0;
+    }
+    double total = 0.0;
+    ptrdiff_t idx = FindIndex(t0);
+    TimeNs cursor = t0;
+    while (cursor < t1) {
+      const double value = idx < 0 ? 0.0 : steps_[static_cast<size_t>(idx)].value;
+      const TimeNs next_step = (static_cast<size_t>(idx + 1) < steps_.size())
+                                   ? steps_[static_cast<size_t>(idx + 1)].time
+                                   : t1;
+      const TimeNs segment_end = std::min(next_step, t1);
+      total += value * ToSeconds(segment_end - cursor);
+      cursor = segment_end;
+      ++idx;
+    }
+    return total;
+  }
+
+  std::vector<double> Resample(TimeNs t0, TimeNs t1, DurationNs period) const {
+    std::vector<double> out;
+    out.reserve(static_cast<size_t>(std::max<int64_t>(0, (t1 - t0) / period)));
+    for (TimeNs t = t0; t < t1; t += period) {
+      out.push_back(ValueAt(t));
+    }
+    return out;
+  }
+
+  size_t size() const { return steps_.size(); }
+
+ private:
+  ptrdiff_t FindIndex(TimeNs time) const {
+    auto it = std::upper_bound(steps_.begin(), steps_.end(), time,
+                               [](TimeNs t, const Step& s) { return t < s.time; });
+    return static_cast<ptrdiff_t>(it - steps_.begin()) - 1;
+  }
+
+  std::vector<Step> steps_;
+};
+
+double MillisBetween(std::chrono::steady_clock::time_point a,
+                     std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+struct CaseResult {
+  std::string name;
+  uint64_t work = 0;  // queries / samples / appends
+  double naive_ms = 0.0;
+  double fast_ms = 0.0;
+  double speedup() const { return fast_ms > 0.0 ? naive_ms / fast_ms : 0.0; }
+};
+
+// A power-rail-like trace: steps spaced 100-900 us apart, values wandering in
+// [0.1, 4.0] W.
+void BuildTraces(size_t steps, StepTrace* fast, NaiveTrace* naive, TimeNs* end) {
+  Rng rng(0x57e9);
+  TimeNs when = 0;
+  double value = 1.0;
+  for (size_t i = 0; i < steps; ++i) {
+    value = std::min(4.0, std::max(0.1, value + rng.Uniform(-0.3, 0.3)));
+    fast->Set(when, value);
+    naive->Set(when, value);
+    when += rng.UniformInt(100 * kMicrosecond, 900 * kMicrosecond);
+  }
+  *end = when;
+}
+
+CaseResult RunValueAtSweep(const StepTrace& fast, const NaiveTrace& naive,
+                           TimeNs end) {
+  CaseResult r;
+  r.name = "valueat_sweep";
+  r.work = 2'000'000;
+  const DurationNs stride = std::max<DurationNs>(1, end / static_cast<TimeNs>(r.work));
+  double sum_naive = 0.0;
+  double sum_fast = 0.0;
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (TimeNs t = 0; t < end; t += stride) {
+    sum_naive += naive.ValueAt(t);
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  for (TimeNs t = 0; t < end; t += stride) {
+    sum_fast += fast.ValueAt(t);
+  }
+  auto t2 = std::chrono::steady_clock::now();
+
+  PSBOX_CHECK(sum_fast == sum_naive);  // lookups are exact, not just close
+  r.naive_ms = MillisBetween(t0, t1);
+  r.fast_ms = MillisBetween(t1, t2);
+  return r;
+}
+
+CaseResult RunIntegralWindow(const StepTrace& fast, const NaiveTrace& naive,
+                             TimeNs end) {
+  CaseResult r;
+  r.name = "integral_window";
+  r.work = 100'000;
+  const DurationNs window = 100 * kMillisecond;
+  const DurationNs stride =
+      std::max<DurationNs>(1, (end - window) / static_cast<TimeNs>(r.work));
+  double sum_naive = 0.0;
+  double sum_fast = 0.0;
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (TimeNs t = 0; t + window < end; t += stride) {
+    sum_naive += naive.IntegralOver(t, t + window);
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  for (TimeNs t = 0; t + window < end; t += stride) {
+    sum_fast += fast.IntegralOver(t, t + window);
+  }
+  auto t2 = std::chrono::steady_clock::now();
+
+  PSBOX_CHECK_LE(std::abs(sum_fast - sum_naive), 1e-6 * std::abs(sum_naive));
+  r.naive_ms = MillisBetween(t0, t1);
+  r.fast_ms = MillisBetween(t1, t2);
+  return r;
+}
+
+CaseResult RunResample100kHz(const StepTrace& fast, const NaiveTrace& naive,
+                             TimeNs end) {
+  CaseResult r;
+  r.name = "resample_100khz";
+  const DurationNs period = 10 * kMicrosecond;  // 100 kHz DAQ
+  r.work = static_cast<uint64_t>(end / period);
+
+  auto t0 = std::chrono::steady_clock::now();
+  const std::vector<double> got_naive = naive.Resample(0, end, period);
+  auto t1 = std::chrono::steady_clock::now();
+  const std::vector<double> got_fast = fast.Resample(0, end, period);
+  auto t2 = std::chrono::steady_clock::now();
+
+  PSBOX_CHECK_EQ(got_fast.size(), got_naive.size());
+  for (size_t i = 0; i < got_fast.size(); i += 97) {
+    PSBOX_CHECK(got_fast[i] == got_naive[i]);
+  }
+  r.naive_ms = MillisBetween(t0, t1);
+  r.fast_ms = MillisBetween(t1, t2);
+  return r;
+}
+
+// Sustained load: append steps while querying a trailing energy window, the
+// shape of a long fleet run. The fast trace trims behind a 1-second
+// retention horizon every 10k appends; the naive trace grows forever.
+CaseResult RunTrimLongRun(size_t* retained, uint64_t* trimmed,
+                          size_t* unbounded) {
+  CaseResult r;
+  r.name = "trim_long_run";
+  r.work = 2'000'000;
+  const DurationNs retention = Seconds(1);
+  const DurationNs spacing = 50 * kMicrosecond;
+
+  auto drive = [&](auto& trace, auto&& trim_at) -> double {
+    Rng rng(0x10e6);
+    double sink = 0.0;
+    TimeNs when = 0;
+    double value = 1.0;
+    for (uint64_t i = 0; i < r.work; ++i) {
+      value = std::min(4.0, std::max(0.1, value + rng.Uniform(-0.3, 0.3)));
+      trace.Set(when, value);
+      when += spacing;
+      if (i % 1000 == 0 && when > retention) {
+        sink += trace.IntegralOver(when - retention, when);
+      }
+      if (i % 10000 == 0 && when > retention) {
+        trim_at(when - retention);
+      }
+    }
+    return sink;
+  };
+
+  NaiveTrace naive;
+  auto t0 = std::chrono::steady_clock::now();
+  const double sum_naive = drive(naive, [](TimeNs) {});  // unbounded
+  auto t1 = std::chrono::steady_clock::now();
+  StepTrace fast;
+  const double sum_fast =
+      drive(fast, [&fast](TimeNs horizon) { fast.TrimBefore(horizon); });
+  auto t2 = std::chrono::steady_clock::now();
+
+  PSBOX_CHECK_LE(std::abs(sum_fast - sum_naive), 1e-6 * std::abs(sum_naive));
+  r.naive_ms = MillisBetween(t0, t1);
+  r.fast_ms = MillisBetween(t1, t2);
+  *retained = fast.size();
+  *trimmed = fast.trimmed_steps();
+  *unbounded = naive.size();
+  return r;
+}
+
+}  // namespace
+}  // namespace psbox
+
+int main(int argc, char** argv) {
+  using namespace psbox;
+  std::string json_path = "BENCH_steptrace.json";
+  size_t steps = 100'000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--steps" && i + 1 < argc) {
+      steps = static_cast<size_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: steptrace_sampling [--json PATH] [--steps N]\n");
+      return 2;
+    }
+  }
+
+  StepTrace fast;
+  NaiveTrace naive;
+  TimeNs end = 0;
+  BuildTraces(steps, &fast, &naive, &end);
+  std::printf("steptrace_sampling: %zu-step trace spanning %.1f simulated s\n\n",
+              fast.size(), ToSeconds(end));
+
+  std::vector<CaseResult> results;
+  results.push_back(RunValueAtSweep(fast, naive, end));
+  results.push_back(RunIntegralWindow(fast, naive, end));
+  results.push_back(RunResample100kHz(fast, naive, end));
+  size_t retained = 0;
+  uint64_t trimmed = 0;
+  size_t unbounded = 0;
+  results.push_back(RunTrimLongRun(&retained, &trimmed, &unbounded));
+
+  TextTable table({"case", "work", "naive (ms)", "cursored (ms)", "speedup"});
+  for (const CaseResult& r : results) {
+    table.AddRow({r.name, std::to_string(r.work), FormatDouble(r.naive_ms, 2),
+                  FormatDouble(r.fast_ms, 2),
+                  FormatDouble(r.speedup(), 2) + "x"});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\ntrim_long_run working set: %zu steps retained (%llu trimmed) vs %zu "
+      "unbounded\n",
+      retained, static_cast<unsigned long long>(trimmed), unbounded);
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  json << "{\n  \"bench\": \"steptrace_sampling\",\n  \"trace_steps\": " << steps
+       << ",\n  \"trim_retained_steps\": " << retained
+       << ",\n  \"trim_trimmed_steps\": " << trimmed
+       << ",\n  \"unbounded_steps\": " << unbounded << ",\n  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& r = results[i];
+    json << "    {\"case\": \"" << r.name << "\", \"work\": " << r.work
+         << ", \"naive_ms\": " << FormatDouble(r.naive_ms, 3)
+         << ", \"fast_ms\": " << FormatDouble(r.fast_ms, 3)
+         << ", \"speedup\": " << FormatDouble(r.speedup(), 3) << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("\nJSON written to %s\n", json_path.c_str());
+  return 0;
+}

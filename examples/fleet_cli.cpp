@@ -3,14 +3,16 @@
 // deterministic fleet fingerprint.
 //
 //   ./fleet_cli [--boards N] [--threads T] [--seconds S] [--seed X]
-//               [--fail BOARD@MS] [--trace-dir DIR]
+//               [--fail BOARD@MS] [--trace-dir DIR] [--retention MS]
 //
 // A default mix of Table-5 apps is placed round-robin: sandboxed CPU, GPU
 // and WiFi apps with energy budgets (migratable under budget pressure) plus
 // plain co-runners. --fail makes a board lose power at MS milliseconds; its
 // sandboxed apps are crash-migrated to the least-loaded surviving board.
 // With --trace-dir, every board's balloon timelines are exported as
-// DIR/board<i>_balloons_<domain>.csv.
+// DIR/board<i>_balloons_<domain>.csv. --retention bounds every board's
+// telemetry working set to the last MS milliseconds (energy accounting
+// stays exact; see KernelConfig::telemetry_retention).
 //
 // Example: ./fleet_cli --boards 4 --threads 4 --seconds 2 --fail 1@600
 
@@ -27,17 +29,23 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: fleet_cli [--boards N] [--threads T] [--seconds S] "
-               "[--seed X] [--fail BOARD@MS] [--trace-dir DIR]\n");
+               "[--seed X] [--fail BOARD@MS] [--trace-dir DIR] "
+               "[--retention MS]\n");
   return 2;
 }
 
 FleetScenario BuildScenario(int boards, int seconds, uint64_t seed,
-                            int fail_board, int fail_ms) {
+                            int fail_board, int fail_ms, int retention_ms) {
   FleetScenario scenario;
   scenario.seed = seed;
   scenario.horizon = Seconds(seconds);
   scenario.epoch = 10 * kMillisecond;
   scenario.boards.resize(static_cast<size_t>(boards));
+  if (retention_ms > 0) {
+    for (FleetBoardSpec& board : scenario.boards) {
+      board.kernel.telemetry_retention = Millis(retention_ms);
+    }
+  }
   if (fail_board >= 0 && fail_board < boards) {
     scenario.boards[static_cast<size_t>(fail_board)].fail_at = Millis(fail_ms);
   }
@@ -85,6 +93,7 @@ int main(int argc, char** argv) {
   uint64_t seed = 0x5eed;
   int fail_board = -1;
   int fail_ms = 0;
+  int retention_ms = 0;
   std::string trace_dir;
 
   for (int i = 1; i < argc; ++i) {
@@ -107,6 +116,8 @@ int main(int argc, char** argv) {
       fail_ms = std::atoi(spec.substr(at + 1).c_str());
     } else if (arg == "--trace-dir" && i + 1 < argc) {
       trace_dir = argv[++i];
+    } else if (arg == "--retention" && i + 1 < argc) {
+      retention_ms = std::atoi(argv[++i]);
     } else {
       return Usage();
     }
@@ -116,7 +127,8 @@ int main(int argc, char** argv) {
   }
 
   FleetCoordinator fleet(
-      BuildScenario(boards, seconds, seed, fail_board, fail_ms), threads);
+      BuildScenario(boards, seconds, seed, fail_board, fail_ms, retention_ms),
+      threads);
   const FleetStats stats = fleet.Run();
 
   std::printf("fleet: %d board(s), %d worker thread(s), %d s simulated\n\n",

@@ -21,7 +21,8 @@ void IntervalSet::Add(TimeNs begin, TimeNs end) {
     intervals_.back().end = std::max(intervals_.back().end, end);
     return;
   }
-  // General (rare) path: insert and merge.
+  // General (rare) path: insert and merge. Indexes shift, so the read cursor
+  // is reset.
   auto it = std::lower_bound(
       intervals_.begin(), intervals_.end(), begin,
       [](const Interval& iv, TimeNs t) { return iv.end < t; });
@@ -34,17 +35,54 @@ void IntervalSet::Add(TimeNs begin, TimeNs end) {
   }
   it = intervals_.erase(first, it);
   intervals_.insert(it, merged);
+  cursor_ = 0;
+}
+
+ptrdiff_t IntervalSet::FindIndex(TimeNs t) const {
+  if (intervals_.empty()) {
+    return -1;
+  }
+  const size_t n = intervals_.size();
+  size_t lo = 0;
+  size_t hi = n;
+  const size_t c = cursor_ < n ? cursor_ : n - 1;
+  if (intervals_[c].begin <= t) {
+    lo = c;
+    size_t width = 1;
+    while (lo + width < n && intervals_[lo + width].begin <= t) {
+      lo += width;
+      width <<= 1;
+    }
+    hi = std::min(n, lo + width);
+  } else {
+    hi = c;
+    size_t width = 1;
+    while (width < hi && intervals_[hi - width].begin > t) {
+      hi -= width;
+      width <<= 1;
+    }
+    lo = width < hi ? hi - width : 0;
+    if (intervals_[lo].begin > t) {
+      cursor_ = 0;
+      return -1;
+    }
+  }
+  auto it = std::upper_bound(
+      intervals_.begin() + static_cast<ptrdiff_t>(lo),
+      intervals_.begin() + static_cast<ptrdiff_t>(hi), t,
+      [](TimeNs time, const Interval& iv) { return time < iv.begin; });
+  const ptrdiff_t idx = (it - intervals_.begin()) - 1;
+  cursor_ = idx >= 0 ? static_cast<size_t>(idx) : 0;
+  return idx;
 }
 
 bool IntervalSet::Contains(TimeNs t) const {
-  auto it = std::upper_bound(
-      intervals_.begin(), intervals_.end(), t,
-      [](TimeNs time, const Interval& iv) { return time < iv.begin; });
-  if (it == intervals_.begin()) {
+  const ptrdiff_t idx = FindIndex(t);
+  if (idx < 0) {
     return false;
   }
-  --it;
-  return t >= it->begin && t < it->end;
+  const Interval& iv = intervals_[static_cast<size_t>(idx)];
+  return t >= iv.begin && t < iv.end;
 }
 
 DurationNs IntervalSet::CoveredWithin(TimeNs t0, TimeNs t1) const {
@@ -70,6 +108,20 @@ DurationNs IntervalSet::TotalCovered() const {
     covered += iv.end - iv.begin;
   }
   return covered;
+}
+
+size_t IntervalSet::TrimBefore(TimeNs horizon) {
+  size_t drop = 0;
+  while (drop < intervals_.size() && intervals_[drop].end <= horizon) {
+    ++drop;
+  }
+  if (drop == 0) {
+    return 0;
+  }
+  intervals_.erase(intervals_.begin(), intervals_.begin() + static_cast<ptrdiff_t>(drop));
+  cursor_ = 0;
+  trimmed_intervals_ += drop;
+  return drop;
 }
 
 }  // namespace psbox

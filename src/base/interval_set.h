@@ -2,11 +2,19 @@
 //
 // Used for resource-balloon ownership windows (which instants of the hardware
 // belong to a psbox) and for the baseline accounting usage ledgers.
+//
+// Contains() keeps a monotone read cursor: the virtual power meters probe
+// ownership at 100 kHz in time order, so lookups gallop from the last hit and
+// cost amortized O(1) per probe (O(log n) for arbitrary jumps). TrimBefore()
+// drops intervals behind a retention horizon so ownership history does not
+// grow without bound on long runs (callers fold the dropped intervals'
+// energy into a base offset first — see PowerSandbox).
 
 #ifndef SRC_BASE_INTERVAL_SET_H_
 #define SRC_BASE_INTERVAL_SET_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/base/time.h"
@@ -33,13 +41,29 @@ class IntervalSet {
   // Total covered duration.
   DurationNs TotalCovered() const;
 
+  // Drops every interval that ends at or before |horizon| (intervals
+  // straddling the horizon are kept whole). Returns the number dropped.
+  size_t TrimBefore(TimeNs horizon);
+
   const std::vector<Interval>& intervals() const { return intervals_; }
   bool empty() const { return intervals_.empty(); }
   size_t size() const { return intervals_.size(); }
-  void Clear() { intervals_.clear(); }
+  // Intervals dropped by TrimBefore over the set's lifetime.
+  uint64_t trimmed_intervals() const { return trimmed_intervals_; }
+  void Clear() {
+    intervals_.clear();
+    cursor_ = 0;
+    trimmed_intervals_ = 0;
+  }
 
  private:
+  // Index of the last interval with begin <= |t|, or -1; gallops from the
+  // read cursor and remembers the hit.
+  ptrdiff_t FindIndex(TimeNs t) const;
+
   std::vector<Interval> intervals_;
+  mutable size_t cursor_ = 0;
+  uint64_t trimmed_intervals_ = 0;
 };
 
 }  // namespace psbox

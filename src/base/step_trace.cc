@@ -1,6 +1,7 @@
 #include "src/base/step_trace.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "src/base/check.h"
 
@@ -10,6 +11,8 @@ void StepTrace::Set(TimeNs time, double value) {
   if (!steps_.empty()) {
     PSBOX_CHECK_GE(time, steps_.back().time);
     if (steps_.back().time == time) {
+      // The cumulative integral up to this instant is unaffected: the
+      // overwritten value only applies from |time| onwards.
       steps_.back().value = value;
       return;
     }
@@ -17,15 +20,54 @@ void StepTrace::Set(TimeNs time, double value) {
       return;  // No change; keep the trace compact.
     }
   }
+  double cum = 0.0;
+  if (!steps_.empty()) {
+    const Step& prev = steps_.back();
+    cum = cum_.back() + prev.value * ToSeconds(time - prev.time);
+  }
   steps_.push_back({time, value});
+  cum_.push_back(cum);
 }
 
 ptrdiff_t StepTrace::FindIndex(TimeNs time) const {
-  // Last step with step.time <= time.
+  if (steps_.empty()) {
+    return -1;
+  }
+  const size_t n = steps_.size();
+  // Gallop outward from the cursor to bracket |time|, then binary-search the
+  // bracket. Monotone sweeps hit the first probe; far jumps pay O(log gap).
+  size_t lo = 0;
+  size_t hi = n;
+  const size_t c = cursor_ < n ? cursor_ : n - 1;
+  if (steps_[c].time <= time) {
+    lo = c;
+    size_t width = 1;
+    while (lo + width < n && steps_[lo + width].time <= time) {
+      lo += width;
+      width <<= 1;
+    }
+    hi = std::min(n, lo + width);
+  } else {
+    hi = c;
+    size_t width = 1;
+    while (width < hi && steps_[hi - width].time > time) {
+      hi -= width;
+      width <<= 1;
+    }
+    lo = width < hi ? hi - width : 0;
+    if (steps_[lo].time > time) {
+      cursor_ = 0;
+      return -1;  // before the first retained step
+    }
+  }
+  // Last step in [lo, hi) with step.time <= time.
   auto it = std::upper_bound(
-      steps_.begin(), steps_.end(), time,
+      steps_.begin() + static_cast<ptrdiff_t>(lo),
+      steps_.begin() + static_cast<ptrdiff_t>(hi), time,
       [](TimeNs t, const Step& s) { return t < s.time; });
-  return static_cast<ptrdiff_t>(it - steps_.begin()) - 1;
+  const ptrdiff_t idx = (it - steps_.begin()) - 1;
+  cursor_ = idx >= 0 ? static_cast<size_t>(idx) : 0;
+  return idx;
 }
 
 double StepTrace::ValueAt(TimeNs time) const {
@@ -36,25 +78,21 @@ double StepTrace::ValueAt(TimeNs time) const {
   return steps_[static_cast<size_t>(idx)].value;
 }
 
+double StepTrace::CumulativeAt(TimeNs t) const {
+  const ptrdiff_t idx = FindIndex(t);
+  if (idx < 0) {
+    return 0.0;
+  }
+  const Step& s = steps_[static_cast<size_t>(idx)];
+  return cum_[static_cast<size_t>(idx)] + s.value * ToSeconds(t - s.time);
+}
+
 double StepTrace::IntegralOver(TimeNs t0, TimeNs t1) const {
   PSBOX_CHECK_LE(t0, t1);
   if (steps_.empty() || t0 == t1) {
     return 0.0;
   }
-  double total = 0.0;
-  ptrdiff_t idx = FindIndex(t0);
-  TimeNs cursor = t0;
-  while (cursor < t1) {
-    const double value = idx < 0 ? 0.0 : steps_[static_cast<size_t>(idx)].value;
-    const TimeNs next_step = (static_cast<size_t>(idx + 1) < steps_.size())
-                                 ? steps_[static_cast<size_t>(idx + 1)].time
-                                 : t1;
-    const TimeNs segment_end = std::min(next_step, t1);
-    total += value * ToSeconds(segment_end - cursor);
-    cursor = segment_end;
-    ++idx;
-  }
-  return total;
+  return CumulativeAt(t1) - CumulativeAt(t0);
 }
 
 double StepTrace::MeanOver(TimeNs t0, TimeNs t1) const {
@@ -67,11 +105,48 @@ double StepTrace::MeanOver(TimeNs t0, TimeNs t1) const {
 std::vector<double> StepTrace::Resample(TimeNs t0, TimeNs t1, DurationNs period) const {
   PSBOX_CHECK_GT(period, 0);
   std::vector<double> out;
-  out.reserve(static_cast<size_t>(std::max<int64_t>(0, (t1 - t0) / period)));
+  if (t1 <= t0) {
+    return out;
+  }
+  out.reserve(static_cast<size_t>((t1 - t0 + period - 1) / period));
+  // One seek for the first point, then a single forward walk: the sweep is
+  // monotone by construction, so the inner loop is one comparison against
+  // the current segment's end plus a store — not a full lookup per sample.
+  const ptrdiff_t n = static_cast<ptrdiff_t>(steps_.size());
+  ptrdiff_t idx = FindIndex(t0);
+  double value = idx < 0 ? 0.0 : steps_[static_cast<size_t>(idx)].value;
+  TimeNs next = idx + 1 < n ? steps_[static_cast<size_t>(idx + 1)].time
+                            : std::numeric_limits<TimeNs>::max();
   for (TimeNs t = t0; t < t1; t += period) {
-    out.push_back(ValueAt(t));
+    while (t >= next) {
+      ++idx;
+      value = steps_[static_cast<size_t>(idx)].value;
+      next = idx + 1 < n ? steps_[static_cast<size_t>(idx + 1)].time
+                         : std::numeric_limits<TimeNs>::max();
+    }
+    out.push_back(value);
+  }
+  if (idx > 0) {
+    cursor_ = static_cast<size_t>(idx);
   }
   return out;
+}
+
+size_t StepTrace::TrimBefore(TimeNs horizon) {
+  // Keep the step in effect at |horizon| so every lookup at t >= horizon
+  // stays exact; everything before it is dropped. The retained cum_ entries
+  // already include the dropped prefix's integral (they are absolute), which
+  // is what preserves whole-history IntegralOver queries.
+  const ptrdiff_t idx = FindIndex(horizon);
+  if (idx <= 0) {
+    return 0;
+  }
+  const size_t drop = static_cast<size_t>(idx);
+  steps_.erase(steps_.begin(), steps_.begin() + static_cast<ptrdiff_t>(drop));
+  cum_.erase(cum_.begin(), cum_.begin() + static_cast<ptrdiff_t>(drop));
+  cursor_ = 0;
+  trimmed_steps_ += drop;
+  return drop;
 }
 
 }  // namespace psbox

@@ -6,11 +6,24 @@
 // supports exact value lookup, exact energy integration, and uniform
 // resampling — the primitive behind both the in-situ power meter and the
 // per-psbox virtual power meters.
+//
+// Hot-path design (every 100 kHz sample bottoms out here):
+//   * a cumulative integral ("prefix sum") is maintained alongside the steps,
+//     so IntegralOver/MeanOver are two lookups instead of a range scan;
+//   * lookups start from a monotone read cursor and gallop outward, so the
+//     forward-moving sweeps of the meters (ValueAt/Resample at a fixed rate,
+//     energy windows that only advance) cost amortized O(1) per query and
+//     degrade gracefully to O(log n) for arbitrary jumps;
+//   * TrimBefore() drops steps behind a retention horizon while keeping the
+//     trimmed prefix's integral inside the retained cumulative values, so
+//     long-running simulations keep exact energy accounting in bounded
+//     memory.
 
 #ifndef SRC_BASE_STEP_TRACE_H_
 #define SRC_BASE_STEP_TRACE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/base/time.h"
@@ -29,11 +42,15 @@ class StepTrace {
   // within one simulated instant wins).
   void Set(TimeNs time, double value);
 
-  // Value in effect at |time| (0.0 before the first step).
+  // Value in effect at |time| (0.0 before the first retained step).
   double ValueAt(TimeNs time) const;
 
   // Exact integral of the trace over [t0, t1), in value·seconds (i.e. joules
-  // when the trace is in watts).
+  // when the trace is in watts). After TrimBefore(h), a |t0| before the first
+  // retained step is answered as if it were the original trace origin — exact
+  // for whole-history queries (t0 at or before the first step ever recorded)
+  // and for any window starting at or after the retention horizon; windows
+  // starting strictly inside the trimmed region are no longer resolvable.
   double IntegralOver(TimeNs t0, TimeNs t1) const;
 
   // Mean value over [t0, t1).
@@ -43,18 +60,45 @@ class StepTrace {
   // including |t1|.
   std::vector<double> Resample(TimeNs t0, TimeNs t1, DurationNs period) const;
 
+  // Drops steps strictly older than the step in effect at |horizon| (that
+  // boundary step is retained so ValueAt stays exact for every t >= horizon).
+  // The dropped prefix's integral stays folded into the retained cumulative
+  // values, so IntegralOver keeps the exact base offset — see IntegralOver()
+  // for the resulting query semantics. Returns the number of steps dropped.
+  size_t TrimBefore(TimeNs horizon);
+
   bool empty() const { return steps_.empty(); }
   size_t size() const { return steps_.size(); }
   const std::vector<Step>& steps() const { return steps_; }
+  TimeNs first_time() const { return steps_.empty() ? 0 : steps_.front().time; }
   TimeNs last_time() const { return steps_.empty() ? 0 : steps_.back().time; }
+  // Total steps dropped by TrimBefore over the trace's lifetime.
+  uint64_t trimmed_steps() const { return trimmed_steps_; }
 
-  void Clear() { steps_.clear(); }
+  void Clear() {
+    steps_.clear();
+    cum_.clear();
+    cursor_ = 0;
+    trimmed_steps_ = 0;
+  }
 
  private:
-  // Index of the last step with time <= |time|, or -1.
+  // Index of the last step with time <= |time|, or -1. Starts at the read
+  // cursor and gallops, then remembers the hit — amortized O(1) for monotone
+  // query sweeps, O(log n) worst case.
   ptrdiff_t FindIndex(TimeNs time) const;
 
+  // Exact integral over (-inf, t] of the original (never-trimmed) trace;
+  // 0.0 before the first retained step.
+  double CumulativeAt(TimeNs t) const;
+
   std::vector<Step> steps_;
+  // cum_[i] = integral of the original trace over (-inf, steps_[i].time).
+  // Maintained incrementally by Set; TrimBefore only drops array prefixes, so
+  // retained entries keep the trimmed prefix's energy as a base offset.
+  std::vector<double> cum_;
+  mutable size_t cursor_ = 0;
+  uint64_t trimmed_steps_ = 0;
 };
 
 }  // namespace psbox

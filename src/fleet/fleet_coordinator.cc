@@ -236,6 +236,17 @@ FleetStats FleetCoordinator::Run() {
     // Single-threaded barrier: failures, hand-offs, drain decisions — all in
     // fixed board/app order.
     ProcessBarrier(next);
+    // Telemetry retention: shards with a bounded-retention kernel config are
+    // trimmed behind the barrier as well (their own periodic tick handles the
+    // mid-epoch cadence; this pass keeps memory bounded even when epochs
+    // outpace the tick, in deterministic board order). Trimming folds exact
+    // energy bases first, so results are unchanged.
+    for (auto& shard : shards_) {
+      const DurationNs retention = shard->kernel->config().telemetry_retention;
+      if (!shard->failed && retention > 0) {
+        shard->kernel->TrimTelemetry(shard->now - retention);
+      }
+    }
     t = next;
   }
 

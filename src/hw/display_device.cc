@@ -62,6 +62,14 @@ Watts DisplayDevice::ModelPower() const {
   return total;
 }
 
+size_t DisplayDevice::TrimHistory(TimeNs horizon) {
+  size_t dropped = 0;
+  for (auto& [app, trace] : app_traces_) {
+    dropped += trace.TrimBefore(horizon);
+  }
+  return dropped;
+}
+
 void DisplayDevice::Update() {
   for (const auto& [app, surface] : surfaces_) {
     (void)surface;

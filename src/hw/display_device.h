@@ -47,6 +47,11 @@ class DisplayDevice {
   Watts ModelPower() const;
   const DisplayConfig& config() const { return config_; }
 
+  // Drops per-app contribution history behind |horizon| (telemetry
+  // retention); AppPowerAt/AppEnergy stay exact for t >= horizon. Returns
+  // steps dropped across all surfaces.
+  size_t TrimHistory(TimeNs horizon);
+
  private:
   struct Surface {
     double area = 0.0;

@@ -49,6 +49,10 @@ class GpsDevice {
   // virtual meter may reveal (off/acquiring periods read as idle).
   const StepTrace& operating_trace() const { return operating_trace_; }
 
+  // Drops operating history behind |horizon| (telemetry retention); reads at
+  // or after the horizon stay exact. Returns steps dropped.
+  size_t TrimHistory(TimeNs horizon) { return operating_trace_.TrimBefore(horizon); }
+
  private:
   void Update();
   void OnAcquired();

@@ -35,6 +35,11 @@ class PowerRail {
   const std::string& name() const { return name_; }
   const StepTrace& trace() const { return trace_; }
 
+  // Drops trace history behind |horizon| (telemetry retention). Lookups and
+  // windows at or after the horizon — and whole-history energy queries, whose
+  // base offset the StepTrace retains — stay exact. Returns steps dropped.
+  size_t TrimBefore(TimeNs horizon) { return trace_.TrimBefore(horizon); }
+
  private:
   Simulator* sim_;
   std::string name_;

@@ -713,6 +713,22 @@ AppId CpuScheduler::balloon_owner() const {
   return active_balloon_ != nullptr ? active_balloon_->app() : kNoApp;
 }
 
+TimeNs CpuScheduler::TelemetryFloor(TimeNs desired) const {
+  // The spatial balloon bills its whole coscheduling period when it ends, so
+  // an in-progress one pins the rail floor at its start.
+  if (active_balloon_ != nullptr) {
+    return std::min(desired, active_balloon_->balloon_started_);
+  }
+  return desired;
+}
+
+void CpuScheduler::TrimTelemetry(TimeNs horizon) {
+  for (Core& core : cores_) {
+    core.schedule_trace.TrimBefore(horizon);
+  }
+  ResourceDomain::TrimTelemetry(horizon);
+}
+
 TaskGroup* CpuScheduler::ActiveGroup(AppId app) const {
   auto it = active_group_by_app_.find(app);
   return it == active_group_by_app_.end() ? nullptr : it->second;

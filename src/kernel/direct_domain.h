@@ -42,6 +42,11 @@ class DisplayDomain : public ResourceDomain {
     return display_->AppEnergy(app, t0, t1);
   }
 
+  void TrimTelemetry(TimeNs horizon) override {
+    display_->TrimHistory(horizon);
+    ResourceDomain::TrimTelemetry(horizon);
+  }
+
  private:
   DisplayDevice* display_;
 };
@@ -72,6 +77,11 @@ class GpsDomain : public ResourceDomain {
     const double window_s = ToSeconds(t1 - t0);
     return gps_->config().on_power * operating_s +
            gps_->config().off_power * (window_s - operating_s);
+  }
+
+  void TrimTelemetry(TimeNs horizon) override {
+    gps_->TrimHistory(horizon);
+    ResourceDomain::TrimTelemetry(horizon);
   }
 
  private:

@@ -1,5 +1,7 @@
 #include "src/kernel/kernel.h"
 
+#include <algorithm>
+
 #include "src/base/check.h"
 
 namespace psbox {
@@ -36,6 +38,51 @@ Kernel::Kernel(Board* board, KernelConfig config)
   RegisterDomain(display_domain_.get());
   RegisterDomain(gps_domain_.get());
   governor_->Start();
+  if (config_.telemetry_retention > 0) {
+    ArmTelemetryTrim();
+  }
+}
+
+void Kernel::ArmTelemetryTrim() {
+  const DurationNs period =
+      config_.telemetry_trim_period > 0
+          ? config_.telemetry_trim_period
+          : std::max<DurationNs>(1, config_.telemetry_retention / 2);
+  board_->sim().ScheduleAfter(period, [this] {
+    TrimTelemetry(Now() - config_.telemetry_retention);
+    ArmTelemetryTrim();
+  });
+}
+
+TimeNs Kernel::TrimTelemetry(TimeNs desired) {
+  // Clamp the horizon to what every consumer can still resolve exactly:
+  // open accounting windows (domains) and sandbox retain floors (service).
+  TimeNs horizon = desired;
+  for (ResourceDomain* d : domains_) {
+    if (d != nullptr) {
+      horizon = std::min(horizon, d->TelemetryFloor(desired));
+    }
+  }
+  if (psbox_service_ != nullptr) {
+    horizon = psbox_service_->TelemetryFloor(horizon);
+  }
+  if (horizon <= 0) {
+    return 0;
+  }
+  // Sandboxes fold their trimmed ownership history into energy bases first —
+  // the folding integrates the rails, so it must see them untrimmed.
+  if (psbox_service_ != nullptr) {
+    psbox_service_->TrimTelemetry(horizon);
+  }
+  for (size_t i = 0; i < kNumHwComponents; ++i) {
+    if (domains_[i] != nullptr) {
+      domains_[i]->TrimTelemetry(horizon);
+    }
+    board_->RailFor(static_cast<HwComponent>(i)).TrimBefore(horizon);
+  }
+  ledger_.TrimBefore(horizon);
+  last_trim_horizon_ = horizon;
+  return horizon;
 }
 
 Kernel::~Kernel() = default;

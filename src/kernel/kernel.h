@@ -41,6 +41,18 @@ struct KernelConfig {
   // Ablation: when false, CPU balloons do not switch DVFS contexts (the
   // sandbox sees whatever operating point the system happens to be in).
   bool virtualize_cpu_freq = true;
+  // Telemetry retention (0 = keep everything, the default). When set, the
+  // kernel periodically trims power telemetry — rail traces, sandbox
+  // ownership history, domain timelines, schedule traces, usage-ledger
+  // records — behind Now() - telemetry_retention, after folding the trimmed
+  // history into exact per-sandbox base accumulators. Long runs then hold a
+  // bounded telemetry working set while psbox_read and whole-history energy
+  // queries stay exact; only windowed queries reaching behind the horizon
+  // (and undrained sample backlog, dropped with ring-buffer semantics)
+  // lose resolution.
+  DurationNs telemetry_retention = 0;
+  // Trim cadence; 0 = every telemetry_retention / 2.
+  DurationNs telemetry_trim_period = 0;
 };
 
 class Kernel : public BalloonObserver {
@@ -61,6 +73,7 @@ class Kernel : public BalloonObserver {
 
   // --- subsystem access ---------------------------------------------------
   Board& board() { return *board_; }
+  const KernelConfig& config() const { return config_; }
   Simulator& sim() { return board_->sim(); }
   TimeNs Now() const { return board_->sim().Now(); }
   CpuScheduler& scheduler() { return *scheduler_; }
@@ -112,11 +125,21 @@ class Kernel : public BalloonObserver {
   // Runs the simulation until |deadline| (convenience passthrough).
   void RunUntil(TimeNs deadline) { board_->sim().RunUntil(deadline); }
 
+  // --- telemetry retention ------------------------------------------------
+  // Trims power telemetry behind |desired|, clamped by open accounting
+  // windows and sandbox retain floors. Runs on a periodic tick when
+  // KernelConfig::telemetry_retention is set; tests and tools may also call
+  // it directly. Returns the horizon actually applied (0 = nothing done).
+  TimeNs TrimTelemetry(TimeNs desired);
+  TimeNs last_trim_horizon() const { return last_trim_horizon_; }
+
  private:
   // Binds |domain| into the registry slot for its component and attaches the
   // kernel-side observer and the usage ledger — the one place balloon
   // plumbing happens.
   void RegisterDomain(ResourceDomain* domain);
+  // Self-rescheduling periodic trim tick (armed when retention is on).
+  void ArmTelemetryTrim();
 
   Board* board_;
   KernelConfig config_;
@@ -139,6 +162,7 @@ class Kernel : public BalloonObserver {
   std::unordered_map<PsboxId, int> cpu_context_of_box_;
   std::unordered_map<AppId, std::deque<Task*>> rx_waiters_;
   TaskId next_task_id_ = 1;
+  TimeNs last_trim_horizon_ = 0;
 };
 
 }  // namespace psbox

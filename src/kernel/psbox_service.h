@@ -38,6 +38,19 @@ class PsboxService {
   virtual size_t Sample(int box, std::vector<PowerSample>* buf, size_t max_samples) = 0;
 
   virtual bool InBox(int box) const = 0;
+
+  // --- telemetry retention (driven by Kernel::TrimTelemetry) --------------
+  // Lowest trim horizon the sandboxes can tolerate, given the kernel's
+  // |desired| one: open balloons and ownership intervals straddling the
+  // horizon pin it (their spans must stay resolvable on the rails). Lowering
+  // the horizon for one constraint can expose an earlier straddler, so
+  // implementations iterate to a fixpoint. Default: no sandboxes, no floor.
+  virtual TimeNs TelemetryFloor(TimeNs desired) { return desired; }
+  // Folds sandbox ownership/energy history older than |horizon| into exact
+  // per-box base accumulators and drops undrained sample backlog behind it
+  // (ring-buffer semantics). Runs before the kernel trims the underlying
+  // rail and domain traces. Default: nothing to fold.
+  virtual void TrimTelemetry(TimeNs horizon) { (void)horizon; }
 };
 
 }  // namespace psbox

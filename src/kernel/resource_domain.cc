@@ -1,5 +1,7 @@
 #include "src/kernel/resource_domain.h"
 
+#include <algorithm>
+
 #include "src/base/check.h"
 
 namespace psbox {
@@ -54,6 +56,26 @@ Joules ResourceDomain::DirectEnergyOver(AppId app, TimeNs t0, TimeNs t1) const {
 
 void ResourceDomain::RecordEdge(BalloonEdge::Kind kind, AppId app, PsboxId box) {
   timeline_.push_back({sim_->Now(), kind, app, box});
+}
+
+TimeNs ResourceDomain::TelemetryFloor(TimeNs desired) const {
+  // An open accounting window (balloon in flight) will be billed from
+  // balloon_start_; the rail must keep that span resolvable.
+  if (phase_ != BalloonPhase::kIdle) {
+    return std::min(desired, balloon_start_);
+  }
+  return desired;
+}
+
+void ResourceDomain::TrimTelemetry(TimeNs horizon) {
+  size_t drop = 0;
+  while (drop < timeline_.size() && timeline_[drop].when < horizon) {
+    ++drop;
+  }
+  if (drop > 0) {
+    timeline_.erase(timeline_.begin(), timeline_.begin() + static_cast<ptrdiff_t>(drop));
+    trimmed_edges_ += drop;
+  }
 }
 
 void ResourceDomain::NotifyBalloonIn(PsboxId box, TimeNs when) {

@@ -104,8 +104,21 @@ class ResourceDomain {
   virtual AppId balloon_owner() const { return owner_; }
 
   // Full lifecycle-edge sequence since construction, in time order (the
-  // domain-level trace the CSV export streams out).
+  // domain-level trace the CSV export streams out). Under telemetry
+  // retention only the suffix behind the trim horizon is kept.
   const std::vector<BalloonEdge>& timeline() const { return timeline_; }
+
+  // --- telemetry retention ------------------------------------------------
+  // Earliest instant the domain's telemetry (and the power rail behind it)
+  // must retain to keep accounting exact, given the kernel's desired trim
+  // horizon: an open accounting window pins the floor at its start. Policies
+  // with their own lifecycle (the spatial CPU domain) override.
+  virtual TimeNs TelemetryFloor(TimeNs desired) const;
+  // Drops domain-side telemetry (lifecycle edges, policy traces) behind
+  // |horizon|. Overrides trim their own traces and call the base.
+  virtual void TrimTelemetry(TimeNs horizon);
+  // Lifecycle edges dropped by TrimTelemetry over the domain's lifetime.
+  uint64_t trimmed_edges() const { return trimmed_edges_; }
 
   // --- §7 entanglement-free (direct-metered) domains ----------------------
   // Display power is separable per app and GPS operating power is safely
@@ -184,6 +197,7 @@ class ResourceDomain {
   std::unique_ptr<Watchdog> drain_watchdog_;
   DomainStats dstats_;
   std::vector<BalloonEdge> timeline_;
+  uint64_t trimmed_edges_ = 0;
 };
 
 }  // namespace psbox

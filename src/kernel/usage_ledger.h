@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/base/time.h"
@@ -37,10 +38,18 @@ class UsageLedger {
     return records_[static_cast<size_t>(hw)];
   }
 
+  // Drops records that ended at or before |horizon| (telemetry retention;
+  // the accounting baselines then only resolve windows past the horizon).
+  // Returns the number of records dropped.
+  size_t TrimBefore(TimeNs horizon);
+  // Records dropped by TrimBefore over the ledger's lifetime.
+  uint64_t trimmed_records() const { return trimmed_records_; }
+
   void Clear();
 
  private:
   std::array<std::vector<UsageRecord>, kNumHwComponents> records_;
+  uint64_t trimmed_records_ = 0;
 };
 
 }  // namespace psbox

@@ -11,6 +11,7 @@ PowerSandbox::PowerSandbox(PsboxId id, AppId app, std::vector<HwComponent> hw,
     : id_(id), app_(app), hw_(std::move(hw)), meter_start_(created),
       sample_cursor_(created) {
   open_since_.fill(-1);
+  direct_from_.fill(created);
 }
 
 bool PowerSandbox::BoundTo(HwComponent hw) const {
@@ -28,6 +29,17 @@ void PowerSandbox::OnOwnershipEnd(HwComponent hw, TimeNs when) {
   PSBOX_CHECK_GE(since, 0);
   owned_[static_cast<size_t>(hw)].Add(since, when);
   since = -1;
+}
+
+void PowerSandbox::ResetMeter(TimeNs now) {
+  meter_start_ = now;
+  // Everything banked from trimmed history predates the new meter epoch; the
+  // untrimmed computation would clamp those spans away, so the bases restart
+  // at zero with it.
+  plain_base_.fill(0.0);
+  detail_base_.fill(EnergyDetail{});
+  direct_base_.fill(0.0);
+  direct_from_.fill(now);
 }
 
 bool PowerSandbox::OwnedAt(HwComponent hw, TimeNs t) const {
@@ -51,16 +63,18 @@ Joules PowerSandbox::ObservedEnergy(const PowerRail& rail, HwComponent hw,
                                     TimeNs now) const {
   PSBOX_CHECK(BoundTo(hw));
   const TimeNs t0 = meter_start_;
-  if (now <= t0) {
-    return 0.0;
-  }
   // Accumulated energy is the energy metered for the psbox's resource
   // balloons: rail energy inside the owned intervals. Outside of them the
   // hardware belongs to others and contributes nothing to the app's account
   // (the sample stream shows idle power there, but idle time is not billed —
   // this is what keeps the observation consistent when co-running stretches
-  // the app's wall time, Fig 6).
-  Joules energy = 0.0;
+  // the app's wall time, Fig 6). Trimmed-away intervals were folded into the
+  // base by TrimOwned with the identical per-interval sums, so the running
+  // total is bit-identical with and without retention.
+  Joules energy = plain_base_[static_cast<size_t>(hw)];
+  if (now <= t0) {
+    return energy;
+  }
   const auto& intervals = owned_[static_cast<size_t>(hw)].intervals();
   for (const auto& iv : intervals) {
     const TimeNs b = std::max(iv.begin, t0);
@@ -76,54 +90,59 @@ Joules PowerSandbox::ObservedEnergy(const PowerRail& rail, HwComponent hw,
   return energy;
 }
 
+void PowerSandbox::AccumulateSpan(const PowerRail& rail, const FaultInjector* faults,
+                                  TimeNs b, TimeNs e, EnergyDetail* d) const {
+  if (e <= b) {
+    return;
+  }
+  // Subtract the dropout windows from the owned span: measured pieces
+  // integrate the rail, dropped pieces only accumulate time for estimation.
+  TimeNs cursor = b;
+  if (faults != nullptr) {
+    for (const FaultWindow& w : faults->meter_dropouts()) {
+      if (w.end <= cursor) {
+        continue;
+      }
+      if (w.begin >= e) {
+        break;
+      }
+      const TimeNs db = std::max(cursor, w.begin);
+      const TimeNs de = std::min(e, w.end);
+      if (db > cursor) {
+        d->measured += rail.EnergyOver(cursor, db);
+        d->measured_time += db - cursor;
+      }
+      d->estimated_time += de - db;
+      cursor = de;
+      if (cursor >= e) {
+        break;
+      }
+    }
+  }
+  if (cursor < e) {
+    d->measured += rail.EnergyOver(cursor, e);
+    d->measured_time += e - cursor;
+  }
+}
+
 PowerSandbox::EnergyDetail PowerSandbox::ObservedEnergyDetail(
     const PowerRail& rail, HwComponent hw, TimeNs now,
     const FaultInjector* faults) const {
   PSBOX_CHECK(BoundTo(hw));
-  EnergyDetail d;
+  // The base carries the measured energy and measured/estimated durations of
+  // trimmed intervals; the estimate itself is always derived below from the
+  // aggregated totals, exactly as the untrimmed computation would.
+  EnergyDetail d = detail_base_[static_cast<size_t>(hw)];
   const TimeNs t0 = meter_start_;
   if (now <= t0) {
     return d;
   }
-  // Subtract the dropout windows from each owned span: measured pieces
-  // integrate the rail, dropped pieces only accumulate time for estimation.
-  auto add_span = [&](TimeNs b, TimeNs e) {
-    if (e <= b) {
-      return;
-    }
-    TimeNs cursor = b;
-    if (faults != nullptr) {
-      for (const FaultWindow& w : faults->meter_dropouts()) {
-        if (w.end <= cursor) {
-          continue;
-        }
-        if (w.begin >= e) {
-          break;
-        }
-        const TimeNs db = std::max(cursor, w.begin);
-        const TimeNs de = std::min(e, w.end);
-        if (db > cursor) {
-          d.measured += rail.EnergyOver(cursor, db);
-          d.measured_time += db - cursor;
-        }
-        d.estimated_time += de - db;
-        cursor = de;
-        if (cursor >= e) {
-          break;
-        }
-      }
-    }
-    if (cursor < e) {
-      d.measured += rail.EnergyOver(cursor, e);
-      d.measured_time += e - cursor;
-    }
-  };
   for (const auto& iv : owned_[static_cast<size_t>(hw)].intervals()) {
-    add_span(std::max(iv.begin, t0), std::min(iv.end, now));
+    AccumulateSpan(rail, faults, std::max(iv.begin, t0), std::min(iv.end, now), &d);
   }
   const TimeNs since = open_since_[static_cast<size_t>(hw)];
   if (since >= 0 && since < now) {
-    add_span(std::max(since, t0), now);
+    AccumulateSpan(rail, faults, std::max(since, t0), now, &d);
   }
   if (d.estimated_time > 0) {
     // Model-based estimation for the unmeasurable spans: the average power
@@ -140,26 +159,99 @@ PowerSandbox::EnergyDetail PowerSandbox::ObservedEnergyDetail(
 std::vector<PowerSample> PowerSandbox::ObservedSamples(
     const PowerRail& rail, HwComponent hw, TimeNs t0, TimeNs t1, DurationNs period,
     Watts noise_stddev, Rng* rng, const FaultInjector* faults) const {
-  PSBOX_CHECK(BoundTo(hw));
   std::vector<PowerSample> out;
   if (t1 <= t0) {
     return out;
   }
-  out.reserve(static_cast<size_t>((t1 - t0) / period) + 1);
+  out.reserve(static_cast<size_t>((t1 - t0 + period - 1) / period));
   for (TimeNs t = t0; t < t1; t += period) {
-    if (faults != nullptr && faults->MeterDroppedAt(t)) {
+    out.push_back({t, 0.0, false});
+  }
+  AccumulateObservedSamples(rail, hw, noise_stddev, rng, faults, &out);
+  return out;
+}
+
+void PowerSandbox::AccumulateObservedSamples(const PowerRail& rail, HwComponent hw,
+                                             Watts noise_stddev, Rng* rng,
+                                             const FaultInjector* faults,
+                                             std::vector<PowerSample>* buf) const {
+  PSBOX_CHECK(BoundTo(hw));
+  for (PowerSample& s : *buf) {
+    if (faults != nullptr && faults->MeterDroppedAt(s.timestamp)) {
       // No measurement exists here; substitute the model estimate (exact for
-      // unowned instants, the degraded fallback inside a balloon). No noise:
-      // synthesised values are not measurements.
-      out.push_back({t, rail.idle_power(), /*estimated=*/true});
+      // unowned instants, the degraded fallback inside a balloon). No noise
+      // and no Gaussian draw: synthesised values are not measurements.
+      s.watts += rail.idle_power();
+      s.estimated = true;
       continue;
     }
-    const Watts truth = OwnedAt(hw, t) ? rail.PowerAt(t) : rail.idle_power();
-    const Watts noisy =
-        std::max(0.0, truth + (rng != nullptr ? rng->Gaussian(0.0, noise_stddev) : 0.0));
-    out.push_back({t, noisy});
+    const Watts truth =
+        OwnedAt(hw, s.timestamp) ? rail.PowerAt(s.timestamp) : rail.idle_power();
+    s.watts += std::max(
+        0.0, truth + (rng != nullptr ? rng->Gaussian(0.0, noise_stddev) : 0.0));
   }
-  return out;
+}
+
+TimeNs PowerSandbox::RetainFloor(HwComponent hw, TimeNs desired) const {
+  const size_t i = static_cast<size_t>(hw);
+  TimeNs floor = desired;
+  // An open balloon will close at some t > now and be integrated from its
+  // start; the rail must keep that span. Spans always clamp to meter_start,
+  // so nothing earlier than it can pin the floor.
+  const TimeNs since = open_since_[i];
+  if (since >= 0) {
+    floor = std::min(floor, std::max(since, meter_start_));
+  }
+  // A closed interval straddling the horizon is kept whole (never split —
+  // splitting would change the summation the untrimmed query performs), so
+  // its begin pins the floor too.
+  for (const auto& iv : owned_[i].intervals()) {
+    if (iv.end <= desired) {
+      continue;  // will be folded into the base
+    }
+    if (iv.begin < desired) {
+      floor = std::min(floor, std::max(iv.begin, meter_start_));
+    }
+    break;  // only the first retained interval can straddle
+  }
+  return floor;
+}
+
+void PowerSandbox::TrimOwned(HwComponent hw, TimeNs horizon, const PowerRail& rail,
+                             const FaultInjector* faults) {
+  const size_t i = static_cast<size_t>(hw);
+  // Fold exactly the spans the untrimmed queries would integrate for the
+  // intervals about to drop, in the same order — the running sums (and hence
+  // every later psbox_read) stay bit-identical to the untrimmed run.
+  for (const auto& iv : owned_[i].intervals()) {
+    if (iv.end > horizon) {
+      break;
+    }
+    const TimeNs b = std::max(iv.begin, meter_start_);
+    if (iv.end > b) {
+      plain_base_[i] += rail.EnergyOver(b, iv.end);
+    }
+    AccumulateSpan(rail, faults, b, iv.end, &detail_base_[i]);
+  }
+  owned_[i].TrimBefore(horizon);
+}
+
+void PowerSandbox::BankDirectEnergy(HwComponent hw, Joules energy, TimeNs new_from) {
+  const size_t i = static_cast<size_t>(hw);
+  direct_base_[i] += energy;
+  direct_from_[i] = new_from;
+}
+
+uint64_t PowerSandbox::DropSampleBacklogBefore(TimeNs horizon, DurationNs period) {
+  PSBOX_CHECK_GT(period, 0);
+  if (sample_cursor_ >= horizon) {
+    return 0;
+  }
+  const auto k = static_cast<uint64_t>(
+      (horizon - sample_cursor_ + period - 1) / period);
+  sample_cursor_ += static_cast<DurationNs>(k) * period;
+  samples_lost_ += k;
+  return k;
 }
 
 }  // namespace psbox

@@ -10,11 +10,19 @@
 //   * outside owned intervals   — the component's idle power (the only
 //     possible contribution of concurrent apps, §3; also what off/suspended
 //     periods are reported as, closing that side channel, §4.1).
+//
+// Retention: on long runs the ownership history and the rail traces behind
+// it are trimmed to a bounded horizon (Kernel::TrimTelemetry). Before an
+// owned interval is dropped, its exact energy contribution — measured and
+// dropout-estimated spans separately — is folded into per-component base
+// accumulators, so psbox_read stays exact (and bit-identical to the
+// untrimmed computation) while memory stays bounded.
 
 #ifndef SRC_PSBOX_POWER_SANDBOX_H_
 #define SRC_PSBOX_POWER_SANDBOX_H_
 
 #include <array>
+#include <cstdint>
 #include <vector>
 
 #include "src/base/interval_set.h"
@@ -71,8 +79,17 @@ class PowerSandbox {
                                            Rng* rng,
                                            const FaultInjector* faults = nullptr) const;
 
+  // Single-pass merge primitive behind PsboxManager::Sample: adds this
+  // component's virtual-meter reading onto |buf| (whose timestamps are
+  // prefilled), OR-ing the estimated tag. Consumes one Gaussian draw per
+  // non-dropped sample, in buffer order, exactly like ObservedSamples.
+  void AccumulateObservedSamples(const PowerRail& rail, HwComponent hw,
+                                 Watts noise_stddev, Rng* rng,
+                                 const FaultInjector* faults,
+                                 std::vector<PowerSample>* buf) const;
+
   TimeNs meter_start() const { return meter_start_; }
-  void ResetMeter(TimeNs now) { meter_start_ = now; }
+  void ResetMeter(TimeNs now);
 
   TimeNs sample_cursor() const { return sample_cursor_; }
   void set_sample_cursor(TimeNs t) { sample_cursor_ = t; }
@@ -85,10 +102,46 @@ class PowerSandbox {
   // still-open balloon).
   bool OwnedAt(HwComponent hw, TimeNs t) const;
 
+  // --- retention (driven by PsboxManager::TrimTelemetry) ------------------
+
+  // Earliest rail instant this sandbox still needs to resolve queries
+  // exactly, given a desired horizon: open balloons and closed intervals
+  // straddling |desired| pin the floor (trimmed intervals do not — their
+  // energy moves into the bases).
+  TimeNs RetainFloor(HwComponent hw, TimeNs desired) const;
+
+  // Folds every owned interval of |hw| ending at or before |horizon| into
+  // the plain/detail energy bases (exactly the spans the untrimmed query
+  // would integrate, in the same order) and drops those intervals.
+  void TrimOwned(HwComponent hw, TimeNs horizon, const PowerRail& rail,
+                 const FaultInjector* faults);
+
+  // Direct-metered components: banks [direct_from, horizon) energy (computed
+  // by the caller from the domain) and advances the integration start.
+  TimeNs direct_from(HwComponent hw) const {
+    return direct_from_[static_cast<size_t>(hw)];
+  }
+  Joules direct_energy_base(HwComponent hw) const {
+    return direct_base_[static_cast<size_t>(hw)];
+  }
+  void BankDirectEnergy(HwComponent hw, Joules energy, TimeNs new_from);
+
+  // Advances the sample cursor to the first grid point at or past |horizon|
+  // (keeping the grid phase), dropping the backlog a lagging reader never
+  // drained — the virtual meter behaves as a bounded ring buffer under
+  // retention. Returns the number of samples dropped.
+  uint64_t DropSampleBacklogBefore(TimeNs horizon, DurationNs period);
+  uint64_t samples_lost() const { return samples_lost_; }
+
  private:
   // Owned duration within [t0, t1), treating a still-open balloon as
   // extending to t1.
   DurationNs OwnedWithin(HwComponent hw, TimeNs t0, TimeNs t1) const;
+
+  // Splits [b, e) at the meter-dropout windows, integrating measured pieces
+  // off the rail and accumulating dropped pieces as estimation time.
+  void AccumulateSpan(const PowerRail& rail, const FaultInjector* faults,
+                      TimeNs b, TimeNs e, EnergyDetail* d) const;
 
   PsboxId id_;
   AppId app_;
@@ -98,6 +151,15 @@ class PowerSandbox {
   TimeNs sample_cursor_;
   std::array<IntervalSet, kNumHwComponents> owned_;
   std::array<TimeNs, kNumHwComponents> open_since_;  // filled with -1 in ctor
+  // Retention bases: energy of trimmed ownership history. plain_base_ backs
+  // ObservedEnergy; detail_base_ backs ObservedEnergyDetail (its .estimated
+  // is always 0 — estimation is derived from the aggregated measured average
+  // at query time, so trimming never changes the reported split).
+  std::array<Joules, kNumHwComponents> plain_base_{};
+  std::array<EnergyDetail, kNumHwComponents> detail_base_{};
+  std::array<Joules, kNumHwComponents> direct_base_{};
+  std::array<TimeNs, kNumHwComponents> direct_from_;
+  uint64_t samples_lost_ = 0;
 };
 
 }  // namespace psbox

@@ -93,8 +93,10 @@ PowerSandbox::EnergyDetail PsboxManager::ComponentEnergyDetail(PowerSandbox& sb,
     // §7 entanglement-free hardware: the domain attributes energy directly
     // (exact per-app surface energy for the display; safely-revealable
     // operating power for GPS) — no balloons, no DAQ rail, no estimation.
+    // Energy behind the retention horizon sits in the box's banked base.
     PowerSandbox::EnergyDetail d;
-    d.measured = domain.DirectEnergyOver(sb.app(), sb.meter_start(), now);
+    d.measured = sb.direct_energy_base(hw) +
+                 domain.DirectEnergyOver(sb.app(), sb.direct_from(hw), now);
     d.measured_time = now - sb.meter_start();
     return d;
   }
@@ -150,48 +152,96 @@ size_t PsboxManager::Sample(int box, std::vector<PowerSample>* buf,
   PSBOX_CHECK(buf != nullptr);
   const PowerMeterConfig& meter = kernel_->board().config().meter;
   const TimeNs now = kernel_->Now();
-  // Aggregate across bound components by summing per-component samples at
-  // the same timestamps (a multi-rail virtual meter).
   const TimeNs t0 = sb.sample_cursor();
-  TimeNs t1 = now;
-  const auto available = static_cast<size_t>(
-      std::max<int64_t>(0, (t1 - t0) / meter.sample_period));
-  if (available > max_samples) {
-    t1 = t0 + static_cast<DurationNs>(max_samples) * meter.sample_period;
+  const DurationNs period = meter.sample_period;
+  // One uniform grid for every bound component: n points t0 + i*period
+  // covering [t0, now), hard-capped at the caller's budget. The cursor
+  // advances by whole periods, so the virtual meter stays phase-aligned on
+  // the DAQ grid across drains (mid-period drains included) and a capped
+  // drain never returns more than |max_samples|.
+  size_t n = 0;
+  if (now > t0) {
+    n = static_cast<size_t>((now - t0 + period - 1) / period);
+    n = std::min(n, max_samples);
   }
-  std::vector<PowerSample> sum;
+  if (n == 0) {
+    return 0;
+  }
+  sample_scratch_.clear();
+  sample_scratch_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    sample_scratch_.push_back({t0 + static_cast<DurationNs>(i) * period, 0.0, false});
+  }
+  // Aggregate across bound components by accumulating each one onto the
+  // shared grid (a multi-rail virtual meter), component-major so the
+  // Gaussian noise draw order is stable.
   for (HwComponent hw : sb.hardware()) {
-    std::vector<PowerSample> samples;
     const ResourceDomain& domain = kernel_->domain(hw);
     if (domain.direct_metered()) {
       // Entanglement-free hardware (§7): sample the directly-attributable
       // series instead of balloon-gated rail power.
-      samples.reserve(static_cast<size_t>((t1 - t0) / meter.sample_period) + 1);
-      for (TimeNs t = t0; t < t1; t += meter.sample_period) {
-        const Watts truth = domain.DirectPowerAt(sb.app(), t);
-        samples.push_back(
-            {t, std::max(0.0, truth + rng_.Gaussian(0.0, meter.noise_stddev))});
+      for (PowerSample& s : sample_scratch_) {
+        const Watts truth = domain.DirectPowerAt(sb.app(), s.timestamp);
+        s.watts += std::max(0.0, truth + rng_.Gaussian(0.0, meter.noise_stddev));
       }
     } else {
-      samples = sb.ObservedSamples(kernel_->board().RailFor(hw), hw, t0, t1,
-                                   meter.sample_period, meter.noise_stddev, &rng_,
-                                   &kernel_->board().fault_injector());
-    }
-    if (sum.empty()) {
-      sum = std::move(samples);
-    } else {
-      for (size_t i = 0; i < sum.size() && i < samples.size(); ++i) {
-        sum[i].watts += samples[i].watts;
-        sum[i].estimated = sum[i].estimated || samples[i].estimated;
-      }
+      sb.AccumulateObservedSamples(kernel_->board().RailFor(hw), hw,
+                                   meter.noise_stddev, &rng_,
+                                   &kernel_->board().fault_injector(),
+                                   &sample_scratch_);
     }
   }
-  sb.set_sample_cursor(t1);
-  buf->insert(buf->end(), sum.begin(), sum.end());
-  return sum.size();
+  sb.set_sample_cursor(t0 + static_cast<DurationNs>(n) * period);
+  buf->insert(buf->end(), sample_scratch_.begin(), sample_scratch_.end());
+  return n;
 }
 
 bool PsboxManager::InBox(int box) const { return sandbox(box).inside(); }
+
+TimeNs PsboxManager::TelemetryFloor(TimeNs desired) {
+  // Lowering the horizon for one constraint can expose an earlier straddling
+  // interval on another box or component, so iterate the per-box floors to a
+  // fixpoint (each strict drop lands on some interval begin — terminates).
+  TimeNs h = desired;
+  while (true) {
+    TimeNs next = h;
+    for (const auto& boxp : boxes_) {
+      for (HwComponent hw : boxp->hardware()) {
+        if (kernel_->domain(hw).direct_metered()) {
+          continue;  // banked via BankDirectEnergy; no ownership windows
+        }
+        next = std::min(next, boxp->RetainFloor(hw, h));
+      }
+    }
+    if (next == h) {
+      return h;
+    }
+    h = next;
+  }
+}
+
+void PsboxManager::TrimTelemetry(TimeNs horizon) {
+  Board& board = kernel_->board();
+  const DurationNs period = board.config().meter.sample_period;
+  for (const auto& boxp : boxes_) {
+    PowerSandbox& sb = *boxp;
+    for (HwComponent hw : sb.hardware()) {
+      const ResourceDomain& domain = kernel_->domain(hw);
+      if (domain.direct_metered()) {
+        // Bank the directly-attributed energy behind the horizon and advance
+        // the integration start, so the domain's trace can be trimmed.
+        if (horizon > sb.direct_from(hw)) {
+          sb.BankDirectEnergy(
+              hw, domain.DirectEnergyOver(sb.app(), sb.direct_from(hw), horizon),
+              horizon);
+        }
+      } else {
+        sb.TrimOwned(hw, horizon, board.RailFor(hw), &board.fault_injector());
+      }
+    }
+    sb.DropSampleBacklogBefore(horizon, period);
+  }
+}
 
 void PsboxManager::OnBalloonIn(PsboxId box, HwComponent hw, TimeNs when) {
   sandbox(box).OnOwnershipStart(hw, when);

@@ -36,6 +36,11 @@ class PsboxManager : public PsboxService, public BalloonObserver {
   void ResetEnergy(int box) override;
   size_t Sample(int box, std::vector<PowerSample>* buf, size_t max_samples) override;
   bool InBox(int box) const override;
+  // Telemetry retention: the sandboxes' exact-accounting floor (fixpoint
+  // over open balloons and straddling ownership intervals), and the fold of
+  // trimmed history into per-box energy bases + sample-backlog drop.
+  TimeNs TelemetryFloor(TimeNs desired) override;
+  void TrimTelemetry(TimeNs horizon) override;
 
   // BalloonObserver (forwarded by the kernel after its own context switch):
   void OnBalloonIn(PsboxId box, HwComponent hw, TimeNs when) override;
@@ -68,6 +73,10 @@ class PsboxManager : public PsboxService, public BalloonObserver {
   Kernel* kernel_;
   Rng rng_;
   std::vector<std::unique_ptr<PowerSandbox>> boxes_;
+  // Reusable merge buffer for Sample(): one grid of timestamps, every bound
+  // component accumulates onto it in a single pass (no per-call per-component
+  // vector churn on the 100 kHz hot path).
+  std::vector<PowerSample> sample_scratch_;
 };
 
 }  // namespace psbox

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "src/base/interval_set.h"
 #include "src/base/rng.h"
 #include "src/base/stats.h"
@@ -71,6 +74,150 @@ TEST(StepTrace, ResampleCount) {
   }
 }
 
+// Naive O(n) reference integral: walk every step pair. The production
+// prefix-sum path must agree (to FP association) on arbitrary windows.
+double NaiveIntegral(const std::vector<StepTrace::Step>& steps, TimeNs t0,
+                     TimeNs t1) {
+  double joules = 0.0;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const TimeNs seg_begin = std::max(steps[i].time, t0);
+    const TimeNs seg_end =
+        std::min(i + 1 < steps.size() ? steps[i + 1].time : t1, t1);
+    if (seg_end > seg_begin) {
+      joules += steps[i].value * ToSeconds(seg_end - seg_begin);
+    }
+  }
+  return joules;
+}
+
+TEST(StepTrace, PrefixSumMatchesNaiveReference) {
+  Rng rng(0xabc);
+  StepTrace t;
+  std::vector<StepTrace::Step> steps;
+  TimeNs when = 0;
+  for (int i = 0; i < 500; ++i) {
+    const double value = rng.Uniform(0.0, 5.0);
+    t.Set(when, value);
+    if (!steps.empty() && steps.back().time == when) {
+      steps.back().value = value;
+    } else if (steps.empty() || steps.back().value != value) {
+      steps.push_back({when, value});
+    }
+    when += rng.UniformInt(1, 4000);
+  }
+  for (int i = 0; i < 200; ++i) {
+    const TimeNs a = rng.UniformInt(0, when);
+    const TimeNs b = rng.UniformInt(0, when);
+    const TimeNs t0 = std::min(a, b);
+    const TimeNs t1 = std::max(a, b);
+    const double expect = NaiveIntegral(steps, t0, t1);
+    EXPECT_NEAR(t.IntegralOver(t0, t1), expect, 1e-9 * (1.0 + expect));
+  }
+}
+
+TEST(StepTrace, CursorSweepMatchesRandomAccess) {
+  Rng rng(0x51);
+  StepTrace t;
+  TimeNs when = 0;
+  for (int i = 0; i < 300; ++i) {
+    t.Set(when, rng.Uniform(0.5, 2.0));
+    when += rng.UniformInt(100, 900);
+  }
+  // A forward monotone sweep (the meter's access pattern) must read exactly
+  // what isolated random-access lookups read, and an out-of-order probe in
+  // the middle must not derail the cursor.
+  StepTrace fresh = t;
+  TimeNs probe = 0;
+  int step = 0;
+  while (probe < when) {
+    if (++step % 37 == 0) {
+      (void)t.ValueAt(probe / 3);  // backwards jump
+    }
+    EXPECT_EQ(t.ValueAt(probe), fresh.ValueAt(probe)) << "at " << probe;
+    probe += 173;
+  }
+}
+
+TEST(StepTrace, ResampleCeilCount) {
+  StepTrace t;
+  t.Set(0, 1.0);
+  // Window of 2.5 periods -> 3 samples (at 0, 1000, 2000), not floor's 2.
+  EXPECT_EQ(t.Resample(0, 2500, 1000).size(), 3u);
+  EXPECT_EQ(t.Resample(0, 3000, 1000).size(), 3u);
+  EXPECT_EQ(t.Resample(0, 3001, 1000).size(), 4u);
+}
+
+TEST(StepTrace, TrimBeforeKeepsBoundaryStep) {
+  StepTrace t;
+  t.Set(0, 1.0);
+  t.Set(100, 2.0);
+  t.Set(200, 3.0);
+  t.Set(300, 4.0);
+  EXPECT_EQ(t.TrimBefore(250), 2u);  // steps at 0 and 100 dropped
+  EXPECT_EQ(t.size(), 2u);           // 200 kept: in effect at horizon 250
+  EXPECT_EQ(t.trimmed_steps(), 2u);
+  EXPECT_EQ(t.ValueAt(250), 3.0);
+  EXPECT_EQ(t.ValueAt(300), 4.0);
+  EXPECT_EQ(t.first_time(), 200);
+}
+
+TEST(StepTrace, TrimBeforePreservesPostHorizonIntegrals) {
+  Rng rng(0x7e1);
+  StepTrace full;
+  TimeNs when = 0;
+  for (int i = 0; i < 400; ++i) {
+    full.Set(when, rng.Uniform(0.0, 3.0));
+    when += rng.UniformInt(50, 5000);
+  }
+  const TimeNs end = when;
+  for (const TimeNs horizon : {end / 7, end / 3, end / 2, 3 * end / 4}) {
+    StepTrace trimmed = full;
+    trimmed.TrimBefore(horizon);
+    // Property: any window starting at or after the horizon — and the
+    // whole-history query from the origin — is bit-identical to the
+    // untrimmed trace.
+    EXPECT_EQ(trimmed.IntegralOver(0, end), full.IntegralOver(0, end));
+    Rng probes(horizon);
+    for (int i = 0; i < 100; ++i) {
+      const TimeNs a = probes.UniformInt(horizon, end);
+      const TimeNs b = probes.UniformInt(horizon, end);
+      const TimeNs t0 = std::min(a, b);
+      const TimeNs t1 = std::max(a, b);
+      EXPECT_EQ(trimmed.IntegralOver(t0, t1), full.IntegralOver(t0, t1))
+          << "horizon " << horizon << " window [" << t0 << ", " << t1 << ")";
+      EXPECT_EQ(trimmed.ValueAt(t0), full.ValueAt(t0));
+    }
+  }
+}
+
+TEST(StepTrace, TrimBeforeRepeatedIsIdempotent) {
+  StepTrace t;
+  for (int i = 0; i < 10; ++i) {
+    t.Set(i * 100, 1.0 + i);
+  }
+  const size_t first = t.TrimBefore(450);
+  EXPECT_EQ(first, 4u);
+  EXPECT_EQ(t.TrimBefore(450), 0u);
+  EXPECT_EQ(t.TrimBefore(100), 0u);  // earlier horizon: nothing left to drop
+  EXPECT_EQ(t.trimmed_steps(), 4u);
+}
+
+TEST(StepTrace, TrimBeforeAllThenAppend) {
+  StepTrace t;
+  t.Set(0, 2.0);
+  t.Set(100, 4.0);
+  // Horizon past the last step: every step but the boundary one goes.
+  EXPECT_EQ(t.TrimBefore(1000), 1u);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.ValueAt(1000), 4.0);
+  // The trace keeps working after the trim.
+  t.Set(2000, 6.0);
+  EXPECT_EQ(t.ValueAt(2500), 6.0);
+  // 2 W * 100 ns + 4 W * 1900 ns + 6 W * 500 ns.
+  EXPECT_DOUBLE_EQ(t.IntegralOver(0, 2500),
+                   (2.0 * 100 + 4.0 * 1900 + 6.0 * 500) * 1e-9);
+}
+
 TEST(IntervalSet, AddAndContains) {
   IntervalSet s;
   s.Add(10, 20);
@@ -122,6 +269,59 @@ TEST(IntervalSet, CoveredWithin) {
 TEST(IntervalSet, EmptyAddIgnored) {
   IntervalSet s;
   s.Add(10, 10);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, CursorSweepMatchesRandomAccess) {
+  Rng rng(0x1e5);
+  IntervalSet s;
+  TimeNs when = 0;
+  for (int i = 0; i < 200; ++i) {
+    const TimeNs begin = when + rng.UniformInt(1, 50);
+    const TimeNs end = begin + rng.UniformInt(1, 100);
+    s.Add(begin, end);
+    when = end;
+  }
+  const IntervalSet fresh = s;
+  int step = 0;
+  for (TimeNs probe = 0; probe < when; probe += 7) {
+    if (++step % 41 == 0) {
+      (void)s.Contains(probe / 2);  // backwards jump must not corrupt state
+    }
+    EXPECT_EQ(s.Contains(probe), fresh.Contains(probe)) << "at " << probe;
+  }
+}
+
+TEST(IntervalSet, TrimBeforeDropsClosedKeepsStraddler) {
+  IntervalSet s;
+  s.Add(0, 10);
+  s.Add(20, 30);
+  s.Add(40, 60);
+  s.Add(70, 80);
+  // Horizon inside [40, 60): the two fully-past intervals go, the straddler
+  // is kept whole (splitting it would change downstream FP summation).
+  EXPECT_EQ(s.TrimBefore(50), 2u);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.trimmed_intervals(), 2u);
+  EXPECT_EQ(s.intervals().front().begin, 40);
+  EXPECT_TRUE(s.Contains(45));
+  EXPECT_TRUE(s.Contains(75));
+  EXPECT_FALSE(s.Contains(65));
+  // Idempotent at the same horizon; still appendable afterwards.
+  EXPECT_EQ(s.TrimBefore(50), 0u);
+  s.Add(90, 100);
+  EXPECT_TRUE(s.Contains(95));
+  EXPECT_EQ(s.TotalCovered(), 40);
+}
+
+TEST(IntervalSet, TrimBeforeBoundaryExactlyAtEnd) {
+  IntervalSet s;
+  s.Add(0, 10);
+  s.Add(20, 30);
+  // end == horizon counts as fully past (half-open intervals).
+  EXPECT_EQ(s.TrimBefore(10), 1u);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.TrimBefore(30), 1u);
   EXPECT_TRUE(s.empty());
 }
 
