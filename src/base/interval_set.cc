@@ -124,4 +124,17 @@ size_t IntervalSet::TrimBefore(TimeNs horizon) {
   return drop;
 }
 
+IntervalSet::Walker::Walker(const IntervalSet& set, TimeNs start)
+    : intervals_(&set.intervals_) {
+  // First interval that could still cover a probe at or after |start|.
+  const ptrdiff_t fi = set.FindIndex(start);
+  if (fi < 0) {
+    idx_ = 0;
+  } else if ((*intervals_)[static_cast<size_t>(fi)].end > start) {
+    idx_ = static_cast<size_t>(fi);
+  } else {
+    idx_ = static_cast<size_t>(fi) + 1;
+  }
+}
+
 }  // namespace psbox

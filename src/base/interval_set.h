@@ -35,6 +35,29 @@ class IntervalSet {
 
   bool Contains(TimeNs t) const;
 
+  // Forward-only membership cursor for monotone probe sweeps: construction
+  // seeks once (galloping from the set's shared read cursor), then each
+  // Contains costs one comparison per visited interval. Probe times must be
+  // non-decreasing; mutating the set invalidates the walker.
+  class Walker {
+   public:
+    Walker(const IntervalSet& set, TimeNs start);
+
+    // Whether |t| lies in a covered interval; |t| must be >= every earlier
+    // probe.
+    bool Contains(TimeNs t) {
+      const size_t n = intervals_->size();
+      while (idx_ < n && (*intervals_)[idx_].end <= t) {
+        ++idx_;
+      }
+      return idx_ < n && (*intervals_)[idx_].begin <= t;
+    }
+
+   private:
+    const std::vector<Interval>* intervals_;
+    size_t idx_;  // first interval with end > last probe
+  };
+
   // Total covered duration within [t0, t1).
   DurationNs CoveredWithin(TimeNs t0, TimeNs t1) const;
 

@@ -112,24 +112,26 @@ std::vector<double> StepTrace::Resample(TimeNs t0, TimeNs t1, DurationNs period)
   // One seek for the first point, then a single forward walk: the sweep is
   // monotone by construction, so the inner loop is one comparison against
   // the current segment's end plus a store — not a full lookup per sample.
-  const ptrdiff_t n = static_cast<ptrdiff_t>(steps_.size());
-  ptrdiff_t idx = FindIndex(t0);
-  double value = idx < 0 ? 0.0 : steps_[static_cast<size_t>(idx)].value;
-  TimeNs next = idx + 1 < n ? steps_[static_cast<size_t>(idx + 1)].time
-                            : std::numeric_limits<TimeNs>::max();
+  Walker walker(*this, t0);
   for (TimeNs t = t0; t < t1; t += period) {
-    while (t >= next) {
-      ++idx;
-      value = steps_[static_cast<size_t>(idx)].value;
-      next = idx + 1 < n ? steps_[static_cast<size_t>(idx + 1)].time
-                         : std::numeric_limits<TimeNs>::max();
-    }
-    out.push_back(value);
+    out.push_back(walker.ValueAt(t));
   }
-  if (idx > 0) {
-    cursor_ = static_cast<size_t>(idx);
+  if (walker.index() > 0) {
+    cursor_ = static_cast<size_t>(walker.index());
   }
   return out;
+}
+
+StepTrace::Walker::Walker(const StepTrace& trace, TimeNs start)
+    : steps_(&trace.steps_), idx_(trace.FindIndex(start)) {
+  value_ = idx_ < 0 ? 0.0 : (*steps_)[static_cast<size_t>(idx_)].value;
+  Refill();
+}
+
+void StepTrace::Walker::Refill() {
+  next_ = idx_ + 1 < static_cast<ptrdiff_t>(steps_->size())
+              ? (*steps_)[static_cast<size_t>(idx_ + 1)].time
+              : std::numeric_limits<TimeNs>::max();
 }
 
 size_t StepTrace::TrimBefore(TimeNs horizon) {

@@ -60,6 +60,39 @@ class StepTrace {
   // including |t1|.
   std::vector<double> Resample(TimeNs t0, TimeNs t1, DurationNs period) const;
 
+  // Forward-only segment cursor for monotone sweeps: construction seeks once
+  // (galloping from the trace's shared read cursor), then each ValueAt costs
+  // one comparison per visited segment instead of a full lookup per query.
+  // Query times must be non-decreasing. The walker holds no ownership —
+  // mutating the trace invalidates it.
+  class Walker {
+   public:
+    Walker(const StepTrace& trace, TimeNs start);
+
+    // Value in effect at |t| (0.0 before the first retained step); |t| must
+    // be >= every earlier query.
+    double ValueAt(TimeNs t) {
+      while (t >= next_) {
+        ++idx_;
+        value_ = (*steps_)[static_cast<size_t>(idx_)].value;
+        Refill();
+      }
+      return value_;
+    }
+
+    // Index of the segment in effect after the last query (-1 before the
+    // first step); callers use it to re-seed the trace's shared cursor.
+    ptrdiff_t index() const { return idx_; }
+
+   private:
+    void Refill();
+
+    const std::vector<Step>* steps_;
+    ptrdiff_t idx_;
+    double value_;
+    TimeNs next_;  // start of the segment after idx_
+  };
+
   // Drops steps strictly older than the step in effect at |horizon| (that
   // boundary step is retained so ValueAt stays exact for every t >= horizon).
   // The dropped prefix's integral stays folded into the retained cumulative

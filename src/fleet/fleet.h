@@ -99,6 +99,11 @@ struct FleetBoardStats {
   uint64_t iterations = 0;       // app iterations completed on this board
   int migrations_in = 0;
   int migrations_out = 0;
+  // Discrete events the board's engine fired over the run. Observability
+  // only: excluded from Fingerprint() so fingerprints survive engine-internal
+  // changes to event decomposition; determinism of the count itself is pinned
+  // separately by fleet_test.
+  uint64_t events_fired = 0;
 };
 
 // Final per-app outcome, across however many boards the app visited.

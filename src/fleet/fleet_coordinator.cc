@@ -268,6 +268,7 @@ FleetStats FleetCoordinator::Aggregate() const {
     b.failed = shard.failed;
     b.ran_until = shard.now;
     b.iterations = board_iterations_[i];
+    b.events_fired = shard.kernel->sim().total_fired();
     for (size_t c = 0; c < kNumHwComponents; ++c) {
       const HwComponent hw = static_cast<HwComponent>(c);
       b.rail_energy += shard.board->RailFor(hw).EnergyOver(0, shard.now);

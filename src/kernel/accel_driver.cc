@@ -144,7 +144,7 @@ void AccelDriver::Pump() {
         stats_.max_dispatch_latency = std::max(stats_.max_dispatch_latency, lat);
         device_->Dispatch(p.cmd);
         in_flight_[p.cmd.id] = p;
-        ArmCommandWatchdog(p);
+        ArmCommandWatchdog(p.cmd.id);
         update_busy();
         continue;
       }
@@ -210,7 +210,7 @@ void AccelDriver::Pump() {
         stats_.max_dispatch_latency = std::max(stats_.max_dispatch_latency, lat);
         device_->Dispatch(p.cmd);
         in_flight_[p.cmd.id] = p;
-        ArmCommandWatchdog(p);
+        ArmCommandWatchdog(p.cmd.id);
         update_busy();
         continue;
       }
@@ -242,7 +242,7 @@ void AccelDriver::OnComplete(const AccelCompletion& completion) {
   PSBOX_CHECK(it != in_flight_.end());
   const Pending p = it->second;
   in_flight_.erase(it);
-  cmd_watchdogs_.erase(completion.cmd.id);
+  sim_->Cancel(p.watchdog);
   ++stats_.completed;
   AppQueue& q = QueueFor(completion.cmd.app);
   ++q.completed;
@@ -334,16 +334,17 @@ void AccelDriver::OnGovernorTick() {
   sim_->ScheduleAfter(config_.governor_period, [this] { OnGovernorTick(); });
 }
 
-void AccelDriver::ArmCommandWatchdog(const Pending& p) {
+void AccelDriver::ArmCommandWatchdog(uint64_t cmd_id) {
+  // Raw slab event instead of a heap-allocated Watchdog object: the handle
+  // rides in the in-flight record and the whole arm/complete cycle stays
+  // allocation-free.
+  Pending& p = in_flight_.at(cmd_id);
   const DurationNs timeout =
       config_.command_timeout_base +
       static_cast<DurationNs>(static_cast<double>(p.cmd.nominal_work) *
                               config_.command_timeout_work_factor);
-  const uint64_t cmd_id = p.cmd.id;
-  auto dog = std::make_unique<Watchdog>(
-      sim_, timeout, [this, cmd_id] { OnCommandTimeout(cmd_id); });
-  dog->Arm();
-  cmd_watchdogs_[cmd_id] = std::move(dog);
+  p.watchdog =
+      sim_->ScheduleAfter(timeout, [this, cmd_id] { OnCommandTimeout(cmd_id); });
 }
 
 void AccelDriver::OnCommandTimeout(uint64_t cmd_id) {
@@ -359,10 +360,13 @@ void AccelDriver::ResetAndRequeue() {
   std::vector<AccelDevice::AbortedCommand> aborted = device_->Reset();
   ++stats_.device_resets;
   RecordRecovery();
-  // Every in-flight command was aborted; their watchdogs go with them. (The
-  // expired watchdog that got us here destroys itself too, which is safe: it
-  // has already left the simulator queue.)
-  cmd_watchdogs_.clear();
+  // Every in-flight command was aborted; their watchdogs go with them. (For
+  // the expired watchdog that got us here, Cancel is a stale-handle no-op:
+  // its event already left the simulator queue.)
+  for (auto& [cmd_id, pending] : in_flight_) {
+    sim_->Cancel(pending.watchdog);
+    pending.watchdog = kInvalidEventId;
+  }
   // Push front in reverse so the requeued commands re-dispatch in their
   // original order, ahead of anything submitted since.
   for (auto it = aborted.rbegin(); it != aborted.rend(); ++it) {

@@ -31,7 +31,6 @@
 #include "src/kernel/resource_domain.h"
 #include "src/kernel/task.h"
 #include "src/sim/simulator.h"
-#include "src/sim/watchdog.h"
 
 namespace psbox {
 
@@ -108,6 +107,8 @@ class AccelDriver : public ResourceDomain {
     Task* task;
     TimeNs submit_time;
     int retries = 0;  // times this command was requeued after a reset
+    // Hang watchdog for the dispatched command; live only while in flight.
+    EventId watchdog = kInvalidEventId;
   };
 
   struct AppQueue {
@@ -138,7 +139,7 @@ class AccelDriver : public ResourceDomain {
   void OnGovernorTick();
 
   // --- fault recovery ---
-  void ArmCommandWatchdog(const Pending& p);
+  void ArmCommandWatchdog(uint64_t cmd_id);
   // A dispatched command exceeded its completion bound: reset the engine and
   // requeue the aborted commands (the hung one with a retry strike).
   void OnCommandTimeout(uint64_t cmd_id);
@@ -162,9 +163,6 @@ class AccelDriver : public ResourceDomain {
 
   TimeNs owner_idle_since_ = -1;
   EventId retry_event_ = kInvalidEventId;
-
-  // Per-command hang watchdogs, keyed by command id.
-  std::unordered_map<uint64_t, std::unique_ptr<Watchdog>> cmd_watchdogs_;
 
   // Frequency virtualisation contexts; context 0 is global.
   std::unordered_map<int, int> context_opp_;

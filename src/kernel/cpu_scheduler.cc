@@ -454,12 +454,19 @@ void CpuScheduler::DisarmTick(CoreId core) {
 
 void CpuScheduler::ArmCompletion(CoreId core) {
   Core& c = cores_[static_cast<size_t>(core)];
-  DisarmCompletion(core);
   PSBOX_CHECK(c.current_task != nullptr);
   const double speed = cpu_->SpeedFactor();
   const double remaining = static_cast<double>(c.current_task->remaining_compute());
   const auto delay = static_cast<DurationNs>(std::ceil(remaining / speed));
-  c.completion_event = sim_->ScheduleAfter(std::max<DurationNs>(delay, 0), [this, core] {
+  const TimeNs when = sim_->Now() + std::max<DurationNs>(delay, 0);
+  if (c.completion_event != kInvalidEventId) {
+    // Frequency change or preemption churn: the completion closure is
+    // unchanged, only its deadline moves — take the in-place re-arm path.
+    c.completion_event = sim_->Reschedule(c.completion_event, when);
+    PSBOX_DCHECK(c.completion_event != kInvalidEventId);
+    return;
+  }
+  c.completion_event = sim_->ScheduleAt(when, [this, core] {
     cores_[static_cast<size_t>(core)].completion_event = kInvalidEventId;
     OnComputeComplete(core);
   });

@@ -77,7 +77,7 @@ void StorageDriver::DispatchFrom(AppId app) {
   stats_.max_dispatch_latency = std::max(stats_.max_dispatch_latency, lat);
   device_->Dispatch(p.cmd);
   in_flight_[p.cmd.id] = p;
-  ArmCommandWatchdog(p);
+  ArmCommandWatchdog(p.cmd.id);
 }
 
 void StorageDriver::Pump() {
@@ -216,7 +216,7 @@ void StorageDriver::OnComplete(const StorageCompletion& completion) {
   PSBOX_CHECK(it != in_flight_.end());
   const Pending p = it->second;
   in_flight_.erase(it);
-  cmd_watchdogs_.erase(completion.cmd.id);
+  sim_->Cancel(p.watchdog);
   ++stats_.completed;
   AppQueue& q = QueueFor(completion.cmd.app);
   ++q.completed;
@@ -258,12 +258,12 @@ void StorageDriver::ClearSandboxed(AppId app) {
   Pump();
 }
 
-void StorageDriver::ArmCommandWatchdog(const Pending& p) {
-  const uint64_t cmd_id = p.cmd.id;
-  auto dog = std::make_unique<Watchdog>(
-      sim_, config_.command_timeout, [this, cmd_id] { OnCommandTimeout(cmd_id); });
-  dog->Arm();
-  cmd_watchdogs_[cmd_id] = std::move(dog);
+void StorageDriver::ArmCommandWatchdog(uint64_t cmd_id) {
+  // Raw slab event; the handle rides in the in-flight record so the whole
+  // arm/complete cycle stays allocation-free.
+  Pending& p = in_flight_.at(cmd_id);
+  p.watchdog = sim_->ScheduleAfter(config_.command_timeout,
+                                   [this, cmd_id] { OnCommandTimeout(cmd_id); });
 }
 
 void StorageDriver::OnCommandTimeout(uint64_t cmd_id) {
@@ -279,7 +279,12 @@ void StorageDriver::ResetAndRequeue() {
   std::vector<StorageDevice::AbortedCommand> aborted = device_->Reset();
   ++stats_.device_resets;
   RecordRecovery();
-  cmd_watchdogs_.clear();
+  // Cancel surviving watchdogs; for the expired one this is a stale-handle
+  // no-op (its event already left the simulator queue).
+  for (auto& [cmd_id, pending] : in_flight_) {
+    sim_->Cancel(pending.watchdog);
+    pending.watchdog = kInvalidEventId;
+  }
   // Single channel: at most one aborted command, but keep the generic shape.
   for (auto it = aborted.rbegin(); it != aborted.rend(); ++it) {
     auto fit = in_flight_.find(it->cmd.id);

@@ -24,7 +24,6 @@
 #include "src/kernel/resource_domain.h"
 #include "src/kernel/task.h"
 #include "src/sim/simulator.h"
-#include "src/sim/watchdog.h"
 
 namespace psbox {
 
@@ -85,6 +84,8 @@ class StorageDriver : public ResourceDomain {
     Task* task;
     TimeNs submit_time;
     int retries = 0;
+    // Hang watchdog for the dispatched command; live only while in flight.
+    EventId watchdog = kInvalidEventId;
   };
 
   struct AppQueue {
@@ -105,7 +106,7 @@ class StorageDriver : public ResourceDomain {
   void DispatchFrom(AppId app);
 
   // --- fault recovery ---
-  void ArmCommandWatchdog(const Pending& p);
+  void ArmCommandWatchdog(uint64_t cmd_id);
   void OnCommandTimeout(uint64_t cmd_id);
   void OnDrainTimeout() override;
   void ResetAndRequeue();
@@ -122,8 +123,6 @@ class StorageDriver : public ResourceDomain {
   TimeNs owner_idle_since_ = -1;
   EventId retry_event_ = kInvalidEventId;
   StoragePowerState global_state_;
-
-  std::unordered_map<uint64_t, std::unique_ptr<Watchdog>> cmd_watchdogs_;
 
   Stats stats_;
 };

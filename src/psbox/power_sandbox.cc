@@ -176,17 +176,41 @@ void PowerSandbox::AccumulateObservedSamples(const PowerRail& rail, HwComponent 
                                              const FaultInjector* faults,
                                              std::vector<PowerSample>* buf) const {
   PSBOX_CHECK(BoundTo(hw));
+  if (buf->empty()) {
+    return;
+  }
+  // Sample grids are monotone, so hoist the per-probe segment searches into
+  // forward-walking cursors (the Resample pattern): one walker over the rail
+  // trace, one over the closed ownership intervals, and an index over the
+  // sorted dropout windows. Each grid point then costs a comparison per
+  // structure instead of a galloping lookup.
+  const size_t i = static_cast<size_t>(hw);
+  StepTrace::Walker power(rail.trace(), buf->front().timestamp);
+  IntervalSet::Walker owned(owned_[i], buf->front().timestamp);
+  const std::vector<FaultWindow>* dropouts =
+      faults != nullptr ? &faults->meter_dropouts() : nullptr;
+  size_t drop_idx = 0;
+  const TimeNs since = open_since_[i];
+  const Watts idle = rail.idle_power();
   for (PowerSample& s : *buf) {
-    if (faults != nullptr && faults->MeterDroppedAt(s.timestamp)) {
-      // No measurement exists here; substitute the model estimate (exact for
-      // unowned instants, the degraded fallback inside a balloon). No noise
-      // and no Gaussian draw: synthesised values are not measurements.
-      s.watts += rail.idle_power();
-      s.estimated = true;
-      continue;
+    const TimeNs t = s.timestamp;
+    if (dropouts != nullptr) {
+      while (drop_idx < dropouts->size() && t >= (*dropouts)[drop_idx].end) {
+        ++drop_idx;
+      }
+      if (drop_idx < dropouts->size() && t >= (*dropouts)[drop_idx].begin) {
+        // No measurement exists here; substitute the model estimate (exact
+        // for unowned instants, the degraded fallback inside a balloon). No
+        // noise and no Gaussian draw: synthesised values are not
+        // measurements.
+        s.watts += idle;
+        s.estimated = true;
+        continue;
+      }
     }
+    // OwnedAt(hw, t) with the open-balloon check hoisted out of the loop.
     const Watts truth =
-        OwnedAt(hw, s.timestamp) ? rail.PowerAt(s.timestamp) : rail.idle_power();
+        (since >= 0 && t >= since) || owned.Contains(t) ? power.ValueAt(t) : idle;
     s.watts += std::max(
         0.0, truth + (rng != nullptr ? rng->Gaussian(0.0, noise_stddev) : 0.0));
   }

@@ -1,102 +1,298 @@
 #include "src/sim/simulator.h"
 
 #include <algorithm>
-#include <utility>
+#include <bit>
 
 namespace psbox {
 
-EventId Simulator::ScheduleAt(TimeNs when, std::function<void()> fn) {
-  PSBOX_CHECK_GE(when, now_);
-  const EventId id = ++next_id_;
-  queue_.push_back(Event{when, next_seq_++, id});
-  std::push_heap(queue_.begin(), queue_.end(), EventLater{});
-  closures_.emplace(id, std::move(fn));
-  return id;
+int Simulator::FirstBit(const Bitmap& bm) {
+  for (size_t w = 0; w < kBitmapWords; ++w) {
+    if (bm[w] != 0) {
+      return static_cast<int>(w * 64 +
+                              static_cast<size_t>(std::countr_zero(bm[w])));
+    }
+  }
+  return -1;
+}
+
+void Simulator::InsertPending(TimeNs when, uint32_t slot) {
+  EventSlab::Slot& s = slab_[slot];
+  s.in_overflow = false;
+  const Entry e{when, next_seq_++, slot, s.generation};
+  ++live_;
+  const uint64_t w = static_cast<uint64_t>(when);
+  const uint64_t wt = static_cast<uint64_t>(wheel_time_);
+  if (due_active_ && when < due_end_) {
+    // Lands in the bucket currently being drained: splice into the unread
+    // suffix. Correct because |when| >= now_ >= every already-consumed entry,
+    // and the new entry carries the largest seq, so it can only belong at or
+    // after the read head.
+    auto it = std::upper_bound(due_.begin() + static_cast<ptrdiff_t>(due_pos_),
+                               due_.end(), e, EntryBefore{});
+    due_.insert(it, e);
+  } else if ((w >> kShiftL1) == (wt >> kShiftL1)) {
+    const size_t b = (w >> kShiftL0) & kWheelMask;
+    level0_[b].push_back(e);
+    SetBit(bitmap0_, b);
+  } else if ((w >> kShiftOverflow) == (wt >> kShiftOverflow)) {
+    const size_t b = (w >> kShiftL1) & kWheelMask;
+    level1_[b].push_back(e);
+    SetBit(bitmap1_, b);
+  } else {
+    overflow_.push_back(e);
+    std::push_heap(overflow_.begin(), overflow_.end(), EntryLater{});
+    s.in_overflow = true;
+    ++stats_.overflow_inserts;
+  }
 }
 
 bool Simulator::Cancel(EventId id) {
-  if (id == kInvalidEventId) {
+  if (!IsPending(id)) {
     return false;
   }
-  // Eagerly drop the closure (and everything it captures); the heap entry
-  // stays behind as a tombstone and is skipped when popped — unless
-  // tombstones pile up enough to warrant a sweep.
-  if (closures_.erase(id) == 0) {
-    return false;
+  const uint32_t slot = SlotOf(id);
+  if (slab_[slot].in_overflow) {
+    ++overflow_dead_;
   }
-  ++tombstones_;
-  MaybeCompact();
+  // Freeing destroys the closure (captures released eagerly) and bumps the
+  // slot generation, which turns the queue entry stale wherever it sits —
+  // no tombstone is left behind in the wheel.
+  slab_.Free(slot);
+  --live_;
+  ++stats_.cancelled;
+  MaybeCompactOverflow();
   return true;
 }
 
-void Simulator::MaybeCompact() {
-  if (tombstones_ <= queue_.size() / 2) {
-    return;
+EventId Simulator::Reschedule(EventId id, TimeNs when) {
+  PSBOX_CHECK_GE(when, now_);
+  if (!IsPending(id)) {
+    return kInvalidEventId;
   }
-  // Erase every entry whose closure is gone, in one pass, then restore the
-  // heap invariant. Ordering among survivors is untouched: (when, seq) keys
-  // don't change, so determinism is preserved.
-  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
-                              [this](const Event& e) {
-                                return closures_.count(e.id) == 0;
-                              }),
-               queue_.end());
-  std::make_heap(queue_.begin(), queue_.end(), EventLater{});
-  tombstones_compacted_ += tombstones_;
-  tombstones_ = 0;
+  const uint32_t slot = SlotOf(id);
+  EventSlab::Slot& s = slab_[slot];
+  if (s.in_overflow) {
+    ++overflow_dead_;
+  }
+  // Retire the old handle without freeing the slot: bumping by 2 keeps the
+  // generation odd (still pending) while invalidating the old queue entry.
+  // The closure never moves.
+  s.generation += 2;
+  --live_;  // InsertPending re-counts it
+  ++stats_.rescheduled;
+  InsertPending(when, slot);
+  MaybeCompactOverflow();
+  return MakeEventId(slot, s.generation);
 }
 
-bool Simulator::PopNext(TimeNs deadline, Event* out, std::function<void()>* fn) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.front();
-    auto it = closures_.find(top.id);
-    if (it == closures_.end()) {
-      // Tombstone of a cancelled event.
-      std::pop_heap(queue_.begin(), queue_.end(), EventLater{});
-      queue_.pop_back();
-      PSBOX_CHECK_GT(tombstones_, 0u);
-      --tombstones_;
+void Simulator::MaybeCompactOverflow() {
+  if (overflow_dead_ <= overflow_.size() / 2) {
+    return;
+  }
+  // One O(n) sweep; survivor ordering is untouched ((when, seq) keys don't
+  // change), so determinism is preserved.
+  overflow_.erase(std::remove_if(overflow_.begin(), overflow_.end(),
+                                 [this](const Entry& e) { return !Alive(e); }),
+                  overflow_.end());
+  std::make_heap(overflow_.begin(), overflow_.end(), EntryLater{});
+  stats_.overflow_compacted += overflow_dead_;
+  overflow_dead_ = 0;
+}
+
+void Simulator::AdvanceWheelTime(TimeNs t) {
+  if (t <= wheel_time_) {
+    return;
+  }
+  const uint64_t old_pos = static_cast<uint64_t>(wheel_time_);
+  wheel_time_ = t;
+  const uint64_t new_pos = static_cast<uint64_t>(t);
+  if ((old_pos >> kShiftL1) != (new_pos >> kShiftL1)) {
+    // Entered a new level-0 window: the level-1 bucket covering it may hold
+    // events for this window, which must redistribute into level 0 before
+    // any level-0 scan. Buckets for skipped windows are provably empty —
+    // their whole range precedes the new wheel position, and wheel_time_
+    // never overtakes a pending event.
+    const size_t b = (new_pos >> kShiftL1) & kWheelMask;
+    if (TestBit(bitmap1_, b)) {
+      CascadeBucket(b);
+    }
+  }
+}
+
+void Simulator::ActivateBucket(size_t b) {
+  PSBOX_DCHECK(due_pos_ >= due_.size());
+  const TimeNs start = Level0BucketStart(b);
+  due_.clear();
+  due_pos_ = 0;
+  std::vector<Entry>& bucket = level0_[b];
+  for (const Entry& e : bucket) {
+    if (Alive(e)) {
+      due_.push_back(e);
+    }
+  }
+  bucket.clear();
+  ClearBit(bitmap0_, b);
+  std::sort(due_.begin(), due_.end(), EntryBefore{});
+  due_active_ = true;
+  due_end_ = start + (TimeNs{1} << kShiftL0);
+  if (wheel_time_ < start) {
+    // Same level-0 window as the current position, so no cascade check.
+    wheel_time_ = start;
+  }
+  ++stats_.bucket_activations;
+}
+
+void Simulator::CascadeBucket(size_t b) {
+  // Only called once the wheel clock is inside this bucket's window, so every
+  // live entry maps to a level-0 bucket of the current window.
+  std::vector<Entry>& bucket = level1_[b];
+  for (const Entry& e : bucket) {
+    if (!Alive(e)) {
       continue;
     }
-    if (deadline >= 0 && top.when > deadline) {
-      return false;
-    }
-    *out = top;
-    *fn = std::move(it->second);
-    closures_.erase(it);
-    std::pop_heap(queue_.begin(), queue_.end(), EventLater{});
-    queue_.pop_back();
-    return true;
+    const size_t b0 = (static_cast<uint64_t>(e.when) >> kShiftL0) & kWheelMask;
+    level0_[b0].push_back(e);
+    SetBit(bitmap0_, b0);
   }
-  return false;
+  bucket.clear();
+  ClearBit(bitmap1_, b);
+  ++stats_.cascades;
+}
+
+void Simulator::TakeClosure(const Entry& e, ClosureSlot* fn) {
+  EventSlab::Slot& s = slab_[e.slot];
+  PSBOX_DCHECK(s.generation == e.gen);
+  // Move the closure out and free the slot before invoking, so the callback
+  // can re-arm into the very slot it fired from.
+  s.closure.RelocateTo(fn);
+  slab_.Free(e.slot);
+  --live_;
+}
+
+bool Simulator::PopNext(TimeNs deadline, Entry* out, ClosureSlot* fn) {
+  for (;;) {
+    // Drop stale (cancelled/rescheduled) entries at the due read head and at
+    // the overflow top, so the candidate comparison below sees live events.
+    while (due_pos_ < due_.size() && !Alive(due_[due_pos_])) {
+      ++due_pos_;
+    }
+    while (!overflow_.empty() && !Alive(overflow_.front())) {
+      std::pop_heap(overflow_.begin(), overflow_.end(), EntryLater{});
+      overflow_.pop_back();
+      PSBOX_DCHECK(overflow_dead_ > 0);
+      --overflow_dead_;
+    }
+    if (due_pos_ < due_.size()) {
+      // The active bucket holds the earliest wheel events; only the overflow
+      // heap can undercut it (the wheel clock may have caught up with a
+      // once-far-future event). Exact (when, seq) comparison keeps same-time
+      // FIFO across the two structures.
+      const Entry& d = due_[due_pos_];
+      const bool heap_first =
+          !overflow_.empty() && EntryBefore{}(overflow_.front(), d);
+      const Entry& best = heap_first ? overflow_.front() : d;
+      if (deadline >= 0 && best.when > deadline) {
+        return false;
+      }
+      *out = best;
+      if (heap_first) {
+        std::pop_heap(overflow_.begin(), overflow_.end(), EntryLater{});
+        overflow_.pop_back();
+      } else {
+        ++due_pos_;
+      }
+      TakeClosure(*out, fn);
+      return true;
+    }
+    // Due list exhausted: the next wheel work is the first occupied level-0
+    // bucket, else the first occupied level-1 bucket, else only the heap.
+    const int b0 = FirstBit(bitmap0_);
+    if (b0 >= 0) {
+      const TimeNs start = Level0BucketStart(static_cast<size_t>(b0));
+      if (!overflow_.empty() && overflow_.front().when < start) {
+        // Every wheel event is >= start, so the heap top fires first.
+        if (deadline >= 0 && overflow_.front().when > deadline) {
+          return false;
+        }
+        *out = overflow_.front();
+        std::pop_heap(overflow_.begin(), overflow_.end(), EntryLater{});
+        overflow_.pop_back();
+        TakeClosure(*out, fn);
+        return true;
+      }
+      if (deadline >= 0 && start > deadline) {
+        return false;
+      }
+      ActivateBucket(static_cast<size_t>(b0));
+      continue;
+    }
+    const int b1 = FirstBit(bitmap1_);
+    if (b1 >= 0) {
+      const TimeNs start = Level1BucketStart(static_cast<size_t>(b1));
+      if (!overflow_.empty() && overflow_.front().when < start) {
+        if (deadline >= 0 && overflow_.front().when > deadline) {
+          return false;
+        }
+        *out = overflow_.front();
+        std::pop_heap(overflow_.begin(), overflow_.end(), EntryLater{});
+        overflow_.pop_back();
+        TakeClosure(*out, fn);
+        return true;
+      }
+      if (deadline >= 0 && start > deadline) {
+        return false;
+      }
+      // Entering the bucket's window cascades it into level 0.
+      AdvanceWheelTime(start);
+      PSBOX_DCHECK(!TestBit(bitmap1_, static_cast<size_t>(b1)));
+      continue;
+    }
+    if (!overflow_.empty()) {
+      if (deadline >= 0 && overflow_.front().when > deadline) {
+        return false;
+      }
+      *out = overflow_.front();
+      std::pop_heap(overflow_.begin(), overflow_.end(), EntryLater{});
+      overflow_.pop_back();
+      TakeClosure(*out, fn);
+      return true;
+    }
+    return false;
+  }
 }
 
 size_t Simulator::RunUntil(TimeNs deadline) {
   size_t fired = 0;
-  Event ev;
-  std::function<void()> fn;
+  Entry ev;
+  ClosureSlot fn;
   while (PopNext(deadline, &ev, &fn)) {
     PSBOX_CHECK_GE(ev.when, now_);
     now_ = ev.when;
+    AdvanceWheelTime(now_);
     ++total_fired_;
     ++fired;
-    fn();
+    fn.Invoke();
+    fn.Destroy();
   }
   if (now_ < deadline) {
     now_ = deadline;
+    AdvanceWheelTime(now_);
   }
   return fired;
 }
 
 size_t Simulator::RunToCompletion() {
   size_t fired = 0;
-  Event ev;
-  std::function<void()> fn;
+  Entry ev;
+  ClosureSlot fn;
   while (PopNext(/*deadline=*/-1, &ev, &fn)) {
+    PSBOX_CHECK_GE(ev.when, now_);
     now_ = ev.when;
+    AdvanceWheelTime(now_);
     ++total_fired_;
     ++fired;
-    fn();
+    fn.Invoke();
+    fn.Destroy();
   }
   return fired;
 }

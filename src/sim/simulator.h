@@ -1,29 +1,71 @@
 // Discrete-event simulation core.
 //
-// A Simulator owns the simulated clock and a priority queue of events. All
+// A Simulator owns the simulated clock and the pending-event queue. All
 // hardware and kernel models are callback-driven: they schedule events, and
-// the simulator fires them in (time, insertion-order) order so that runs are
-// deterministic. Events can be cancelled via the EventId handle, which the
-// schedulers use for pending-preemption and timer management.
+// the simulator fires them in exact (time, insertion-order) order so that
+// runs are deterministic down to the bit.
+//
+// The queue is a two-level hierarchical timing wheel with a binary heap
+// demoted to an overflow level for far-future events:
+//
+//   level 0   256 buckets x 2^16 ns  — covers ~16.8 ms past the wheel clock
+//   level 1   256 buckets x 2^24 ns  — covers ~4.29 s past the wheel clock
+//   overflow  binary heap            — everything farther out
+//
+// Buckets are indexed by absolute time bits ((when >> shift) & 255), so
+// insertion is O(1) with no per-event comparisons. Short-horizon traffic
+// (scheduler ticks, watchdog pets, retransmit backoff) lands in level 0 and
+// never touches a comparison-based structure; level-1 buckets redistribute
+// into level 0 when the wheel clock enters their 16.8 ms window; overflow
+// events stay in the heap until the wheel drains below them (they are fired
+// straight from the heap, never migrated). When a level-0 bucket becomes the
+// earliest pending work it is sorted once by (time, seq) into a "due list"
+// that subsequent pops consume in order — same-time FIFO holds across all
+// three levels because every candidate comparison is on the exact
+// (time, seq) key.
+//
+// Closures live in an EventSlab (see event_slab.h): small-buffer slots
+// addressed by generation-tagged EventIds. Cancel and IsPending are O(1) —
+// cancelling frees the slot (releasing captures eagerly) and bumps its
+// generation, which invalidates the queue entry in place; no tombstone
+// sweeping is needed outside the overflow heap. Re-arm-heavy paths
+// (cancel + schedule, or the in-place Reschedule) therefore perform no heap
+// allocation and no O(log n) sift in steady state.
 
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/base/check.h"
 #include "src/base/time.h"
+#include "src/sim/event_slab.h"
 
 namespace psbox {
 
+// Handle to a pending event: (slot+1) in the high 32 bits, the slot's odd
+// generation in the low 32. The +1 bias keeps small raw integers (and 0 ==
+// kInvalidEventId) from aliasing slot 0.
 using EventId = uint64_t;
 constexpr EventId kInvalidEventId = 0;
 
 class Simulator {
  public:
+  // Engine-internals counters, exposed for tests and benches.
+  struct EngineStats {
+    uint64_t bucket_activations = 0;  // level-0 buckets sorted into the due list
+    uint64_t cascades = 0;            // level-1 buckets redistributed to level 0
+    uint64_t overflow_inserts = 0;    // events parked in the far-future heap
+    uint64_t overflow_compacted = 0;  // dead entries swept out of that heap
+    uint64_t cancelled = 0;
+    uint64_t rescheduled = 0;
+    uint64_t closure_heap_allocs = 0;  // closures too big for inline slots
+  };
+
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -31,17 +73,35 @@ class Simulator {
   TimeNs Now() const { return now_; }
 
   // Schedules |fn| to run at absolute simulated time |when| (>= Now()).
-  EventId ScheduleAt(TimeNs when, std::function<void()> fn);
+  template <typename Fn>
+  EventId ScheduleAt(TimeNs when, Fn&& fn) {
+    PSBOX_CHECK_GE(when, now_);
+    const uint32_t slot = slab_.Alloc();
+    if (!slab_[slot].closure.Emplace(std::forward<Fn>(fn))) {
+      ++stats_.closure_heap_allocs;
+    }
+    InsertPending(when, slot);
+    return MakeEventId(slot, slab_[slot].generation);
+  }
 
   // Schedules |fn| to run |delay| after Now().
-  EventId ScheduleAfter(DurationNs delay, std::function<void()> fn) {
+  template <typename Fn>
+  EventId ScheduleAfter(DurationNs delay, Fn&& fn) {
     PSBOX_CHECK_GE(delay, 0);
-    return ScheduleAt(now_ + delay, std::move(fn));
+    return ScheduleAt(now_ + delay, std::forward<Fn>(fn));
   }
 
   // Cancels a pending event. Cancelling an already-fired or already-cancelled
   // event is a no-op; returns whether anything was cancelled.
   bool Cancel(EventId id);
+
+  // Moves a pending event to fire at |when| (>= Now()) instead, keeping its
+  // closure in place — the O(1) re-arm path for watchdog pets and timer
+  // extensions. Returns the event's new id (the old one is retired), or
+  // kInvalidEventId if |id| was no longer pending. Consumes one insertion
+  // sequence number, exactly like Cancel + ScheduleAt, so firing order is
+  // identical to the cancel-and-recreate idiom.
+  EventId Reschedule(EventId id, TimeNs when);
 
   // Runs events until the queue drains or the clock would pass |deadline|.
   // Events scheduled exactly at |deadline| do run. Returns the number of
@@ -51,31 +111,49 @@ class Simulator {
   // Runs until the queue is empty.
   size_t RunToCompletion();
 
-  // True if an event with |id| is still pending.
-  bool IsPending(EventId id) const { return closures_.count(id) > 0; }
+  // True if an event with |id| is still pending. O(1): the slot's current
+  // generation matches iff this exact handle is still live.
+  bool IsPending(EventId id) const {
+    const uint32_t slot = SlotOf(id);
+    return slot < slab_.size() && slab_[slot].generation == GenOf(id) &&
+           (GenOf(id) & 1u) == 1u;
+  }
 
-  size_t pending_events() const { return closures_.size(); }
+  size_t pending_events() const { return live_; }
   uint64_t total_fired() const { return total_fired_; }
-  // Tombstones swept out of the heap by compaction (see MaybeCompact). A
-  // cheap proxy for how much cancel-heavy workloads stress the queue.
-  uint64_t tombstones_compacted() const { return tombstones_compacted_; }
+  const EngineStats& stats() const { return stats_; }
 
  private:
-  // Heap entries carry only ordering state; the closure lives in |closures_|
-  // so that Cancel can release its captures eagerly. A heap entry whose id is
-  // no longer in |closures_| is a tombstone and is skipped on pop — cancelled
-  // events therefore cost O(log n) heap residue but never keep captured
-  // objects (e.g. |this| pointers) alive until the queue drains past them.
-  // When tombstones outnumber live entries the heap is compacted in one
-  // O(n) sweep (timer-heavy workloads re-arm watchdogs far more often than
-  // they let them fire, so residue would otherwise dominate the heap).
-  struct Event {
+  // Wheel geometry. Level 0 buckets span 2^16 ns (65.536 us) and one level-0
+  // window spans 2^24 ns; level 1 buckets span one level-0 window and one
+  // level-1 window spans 2^32 ns (~4.29 s). Absolute bit indexing makes the
+  // level test a shift+compare against wheel_time_.
+  static constexpr int kShiftL0 = 16;
+  static constexpr int kShiftL1 = 24;
+  static constexpr int kShiftOverflow = 32;
+  static constexpr size_t kWheelSlots = 256;
+  static constexpr uint64_t kWheelMask = kWheelSlots - 1;
+  static constexpr size_t kBitmapWords = kWheelSlots / 64;
+
+  // Queue entries are POD ordering records; the closure stays in the slab.
+  // An entry whose generation no longer matches its slot is stale (the event
+  // was cancelled or rescheduled) and is dropped wherever it surfaces.
+  struct Entry {
     TimeNs when;
     uint64_t seq;  // tie-break: FIFO among same-time events
-    EventId id;
+    uint32_t slot;
+    uint32_t gen;
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
+  struct EntryBefore {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when < b.when;
+      }
+      return a.seq < b.seq;
+    }
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.when != b.when) {
         return a.when > b.when;
       }
@@ -83,22 +161,89 @@ class Simulator {
     }
   };
 
-  // Pops the next live event into |out|; false when the queue is exhausted
-  // or the next live event lies past |deadline| (no deadline when < 0).
-  bool PopNext(TimeNs deadline, Event* out, std::function<void()>* fn);
-  // Sweeps tombstones out of the heap once they exceed half of it.
-  void MaybeCompact();
+  static EventId MakeEventId(uint32_t slot, uint32_t gen) {
+    return (static_cast<uint64_t>(slot) + 1) << 32 | gen;
+  }
+  static uint32_t SlotOf(EventId id) {
+    return static_cast<uint32_t>((id >> 32) - 1);  // wraps to huge for id < 2^32
+  }
+  static uint32_t GenOf(EventId id) { return static_cast<uint32_t>(id); }
+
+  bool Alive(const Entry& e) const {
+    return slab_[e.slot].generation == e.gen;
+  }
+
+  // Routes a fresh (when, next_seq_) entry for |slot| into the due list,
+  // a wheel bucket, or the overflow heap.
+  void InsertPending(TimeNs when, uint32_t slot);
+  // Pops the next live event into |out| and moves its closure into |fn|
+  // (freeing the slot first, so the callback may re-arm into it); false when
+  // the queue is exhausted or the next live event lies past |deadline|
+  // (no deadline when < 0).
+  bool PopNext(TimeNs deadline, Entry* out, ClosureSlot* fn);
+  // Advances the wheel clock, cascading the level-1 bucket that covers the
+  // new position when a level-0 window boundary is crossed.
+  void AdvanceWheelTime(TimeNs t);
+  // Sorts level-0 bucket |b| into the due list.
+  void ActivateBucket(size_t b);
+  // Redistributes level-1 bucket |b| into level-0 buckets.
+  void CascadeBucket(size_t b);
+  // Frees the popped entry's slot, moving its closure out into |fn|.
+  void TakeClosure(const Entry& e, ClosureSlot* fn);
+  // Sweeps dead entries out of the overflow heap once they exceed half of it.
+  void MaybeCompactOverflow();
+
+  TimeNs Level0BucketStart(size_t b) const {
+    const uint64_t window =
+        static_cast<uint64_t>(wheel_time_) >> kShiftL1 << kShiftL1;
+    return static_cast<TimeNs>(window | (static_cast<uint64_t>(b) << kShiftL0));
+  }
+  TimeNs Level1BucketStart(size_t b) const {
+    const uint64_t window =
+        static_cast<uint64_t>(wheel_time_) >> kShiftOverflow << kShiftOverflow;
+    return static_cast<TimeNs>(window | (static_cast<uint64_t>(b) << kShiftL1));
+  }
+
+  using Bitmap = std::array<uint64_t, kBitmapWords>;
+  static void SetBit(Bitmap& bm, size_t b) { bm[b >> 6] |= uint64_t{1} << (b & 63); }
+  static void ClearBit(Bitmap& bm, size_t b) {
+    bm[b >> 6] &= ~(uint64_t{1} << (b & 63));
+  }
+  static bool TestBit(const Bitmap& bm, size_t b) {
+    return (bm[b >> 6] >> (b & 63)) & 1;
+  }
+  // Lowest set bit, or -1 when empty.
+  static int FirstBit(const Bitmap& bm);
 
   TimeNs now_ = 0;
+  // Logical wheel position: always <= the time of every pending event, so
+  // whenever it crosses a window boundary the structures that would alias
+  // across that boundary are provably empty (see AdvanceWheelTime).
+  TimeNs wheel_time_ = 0;
   uint64_t next_seq_ = 1;
-  EventId next_id_ = 1;
   uint64_t total_fired_ = 0;
-  uint64_t tombstones_ = 0;  // cancelled entries still in the heap
-  uint64_t tombstones_compacted_ = 0;
-  // Binary heap ordered by EventLater (std::push_heap/pop_heap), kept as a
-  // plain vector so compaction can erase tombstones in place.
-  std::vector<Event> queue_;
-  std::unordered_map<EventId, std::function<void()>> closures_;
+  size_t live_ = 0;  // pending (non-cancelled) events
+  EngineStats stats_;
+
+  EventSlab slab_;
+
+  // Active level-0 bucket, sorted by (when, seq); due_pos_ is the read head.
+  // In-bucket insertions while draining splice into the unread suffix.
+  std::vector<Entry> due_;
+  size_t due_pos_ = 0;
+  bool due_active_ = false;
+  TimeNs due_end_ = 0;  // exclusive end of the active bucket's time range
+
+  std::array<std::vector<Entry>, kWheelSlots> level0_;
+  std::array<std::vector<Entry>, kWheelSlots> level1_;
+  Bitmap bitmap0_{};
+  Bitmap bitmap1_{};
+
+  // Far-future overflow: binary heap ordered by EntryLater. Entries are fired
+  // straight from the heap (never migrated into the wheel); dead entries are
+  // swept in one O(n) pass when they outnumber the live ones.
+  std::vector<Entry> overflow_;
+  uint64_t overflow_dead_ = 0;
 };
 
 }  // namespace psbox

@@ -7,9 +7,10 @@
 // wedged hardware (a command that never completes, a drain phase that never
 // empties) and trigger their reset / abort recovery paths.
 //
-// Re-arming cancels the previous countdown through Simulator::Cancel, which
-// releases the pending closure eagerly — the high-rate arm/pet pattern of a
-// per-command watchdog therefore does not accumulate captured state.
+// Re-arming an armed watchdog goes through Simulator::Reschedule, the O(1)
+// in-place re-arm path: the pending closure stays in its slab slot and only
+// the firing time moves, so the high-rate arm/pet pattern of a per-command
+// watchdog performs no allocation and accumulates no captured state.
 
 #ifndef SRC_SIM_WATCHDOG_H_
 #define SRC_SIM_WATCHDOG_H_
@@ -37,7 +38,12 @@ class Watchdog {
 
   // Starts (or restarts) the countdown.
   void Arm() {
-    Disarm();
+    if (event_ != kInvalidEventId) {
+      // The expiry closure is unchanged; only the deadline moves.
+      event_ = sim_->Reschedule(event_, sim_->Now() + timeout_);
+      PSBOX_DCHECK(event_ != kInvalidEventId);
+      return;
+    }
     event_ = sim_->ScheduleAfter(timeout_, [this] {
       event_ = kInvalidEventId;
       ++fires_;

@@ -81,6 +81,22 @@ TEST(FleetDeterminismTest, SeedChangesResults) {
             RunFingerprint(MixedScenario(0xBEEF), 2));
 }
 
+TEST(FleetDeterminismTest, EventsFiredIdenticalAcrossThreadCounts) {
+  // events_fired is observability-only (excluded from the fingerprint), so
+  // its determinism is pinned directly: per-board engine event counts must
+  // not depend on the worker-thread count, and a busy board fires a
+  // non-trivial number of events.
+  const FleetScenario scenario = MixedScenario(0xF1EE7);
+  const FleetStats one = FleetCoordinator(scenario, 1).Run();
+  const FleetStats four = FleetCoordinator(scenario, 4).Run();
+  ASSERT_EQ(one.boards.size(), four.boards.size());
+  for (size_t i = 0; i < one.boards.size(); ++i) {
+    EXPECT_EQ(one.boards[i].events_fired, four.boards[i].events_fired)
+        << "board " << i;
+    EXPECT_GT(one.boards[i].events_fired, 1000u) << "board " << i;
+  }
+}
+
 TEST(FleetDeterminismTest, MigrationsActuallyHappenInTheMixedScenario) {
   // Guards the determinism tests against vacuity: the fingerprints above
   // must cover real cross-board activity, not three idle islands.

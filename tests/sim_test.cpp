@@ -1,9 +1,21 @@
 // Unit tests for the discrete-event simulator.
+//
+// Beyond the basic contract, this suite pins the properties the timing-wheel
+// engine must preserve: exact (time, insertion-seq) FIFO across all queue
+// levels (due list / level-0 / level-1 / overflow heap), O(1) cancel and
+// re-arm safety under slab slot reuse (generation tags), deadline-inclusive
+// RunUntil semantics, and bit-exact firing-order parity with the previous
+// heap+hash-map engine under randomized event storms.
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <random>
+#include <utility>
 #include <vector>
 
+#include "bench/naive_simulator.h"
 #include "src/sim/simulator.h"
 
 namespace psbox {
@@ -113,47 +125,388 @@ TEST(Simulator, PendingCount) {
   EXPECT_EQ(sim.total_fired(), 1u);
 }
 
-TEST(Simulator, CompactsTombstonesWhenCancelsDominate) {
+// ---------------------------------------------------------------------------
+// Guard rails (explicit past-time check + deadline-inclusive semantics).
+
+TEST(SimulatorDeathTest, ScheduleInPastDies) {
+  Simulator sim;
+  sim.RunUntil(100);
+  EXPECT_DEATH(sim.ScheduleAt(50, [] {}), "when >= now_");
+}
+
+TEST(SimulatorDeathTest, ScheduleAfterNegativeDelayDies) {
+  Simulator sim;
+  EXPECT_DEATH(sim.ScheduleAfter(-1, [] {}), "delay >= 0");
+}
+
+TEST(SimulatorDeathTest, RescheduleIntoPastDies) {
+  Simulator sim;
+  sim.RunUntil(100);
+  const EventId id = sim.ScheduleAt(200, [] {});
+  EXPECT_DEATH(sim.Reschedule(id, 50), "when >= now_");
+}
+
+TEST(Simulator, RunUntilDeadlineInclusiveRegression) {
+  // Events exactly at the deadline run; events one tick later do not, and a
+  // repeated RunUntil at the same deadline fires nothing new. Probed at plain
+  // times and at every wheel-level boundary, where an off-by-one in bucket
+  // activation would surface.
+  const TimeNs kDeadlines[] = {100, TimeNs{1} << 16, TimeNs{1} << 24,
+                               TimeNs{1} << 32};
+  for (const TimeNs deadline : kDeadlines) {
+    Simulator sim;
+    int at_deadline = 0;
+    int after_deadline = 0;
+    sim.ScheduleAt(deadline - 1, [] {});
+    sim.ScheduleAt(deadline, [&] { ++at_deadline; });
+    sim.ScheduleAt(deadline + 1, [&] { ++after_deadline; });
+    EXPECT_EQ(sim.RunUntil(deadline), 2u);
+    EXPECT_EQ(at_deadline, 1);
+    EXPECT_EQ(after_deadline, 0);
+    EXPECT_EQ(sim.Now(), deadline);
+    EXPECT_EQ(sim.RunUntil(deadline), 0u);  // idempotent at the same deadline
+    sim.RunUntil(deadline + 1);
+    EXPECT_EQ(after_deadline, 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ordering across wheel levels.
+
+TEST(Simulator, SameTimeFifoAcrossQueueLevels) {
+  // Four events all fire at T = 6 s, but scheduled from different distances
+  // so they sit in different structures when the tie is broken: A from t=0
+  // (overflow heap), B from t=4.5 s (level 1, cascaded on approach), C from
+  // t=5.99 s (level 0), and D scheduled *during* A's callback at T (active
+  // due list). Insertion order must hold exactly.
+  constexpr TimeNs kT = 6'000'000'000;
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(kT, [&] {
+    order.push_back(1);
+    sim.ScheduleAt(kT, [&] { order.push_back(4); });
+  });
+  sim.RunUntil(4'500'000'000);
+  sim.ScheduleAt(kT, [&] { order.push_back(2); });
+  sim.RunUntil(5'990'000'000);
+  sim.ScheduleAt(kT, [&] { order.push_back(3); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sim.Now(), kT);
+  EXPECT_GT(sim.stats().overflow_inserts, 0u);
+  EXPECT_GT(sim.stats().cascades, 0u);
+  EXPECT_GT(sim.stats().bucket_activations, 0u);
+}
+
+TEST(Simulator, WheelBoundaryTimesFireExactly) {
+  // Events straddling every level boundary, scheduled in descending order,
+  // must fire in ascending (time, seq) order at their exact times.
+  std::vector<TimeNs> times;
+  for (const TimeNs base :
+       {TimeNs{1} << 16, TimeNs{1} << 24, TimeNs{1} << 32}) {
+    times.push_back(base - 1);
+    times.push_back(base);
+    times.push_back(base + 1);
+  }
+  Simulator sim;
+  std::vector<TimeNs> fired;
+  for (auto it = times.rbegin(); it != times.rend(); ++it) {
+    const TimeNs t = *it;
+    sim.ScheduleAt(t, [&fired, &sim] { fired.push_back(sim.Now()); });
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, times);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation, slot reuse, and re-arm.
+
+TEST(Simulator, CancelHeavyReArmLeavesNoResidue) {
   Simulator sim;
   // One far-future survivor, then a burst of cancelled timers (the re-armed
-  // watchdog pattern): the heap must sweep the residue, not carry it.
+  // watchdog pattern). Cancelled events free their slot immediately, so the
+  // slab working set stays at the concurrent high-water mark instead of
+  // accumulating per-cancel residue.
   bool survivor_fired = false;
   sim.ScheduleAt(1'000'000, [&] { survivor_fired = true; });
-  std::vector<EventId> ids;
-  for (int i = 0; i < 100; ++i) {
-    ids.push_back(sim.ScheduleAt(100 + i, [] {}));
-  }
-  for (const EventId id : ids) {
+  for (int i = 0; i < 1000; ++i) {
+    const EventId id = sim.ScheduleAt(100 + i, [] {});
     EXPECT_TRUE(sim.Cancel(id));
   }
-  // 100 tombstones vs 1 live entry: compaction must have triggered.
-  EXPECT_GT(sim.tombstones_compacted(), 0u);
   EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_EQ(sim.stats().cancelled, 1000u);
   sim.RunToCompletion();
   EXPECT_TRUE(survivor_fired);
   EXPECT_EQ(sim.total_fired(), 1u);
 }
 
-TEST(Simulator, CompactionPreservesOrderAndCancelSemantics) {
+TEST(Simulator, OverflowHeapCompactsWhenCancelsDominate) {
   Simulator sim;
+  // Far-future events (past the level-1 horizon) park in the overflow heap,
+  // the one structure where cancelled entries linger; cancelling most of
+  // them must trigger a sweep while preserving survivor order.
+  constexpr TimeNs kFar = 10'000'000'000;  // 10 s: beyond the 2^32 ns horizon
   std::vector<int> order;
-  sim.ScheduleAt(500, [&] { order.push_back(5); });
-  sim.ScheduleAt(100, [&] { order.push_back(1); });
-  sim.ScheduleAt(100, [&] { order.push_back(2); });  // FIFO among same-time
-  // Cancel enough events to force at least one sweep mid-stream.
-  for (int round = 0; round < 10; ++round) {
-    std::vector<EventId> ids;
-    for (int i = 0; i < 8; ++i) {
-      ids.push_back(sim.ScheduleAt(200 + round, [] {}));
-    }
-    for (const EventId id : ids) {
-      sim.Cancel(id);
-    }
+  std::vector<EventId> doomed;
+  sim.ScheduleAt(kFar + 500, [&] { order.push_back(5); });
+  sim.ScheduleAt(kFar + 100, [&] { order.push_back(1); });
+  sim.ScheduleAt(kFar + 100, [&] { order.push_back(2); });  // same-time FIFO
+  for (int i = 0; i < 100; ++i) {
+    doomed.push_back(sim.ScheduleAt(kFar + 200 + i, [] {}));
   }
-  sim.ScheduleAt(300, [&] { order.push_back(3); });
+  sim.ScheduleAt(kFar + 300, [&] { order.push_back(3); });
+  for (const EventId id : doomed) {
+    EXPECT_TRUE(sim.Cancel(id));
+  }
+  EXPECT_GT(sim.stats().overflow_compacted, 0u);
+  EXPECT_EQ(sim.pending_events(), 4u);
   sim.RunToCompletion();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 5}));
-  EXPECT_GT(sim.tombstones_compacted(), 0u);
+}
+
+TEST(Simulator, GenerationGuardsRetiredIdsUnderSlabReuse) {
+  Simulator sim;
+  bool first_fired = false;
+  bool second_fired = false;
+  const EventId id1 = sim.ScheduleAt(100, [&] { first_fired = true; });
+  EXPECT_TRUE(sim.Cancel(id1));
+  // The freed slot is recycled immediately; the retired handle must not
+  // alias the new occupant.
+  const EventId id2 = sim.ScheduleAt(200, [&] { second_fired = true; });
+  EXPECT_NE(id1, id2);
+  EXPECT_FALSE(sim.IsPending(id1));
+  EXPECT_TRUE(sim.IsPending(id2));
+  EXPECT_FALSE(sim.Cancel(id1));  // stale handle: no-op, id2 unharmed
+  EXPECT_TRUE(sim.IsPending(id2));
+  sim.RunToCompletion();
+  EXPECT_FALSE(first_fired);
+  EXPECT_TRUE(second_fired);
+  EXPECT_EQ(sim.total_fired(), 1u);
+}
+
+TEST(Simulator, ReArmLoopReusesOneSlot) {
+  Simulator sim;
+  // Cancel+schedule a timer thousands of times: the slab high-water mark
+  // must stay at one slot and nothing but the last arming fires.
+  int fires = 0;
+  EventId id = sim.ScheduleAt(1000, [&] { ++fires; });
+  for (int i = 1; i <= 5000; ++i) {
+    EXPECT_TRUE(sim.Cancel(id));
+    id = sim.ScheduleAt(1000 + i, [&] { ++fires; });
+    EXPECT_EQ(sim.pending_events(), 1u);
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(sim.total_fired(), 1u);
+}
+
+TEST(Simulator, RescheduleMovesEventKeepingClosure) {
+  Simulator sim;
+  std::vector<TimeNs> fired_at;
+  const EventId id = sim.ScheduleAfter(1'000'000, [&] {
+    fired_at.push_back(sim.Now());
+  });
+  const EventId id2 = sim.Reschedule(id, 2'000'000);
+  ASSERT_NE(id2, kInvalidEventId);
+  EXPECT_NE(id2, id);
+  EXPECT_FALSE(sim.IsPending(id));  // old handle retired
+  EXPECT_TRUE(sim.IsPending(id2));
+  sim.RunToCompletion();
+  EXPECT_EQ(fired_at, (std::vector<TimeNs>{2'000'000}));
+  EXPECT_EQ(sim.total_fired(), 1u);
+}
+
+TEST(Simulator, RescheduleAcrossQueueLevels) {
+  Simulator sim;
+  // Heap -> level 0 and level 0 -> heap moves must both land exactly.
+  TimeNs near_fired = 0;
+  TimeNs far_fired = 0;
+  const EventId toward = sim.ScheduleAt(10'000'000'000, [&] {
+    near_fired = sim.Now();
+  });
+  const EventId away = sim.ScheduleAt(1'000, [&] { far_fired = sim.Now(); });
+  EXPECT_NE(sim.Reschedule(toward, 5'000), kInvalidEventId);
+  EXPECT_NE(sim.Reschedule(away, 20'000'000'000), kInvalidEventId);
+  sim.RunToCompletion();
+  EXPECT_EQ(near_fired, 5'000);
+  EXPECT_EQ(far_fired, 20'000'000'000);
+}
+
+TEST(Simulator, RescheduleOfDeadEventReturnsInvalid) {
+  Simulator sim;
+  const EventId cancelled = sim.ScheduleAt(100, [] {});
+  sim.Cancel(cancelled);
+  EXPECT_EQ(sim.Reschedule(cancelled, 200), kInvalidEventId);
+  const EventId fired = sim.ScheduleAt(100, [] {});
+  sim.RunUntil(100);
+  EXPECT_EQ(sim.Reschedule(fired, 200), kInvalidEventId);
+  EXPECT_EQ(sim.Reschedule(kInvalidEventId, 200), kInvalidEventId);
+}
+
+TEST(Simulator, LargeClosureFallsBackToHeapAllocation) {
+  Simulator sim;
+  std::array<char, 128> big{};
+  big[0] = 42;
+  char seen = 0;
+  sim.ScheduleAt(10, [big, &seen] { seen = big[0]; });
+  EXPECT_EQ(sim.stats().closure_heap_allocs, 1u);
+  sim.ScheduleAt(20, [&seen] { ++seen; });  // small capture: stays inline
+  EXPECT_EQ(sim.stats().closure_heap_allocs, 1u);
+  sim.RunToCompletion();
+  EXPECT_EQ(seen, 43);
+}
+
+// ---------------------------------------------------------------------------
+// Differential storm: the rebuilt engine must replay randomized workloads in
+// exactly the firing order of the previous heap+hash-map engine (preserved in
+// bench/naive_simulator.h).
+
+template <typename Engine>
+struct StormDriver {
+  Engine eng;
+  std::vector<std::pair<int, TimeNs>> log;
+  std::vector<size_t> pending_trace;
+  struct Tracked {
+    EventId id;
+    int label;
+    int chain;
+  };
+  std::vector<Tracked> live;
+  int next_label = 0;
+
+  EventId Schedule(TimeNs when, int label, int chain) {
+    return eng.ScheduleAt(when, [this, label, chain] {
+      log.emplace_back(label, eng.Now());
+      if (chain > 0) {
+        // Deterministic follow-up derived from the label only.
+        Schedule(eng.Now() + 1 + (label % 7) * 1'000, label + 100'000,
+                 chain - 1);
+      }
+    });
+  }
+
+  // Moves tracked event |idx| to |when|, via Reschedule when the engine has
+  // it and cancel+recreate (an identical closure) otherwise — the two idioms
+  // the engine contract requires to be order-equivalent.
+  void Move(size_t idx, TimeNs when) {
+    Tracked& t = live[idx];
+    if constexpr (requires(Engine& e) { e.Reschedule(t.id, when); }) {
+      const EventId nid = eng.Reschedule(t.id, when);
+      if (nid == kInvalidEventId) {
+        Drop(idx);
+      } else {
+        t.id = nid;
+      }
+    } else {
+      if (eng.Cancel(t.id)) {
+        t.id = Schedule(when, t.label, t.chain);
+      } else {
+        Drop(idx);
+      }
+    }
+  }
+
+  void Drop(size_t idx) {
+    live[idx] = live.back();
+    live.pop_back();
+  }
+
+  void Prune() {
+    for (size_t i = live.size(); i-- > 0;) {
+      if (!eng.IsPending(live[i].id)) {
+        Drop(i);
+      }
+    }
+  }
+};
+
+// Mixed-horizon delay: mostly level-0 traffic, some level-1, a far tail, and
+// exact zero-delay events.
+DurationNs StormDelay(uint64_t r) {
+  const uint64_t m = r % 100;
+  const uint64_t v = r / 100;
+  if (m < 5) {
+    return 0;
+  }
+  if (m < 55) {
+    return static_cast<DurationNs>(v % (4u << 16));  // within ~4 buckets
+  }
+  if (m < 85) {
+    return static_cast<DurationNs>(v % 40'000'000);  // tens of ms: level 1
+  }
+  if (m < 96) {
+    return static_cast<DurationNs>(v % 6'000'000'000);  // up to 6 s
+  }
+  return static_cast<DurationNs>(v % 60'000'000'000);  // up to 60 s: overflow
+}
+
+struct StormOp {
+  uint32_t kind;
+  uint64_t a;
+  uint64_t b;
+};
+
+template <typename Engine>
+void RunStorm(StormDriver<Engine>& d, const std::vector<StormOp>& ops) {
+  for (const StormOp& op : ops) {
+    switch (op.kind) {
+      case 0: {  // schedule
+        const TimeNs when = d.eng.Now() + StormDelay(op.a);
+        const int label = d.next_label++;
+        const int chain = static_cast<int>(op.b % 3);
+        d.live.push_back({d.Schedule(when, label, chain), label, chain});
+        break;
+      }
+      case 1: {  // cancel
+        if (!d.live.empty()) {
+          const size_t idx = op.a % d.live.size();
+          d.eng.Cancel(d.live[idx].id);
+          d.Drop(idx);
+        }
+        break;
+      }
+      case 2: {  // re-arm
+        if (!d.live.empty()) {
+          const size_t idx = op.a % d.live.size();
+          d.Move(idx, d.eng.Now() + StormDelay(op.b));
+        }
+        break;
+      }
+      default: {  // advance
+        const uint64_t m = op.b % 10;
+        const DurationNs adv = m < 7   ? static_cast<DurationNs>(op.a % 20'000'000)
+                               : m < 9 ? static_cast<DurationNs>(op.a % 1'000'000'000)
+                                       : static_cast<DurationNs>(op.a % 10'000'000'000);
+        d.eng.RunUntil(d.eng.Now() + adv);
+        d.Prune();
+        break;
+      }
+    }
+    d.pending_trace.push_back(d.eng.pending_events());
+  }
+  d.eng.RunToCompletion();
+}
+
+TEST(Simulator, StormFiringOrderMatchesNaiveEngine) {
+  for (const uint64_t seed : {0xC0FFEEu, 0xBADF00Du, 0x5EEDu}) {
+    std::mt19937_64 rng(seed);
+    std::vector<StormOp> ops;
+    ops.reserve(600);
+    for (int i = 0; i < 600; ++i) {
+      const uint64_t k = rng() % 100;
+      // 55% schedule, 15% cancel, 15% re-arm, 15% advance.
+      const uint32_t kind = k < 55 ? 0 : k < 70 ? 1 : k < 85 ? 2 : 3;
+      ops.push_back({kind, rng(), rng()});
+    }
+    StormDriver<Simulator> fast;
+    StormDriver<NaiveSimulator> naive;
+    RunStorm(fast, ops);
+    RunStorm(naive, ops);
+    ASSERT_EQ(fast.log, naive.log) << "seed " << seed;
+    EXPECT_EQ(fast.pending_trace, naive.pending_trace) << "seed " << seed;
+    EXPECT_EQ(fast.eng.total_fired(), naive.eng.total_fired());
+    EXPECT_EQ(fast.eng.Now(), naive.eng.Now());
+  }
 }
 
 }  // namespace
