@@ -1,0 +1,93 @@
+// Checkpoint/restore cost: how long does it take to serialise a busy board
+// shard, how big is the snapshot, and how long does a restore take — as a
+// function of how much history the shard has accumulated.
+//
+// Output (stdout, aligned):
+//   sim_ms   snapshot_kb   save_us   restore_us   resave_identical
+//
+// The last column re-saves the restored world and compares bytes — the
+// bit-identity contract, checked here on every row because bench scenarios
+// run far longer than the unit tests' (telemetry traces, many meter
+// samples, deep ledger history).
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/snapshot/board_snapshot.h"
+#include "src/snapshot/snapshot_io.h"
+
+namespace psbox {
+namespace {
+
+struct World {
+  std::unique_ptr<Stack> stack;
+};
+
+void SpawnMix(Kernel& kernel, TimeNs deadline) {
+  AppOptions sandboxed;
+  sandboxed.use_psbox = true;
+  sandboxed.deadline = deadline;
+  SpawnCalib3d(kernel, "calib3d", sandboxed);
+  SpawnTriangle(kernel, "triangle", sandboxed);
+  SpawnScp(kernel, "scp", sandboxed);
+  AppOptions plain;
+  plain.deadline = deadline;
+  SpawnBodytrack(kernel, "bodytrack", plain);
+}
+
+double ElapsedUs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void Row(TimeNs sim_time) {
+  const TimeNs deadline = sim_time + Seconds(10);  // apps outlive the snapshot
+  Stack original;
+  SpawnMix(original.kernel, deadline);
+  original.kernel.RunUntil(sim_time);
+
+  SnapshotWriter writer;
+  std::string error;
+  auto t0 = std::chrono::steady_clock::now();
+  PSBOX_CHECK(SaveBoardShard(original.board, original.kernel, original.manager,
+                             &writer, &error));
+  const std::vector<uint8_t> sealed = writer.Seal();
+  const double save_us = ElapsedUs(t0);
+
+  Stack restored;
+  SnapshotReader reader;
+  PSBOX_CHECK(reader.Open(sealed));
+  t0 = std::chrono::steady_clock::now();
+  PSBOX_CHECK(RestoreBoardShard(
+      reader, restored.board, restored.kernel, restored.manager,
+      [&restored, deadline] { SpawnMix(restored.kernel, deadline); }, &error));
+  const double restore_us = ElapsedUs(t0);
+
+  SnapshotWriter rewriter;
+  PSBOX_CHECK(SaveBoardShard(restored.board, restored.kernel, restored.manager,
+                             &rewriter, &error));
+  const bool identical = rewriter.Seal() == sealed;
+
+  std::printf("%8.0f %13.1f %9.0f %12.0f %18s\n", ToMillis(sim_time),
+              sealed.size() / 1024.0, save_us, restore_us,
+              identical ? "yes" : "NO");
+  PSBOX_CHECK(identical);
+}
+
+}  // namespace
+}  // namespace psbox
+
+int main() {
+  using namespace psbox;
+  std::printf("%8s %13s %9s %12s %18s\n", "sim_ms", "snapshot_kb", "save_us",
+              "restore_us", "resave_identical");
+  for (const TimeNs t : {Millis(100), Millis(500), Seconds(1), Seconds(2),
+                         Seconds(4)}) {
+    Row(t);
+  }
+  return 0;
+}

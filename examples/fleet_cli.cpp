@@ -4,6 +4,8 @@
 //
 //   ./fleet_cli [--boards N] [--threads T] [--seconds S] [--seed X]
 //               [--fail BOARD@MS] [--trace-dir DIR] [--retention MS]
+//               [--checkpoint-every N] [--checkpoint-path FILE]
+//               [--restore-from FILE]
 //
 // A default mix of Table-5 apps is placed round-robin: sandboxed CPU, GPU
 // and WiFi apps with energy budgets (migratable under budget pressure) plus
@@ -14,10 +16,21 @@
 // telemetry working set to the last MS milliseconds (energy accounting
 // stays exact; see KernelConfig::telemetry_retention).
 //
+// Checkpoint/restore: --checkpoint-every N writes the full fleet state (all
+// boards, kernels, sandboxes, pending events) to --checkpoint-path every N
+// epoch barriers. --restore-from warm-starts a later invocation from such a
+// file; the scenario flags must match the writing run, and the restored
+// run's final fingerprint is bit-identical to an uninterrupted one.
+//
 // Example: ./fleet_cli --boards 4 --threads 4 --seconds 2 --fail 1@600
+// Warm restart:
+//   ./fleet_cli --boards 4 --seconds 2 --checkpoint-every 50
+//               --checkpoint-path /tmp/fleet.snap
+//   ./fleet_cli --boards 4 --seconds 2 --restore-from /tmp/fleet.snap
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "src/fleet/fleet_coordinator.h"
@@ -30,7 +43,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: fleet_cli [--boards N] [--threads T] [--seconds S] "
                "[--seed X] [--fail BOARD@MS] [--trace-dir DIR] "
-               "[--retention MS]\n");
+               "[--retention MS] [--checkpoint-every N] "
+               "[--checkpoint-path FILE] [--restore-from FILE]\n");
   return 2;
 }
 
@@ -94,6 +108,9 @@ int main(int argc, char** argv) {
   int fail_board = -1;
   int fail_ms = 0;
   int retention_ms = 0;
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
+  std::string restore_from;
   std::string trace_dir;
 
   for (int i = 1; i < argc; ++i) {
@@ -118,6 +135,12 @@ int main(int argc, char** argv) {
       trace_dir = argv[++i];
     } else if (arg == "--retention" && i + 1 < argc) {
       retention_ms = std::atoi(argv[++i]);
+    } else if (arg == "--checkpoint-every" && i + 1 < argc) {
+      checkpoint_every = std::atoi(argv[++i]);
+    } else if (arg == "--checkpoint-path" && i + 1 < argc) {
+      checkpoint_path = argv[++i];
+    } else if (arg == "--restore-from" && i + 1 < argc) {
+      restore_from = argv[++i];
     } else {
       return Usage();
     }
@@ -126,9 +149,28 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
-  FleetCoordinator fleet(
-      BuildScenario(boards, seconds, seed, fail_board, fail_ms, retention_ms),
-      threads);
+  FleetScenario scenario =
+      BuildScenario(boards, seconds, seed, fail_board, fail_ms, retention_ms);
+  std::unique_ptr<FleetCoordinator> fleet_ptr;
+  if (!restore_from.empty()) {
+    std::string error;
+    fleet_ptr = FleetCoordinator::RestoreFromCheckpoint(
+        std::move(scenario), threads, restore_from, &error);
+    if (fleet_ptr == nullptr) {
+      std::fprintf(stderr, "fleet_cli: cannot restore from %s: %s\n",
+                   restore_from.c_str(), error.c_str());
+      return 1;
+    }
+    std::printf("restored from %s (resuming at %.0f ms)\n", restore_from.c_str(),
+                ToMillis(fleet_ptr->resume_time()));
+  } else {
+    fleet_ptr =
+        std::make_unique<FleetCoordinator>(std::move(scenario), threads);
+  }
+  FleetCoordinator& fleet = *fleet_ptr;
+  if (checkpoint_every > 0 && !checkpoint_path.empty()) {
+    fleet.set_checkpoint(checkpoint_path, checkpoint_every);
+  }
   const FleetStats stats = fleet.Run();
 
   std::printf("fleet: %d board(s), %d worker thread(s), %d s simulated\n\n",
@@ -167,8 +209,9 @@ int main(int argc, char** argv) {
       std::printf("  %7.0f ms  %-14s board %d -> %d  (%s, %.1f mJ billed, "
                   "%.1f mJ budget carried)\n",
                   ToMillis(m.when), m.app.c_str(), m.from, m.to,
-                  m.crash ? "crash" : "drain", m.consumed_source * 1e3,
-                  m.budget_carried * 1e3);
+                  m.crash ? (m.state_transfer ? "crash/xfer" : "crash/carry")
+                          : "drain",
+                  m.consumed_source * 1e3, m.budget_carried * 1e3);
     }
   }
 

@@ -21,6 +21,9 @@
 
 namespace psbox {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 class IntervalSet {
  public:
   struct Interval {
@@ -78,6 +81,11 @@ class IntervalSet {
     cursor_ = 0;
     trimmed_intervals_ = 0;
   }
+
+  // Snapshot support: persists/overwrites the retained intervals and the
+  // lifetime trim counter. The read cursor restarts at zero.
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r);
 
  private:
   // Index of the last interval with begin <= |t|, or -1; gallops from the

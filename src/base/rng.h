@@ -12,6 +12,9 @@
 
 namespace psbox {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 class Rng {
  public:
   explicit Rng(uint64_t seed);
@@ -34,6 +37,11 @@ class Rng {
   // Derives an independent child stream; used to give each component its own
   // stream so adding consumers never perturbs existing draws.
   Rng Fork();
+
+  // Snapshot support: persists/overwrites the exact generator state,
+  // including the cached Box-Muller half-sample.
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r);
 
  private:
   uint64_t state_[4];

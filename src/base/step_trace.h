@@ -30,6 +30,9 @@
 
 namespace psbox {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 class StepTrace {
  public:
   struct Step {
@@ -114,6 +117,12 @@ class StepTrace {
     cursor_ = 0;
     trimmed_steps_ = 0;
   }
+
+  // Snapshot support: persists/overwrites the retained steps, their
+  // cumulative-integral offsets (which carry the trimmed prefix's energy)
+  // and the lifetime trim counter. The read cursor restarts at zero.
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r);
 
  private:
   // Index of the last step with time <= |time|, or -1. Starts at the read

@@ -63,6 +63,7 @@ uint64_t FleetStats::Fingerprint() const {
     HashI64(&h, m.from);
     HashI64(&h, m.to);
     HashU64(&h, m.crash ? 1 : 0);
+    HashU64(&h, m.state_transfer ? 1 : 0);
     HashDouble(&h, m.consumed_source);
     HashDouble(&h, m.budget_carried);
     HashU64(&h, m.iterations_done);

@@ -75,6 +75,16 @@ struct FleetScenario {
   std::vector<FleetBoardSpec> boards;
   std::vector<FleetAppSpec> apps;
   MigrationConfig migration;
+  // Crash-evacuation mode. When true (the default), a failing board's
+  // sandboxed apps are evacuated by *state transfer*: the dying board
+  // serialises the app's billing state (raw meter reading, residual budget,
+  // progress) into a CRC-guarded blob and the target board resumes billing
+  // from the transferred value. A torn write (snapshot_corrupt fault) makes
+  // the blob fail validation, and the evacuation falls back to the legacy
+  // drain-style carry (billing restarts at zero on the target; the budget
+  // ledger stays conserved either way). When false, the legacy carry is
+  // always used.
+  bool crash_state_transfer = true;
 };
 
 // One completed migration (graceful drain or crash evacuation).
@@ -84,6 +94,10 @@ struct MigrationRecord {
   int from = -1;
   int to = -1;
   bool crash = false;        // board-failure evacuation vs budget drain
+  // Crash evacuations only: the billing state made it to the target by
+  // snapshot transfer (false = the blob failed validation, or transfer was
+  // disabled, and the hop fell back to the drain-style carry).
+  bool state_transfer = false;
   Joules consumed_source = 0.0;  // billed on the source board this hop
   Joules budget_carried = 0.0;   // remaining budget moved to the target
   uint64_t iterations_done = 0;  // iterations completed before the hand-off

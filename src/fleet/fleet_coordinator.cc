@@ -1,8 +1,12 @@
 #include "src/fleet/fleet_coordinator.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 
 #include "src/base/check.h"
+#include "src/snapshot/board_snapshot.h"
+#include "src/snapshot/snapshot_io.h"
 
 namespace psbox {
 namespace {
@@ -23,6 +27,23 @@ FleetCoordinator::FleetCoordinator(FleetScenario scenario, int threads)
     : scenario_(std::move(scenario)),
       policy_(scenario_.migration),
       pool_(threads) {
+  BuildShards();
+  for (AppRuntime& app : apps_) {
+    SpawnOn(app, app.spec.board);
+  }
+}
+
+FleetCoordinator::FleetCoordinator(FleetScenario scenario, int threads,
+                                   RestoreTag)
+    : scenario_(std::move(scenario)),
+      policy_(scenario_.migration),
+      pool_(threads) {
+  // Checkpoint restore: shards and app runtimes are built, but every spawn
+  // is replayed from the checkpoint's log instead (LoadCheckpoint).
+  BuildShards();
+}
+
+void FleetCoordinator::BuildShards() {
   PSBOX_CHECK(!scenario_.boards.empty());
   PSBOX_CHECK_GT(scenario_.epoch, 0);
   PSBOX_CHECK_GT(scenario_.horizon, 0);
@@ -55,9 +76,6 @@ FleetCoordinator::FleetCoordinator(FleetScenario scenario, int threads)
     app.remaining = spec.options.iterations;
     apps_.push_back(std::move(app));
   }
-  for (AppRuntime& app : apps_) {
-    SpawnOn(app, app.spec.board);
-  }
 }
 
 FleetCoordinator::~FleetCoordinator() = default;
@@ -73,25 +91,35 @@ void FleetCoordinator::SpawnOn(AppRuntime& app, int board_index) {
     // Hop-qualified label so every instance is distinct in per-board output.
     label += "@b" + std::to_string(board_index);
   }
+  spawn_log_.push_back({static_cast<int>(&app - apps_.data()), board_index,
+                        label, app.remaining});
   app.handle = app.spec.factory(*shard.kernel, label, opts);
   app.board = board_index;
   app.draining = false;
+  app.transferred_base = 0.0;  // a state transfer re-seeds this afterwards
 }
 
-Joules FleetCoordinator::CloseHop(AppRuntime& app) {
-  // Energy billed on this board: the wrap behaviour's exit reading when the
-  // app drained cleanly, otherwise (crash evacuation, end-of-run settle) a
-  // live virtual-meter read at the shard's current instant.
-  Joules consumed = 0.0;
+Joules FleetCoordinator::CloseHop(AppRuntime& app, Joules* raw_reading) {
+  // Raw cumulative meter value for this hop (any transferred base included):
+  // the wrap behaviour's exit reading when the app drained cleanly, otherwise
+  // (crash evacuation, end-of-run settle) a live virtual-meter read at the
+  // shard's current instant.
+  Joules raw = app.transferred_base;  // box never created: carried value only
   if (app.spec.options.use_psbox && app.handle.stats != nullptr) {
     app.ever_sandboxed = true;
     if (app.handle.stats->psbox_energy >= 0.0) {
-      consumed = app.handle.stats->psbox_energy;
+      raw = app.handle.stats->psbox_energy;
     } else if (app.handle.stats->box >= 0) {
       Shard& shard = *shards_[static_cast<size_t>(app.board)];
-      consumed = shard.manager->ReadEnergy(app.handle.stats->box);
+      raw = shard.manager->ReadEnergy(app.handle.stats->box);
     }
   }
+  if (raw_reading != nullptr) {
+    *raw_reading = raw;
+  }
+  // Billing excludes what a state transfer carried onto this board — that
+  // part was already billed on the boards that actually spent it.
+  const Joules consumed = std::max(0.0, raw - app.transferred_base);
   app.billed += consumed;
   app.budget_remaining = std::max(0.0, app.budget_remaining - consumed);
 
@@ -120,36 +148,102 @@ std::vector<BoardLoad> FleetCoordinator::LoadSnapshot() const {
   return loads;
 }
 
+bool FleetCoordinator::TransferAppState(AppRuntime& app, int target,
+                                        Joules raw_reading) {
+  if (!app.spec.options.use_psbox) {
+    return false;  // no virtual meter, nothing transferable
+  }
+  // The dying board serialises the app's billing state; a torn write (power
+  // already failing) truncates the blob, which the CRC/size validation below
+  // rejects — the caller then falls back to the drain-style carry.
+  Shard& source = *shards_[static_cast<size_t>(app.board)];
+  SnapshotWriter w;
+  w.Section("evac");
+  w.Str(app.spec.name);
+  w.F64(app.budget_remaining);
+  w.F64(raw_reading);
+  w.U64(app.iterations_prev);
+  std::vector<uint8_t> blob = w.Seal();
+  if (source.board->fault_injector().ShouldCorruptSnapshot()) {
+    blob.resize(blob.size() / 2);
+  }
+  SnapshotReader r;
+  if (!r.Open(blob) || !r.Section("evac")) {
+    return false;
+  }
+  const std::string name = r.Str();
+  const Joules budget = r.F64();
+  const Joules transferred = r.F64();
+  const uint64_t iterations = r.U64();
+  if (!r.ok() || name != app.spec.name) {
+    return false;
+  }
+  SpawnOn(app, target);
+  // Billing resumes from the transferred raw value: the target's manager
+  // seeds the app's next sandbox with it, and hop accounting subtracts it.
+  app.budget_remaining = budget;
+  app.iterations_prev = iterations;
+  if (transferred > 0.0) {
+    shards_[static_cast<size_t>(target)]->manager->StageTransferredEnergy(
+        app.handle.app, transferred);
+    app.transferred_base = transferred;
+  }
+  return true;
+}
+
 void FleetCoordinator::ProcessBarrier(TimeNs now) {
+  // One load snapshot per barrier, maintained incrementally as decisions
+  // change it (recomputing it for every migration candidate made the barrier
+  // quadratic in fleet size).
+  std::vector<BoardLoad> loads = LoadSnapshot();
+
   // --- 1. board failures: freeze the shard, evacuate its residents --------
   for (auto& shard : shards_) {
     if (shard->failed || shard->fail_at <= 0 || now < shard->fail_at) {
       continue;
     }
     shard->failed = true;  // shard->now stopped exactly at fail_at
+    loads[static_cast<size_t>(shard->index)].alive = false;
     for (AppRuntime& app : apps_) {
       if (app.board != shard->index || app.finished || app.lost) {
         continue;
       }
-      const Joules consumed = CloseHop(app);
+      Joules raw = 0.0;
+      const Joules consumed = CloseHop(app, &raw);
       const bool work_done =
           (app.spec.options.iterations > 0 && app.remaining == 0) ||
           shard->kernel->AppFinished(app.handle.app);
       if (work_done) {
         app.finished = true;
+        --loads[static_cast<size_t>(shard->index)].active_apps;
         continue;
       }
       const int target =
-          app.spec.migratable ? policy_.PickTarget(LoadSnapshot(), app.board) : -1;
+          app.spec.migratable ? policy_.PickTarget(loads, app.board) : -1;
       if (target < 0) {
         app.lost = true;  // died with its board
+        --loads[static_cast<size_t>(shard->index)].active_apps;
         continue;
       }
-      migrations_.push_back({now, app.spec.name, app.board, target,
-                             /*crash=*/true, consumed, app.budget_remaining,
-                             app.iterations_prev});
       ++app.hops;
-      SpawnOn(app, target);
+      const bool transferred =
+          scenario_.crash_state_transfer && TransferAppState(app, target, raw);
+      if (!transferred) {
+        SpawnOn(app, target);  // drain-style carry: billing restarts at zero
+      }
+      MigrationRecord rec;
+      rec.when = now;
+      rec.app = app.spec.name;
+      rec.from = shard->index;
+      rec.to = target;
+      rec.crash = true;
+      rec.state_transfer = transferred;
+      rec.consumed_source = consumed;
+      rec.budget_carried = app.budget_remaining;
+      rec.iterations_done = app.iterations_prev;
+      migrations_.push_back(std::move(rec));
+      --loads[static_cast<size_t>(shard->index)].active_apps;
+      ++loads[static_cast<size_t>(target)].active_apps;
     }
   }
 
@@ -162,33 +256,44 @@ void FleetCoordinator::ProcessBarrier(TimeNs now) {
     if (shard.failed || !shard.kernel->AppFinished(app.handle.app)) {
       continue;
     }
+    const int from = app.board;
     const Joules consumed = CloseHop(app);
     const bool work_done =
         (app.spec.options.iterations > 0 && app.remaining == 0) ||
         (app.spec.options.deadline > 0 && now >= app.spec.options.deadline);
     if (!app.draining || work_done) {
       app.finished = true;
+      --loads[static_cast<size_t>(from)].active_apps;
       continue;
     }
     // Drained on the policy's order: hand the remainder to a target board.
-    const int target = policy_.PickTarget(LoadSnapshot(), app.board);
+    const int target = policy_.PickTarget(loads, app.board);
     if (target < 0) {
       app.finished = true;  // nowhere to go; what ran is the outcome
+      --loads[static_cast<size_t>(from)].active_apps;
       continue;
     }
-    migrations_.push_back({now, app.spec.name, app.board, target,
-                           /*crash=*/false, consumed, app.budget_remaining,
-                           app.iterations_prev});
     ++app.hops;
     ++app.budget_hops;
     SpawnOn(app, target);
+    MigrationRecord rec;
+    rec.when = now;
+    rec.app = app.spec.name;
+    rec.from = from;
+    rec.to = target;
+    rec.crash = false;
+    rec.consumed_source = consumed;
+    rec.budget_carried = app.budget_remaining;
+    rec.iterations_done = app.iterations_prev;
+    migrations_.push_back(std::move(rec));
+    --loads[static_cast<size_t>(from)].active_apps;
+    ++loads[static_cast<size_t>(target)].active_apps;
   }
 
   // --- 3. budget-pressure drain decisions ----------------------------------
   if (!policy_.config().enabled) {
     return;
   }
-  const std::vector<BoardLoad> loads = LoadSnapshot();
   for (AppRuntime& app : apps_) {
     if (app.finished || app.lost || app.draining || !app.spec.migratable ||
         app.board < 0) {
@@ -199,11 +304,29 @@ void FleetCoordinator::ProcessBarrier(TimeNs now) {
         app.handle.stats->box < 0) {
       continue;
     }
-    const Joules consumed = shard.manager->ReadEnergy(app.handle.stats->box);
+    // Pressure is against what was spent on *this* board, so a transferred
+    // base (already billed on previous boards) is subtracted back out.
+    const Joules consumed =
+        std::max(0.0, shard.manager->ReadEnergy(app.handle.stats->box) -
+                          app.transferred_base);
     if (policy_.ShouldDrain(consumed, app.budget_remaining, app.budget_hops) &&
         policy_.PickTarget(loads, app.board) >= 0) {
       *app.stop = true;  // LoopBehaviors exit at their next iteration boundary
       app.draining = true;
+    }
+  }
+}
+
+void FleetCoordinator::TrimShards() {
+  // Telemetry retention: shards with a bounded-retention kernel config are
+  // trimmed behind the barrier as well (their own periodic tick handles the
+  // mid-epoch cadence; this pass keeps memory bounded even when epochs
+  // outpace the tick, in deterministic board order). Trimming folds exact
+  // energy bases first, so results are unchanged.
+  for (auto& shard : shards_) {
+    const DurationNs retention = shard->kernel->config().telemetry_retention;
+    if (!shard->failed && retention > 0) {
+      shard->kernel->TrimTelemetry(shard->now - retention);
     }
   }
 }
@@ -213,6 +336,15 @@ FleetStats FleetCoordinator::Run() {
   ran_ = true;
 
   TimeNs t = 0;
+  if (resumed_) {
+    // The checkpoint was written with every shard advanced to resume_t_ but
+    // the barrier not yet processed — re-run it on the restored (bit-identical)
+    // state and continue from there.
+    ProcessBarrier(resume_t_);
+    TrimShards();
+    t = resume_t_;
+  }
+  uint64_t epochs_done = 0;
   while (t < scenario_.horizon) {
     const TimeNs next = std::min(t + scenario_.epoch, scenario_.horizon);
     // Parallel phase: each alive shard advances independently to the next
@@ -233,20 +365,22 @@ FleetStats FleetCoordinator::Run() {
       shard->now = target;
     }
     pool_.WaitIdle();
+    ++epochs_done;
+    // Checkpoint cadence: the instant after WaitIdle and before the barrier
+    // is the only quiescent point — the barrier's respawns schedule work that
+    // the event census would (correctly) refuse to serialise.
+    if (checkpoint_every_ > 0 && !checkpoint_path_.empty() &&
+        epochs_done % static_cast<uint64_t>(checkpoint_every_) == 0 &&
+        next < scenario_.horizon) {
+      std::string error;
+      if (!WriteCheckpoint(next, &error)) {
+        PSBOX_CHECK(false);  // census refusal: a serialiser lost a timer
+      }
+    }
     // Single-threaded barrier: failures, hand-offs, drain decisions — all in
     // fixed board/app order.
     ProcessBarrier(next);
-    // Telemetry retention: shards with a bounded-retention kernel config are
-    // trimmed behind the barrier as well (their own periodic tick handles the
-    // mid-epoch cadence; this pass keeps memory bounded even when epochs
-    // outpace the tick, in deterministic board order). Trimming folds exact
-    // energy bases first, so results are unchanged.
-    for (auto& shard : shards_) {
-      const DurationNs retention = shard->kernel->config().telemetry_retention;
-      if (!shard->failed && retention > 0) {
-        shard->kernel->TrimTelemetry(shard->now - retention);
-      }
-    }
+    TrimShards();
     t = next;
   }
 
@@ -257,6 +391,285 @@ FleetStats FleetCoordinator::Run() {
     }
   }
   return Aggregate();
+}
+
+bool FleetCoordinator::WriteCheckpoint(TimeNs now, std::string* error) {
+  SnapshotWriter w;
+  w.Section("fleet");
+
+  // Compatibility block: enough of the scenario to refuse a restore under a
+  // different one (factories cannot be serialised, so the caller re-supplies
+  // the scenario and these fields cross-check it).
+  w.U64(scenario_.seed);
+  w.I64(scenario_.epoch);
+  w.I64(scenario_.horizon);
+  w.U64(scenario_.boards.size());
+  for (const FleetBoardSpec& spec : scenario_.boards) {
+    w.I64(spec.fail_at);
+  }
+  w.U64(scenario_.apps.size());
+  for (const FleetAppSpec& spec : scenario_.apps) {
+    w.Str(spec.name);
+    w.I64(spec.board);
+    w.Bool(spec.options.use_psbox);
+  }
+  w.Bool(scenario_.migration.enabled);
+  w.F64(scenario_.migration.pressure_fraction);
+  w.I64(scenario_.migration.max_hops);
+  w.Bool(scenario_.crash_state_transfer);
+
+  w.I64(now);  // barrier the restored run resumes at
+
+  // Spawn log: replayed verbatim on restore so every shard re-creates its
+  // apps/tasks through the same factory calls, in the same order.
+  w.U64(spawn_log_.size());
+  for (const SpawnRecord& rec : spawn_log_) {
+    w.I64(rec.app_index);
+    w.I64(rec.board);
+    w.Str(rec.label);
+    w.U64(rec.iterations);
+  }
+
+  // Coordinator-side app runtime state.
+  for (const AppRuntime& app : apps_) {
+    w.I64(app.board);
+    w.I64(app.hops);
+    w.I64(app.budget_hops);
+    w.Bool(app.draining);
+    w.Bool(app.finished);
+    w.Bool(app.lost);
+    w.F64(app.billed);
+    w.Bool(app.ever_sandboxed);
+    w.F64(app.budget_remaining);
+    w.U64(app.iterations_prev);
+    w.U64(app.remaining);
+    w.F64(app.transferred_base);
+  }
+  for (uint64_t iters : board_iterations_) {
+    w.U64(iters);
+  }
+  w.U64(migrations_.size());
+  for (const MigrationRecord& m : migrations_) {
+    w.I64(m.when);
+    w.Str(m.app);
+    w.I64(m.from);
+    w.I64(m.to);
+    w.Bool(m.crash);
+    w.Bool(m.state_transfer);
+    w.F64(m.consumed_source);
+    w.F64(m.budget_carried);
+    w.U64(m.iterations_done);
+  }
+
+  // Every shard, whole: device state, kernel, sandboxes, pending events.
+  for (const auto& shard : shards_) {
+    w.Bool(shard->failed);
+    w.I64(shard->now);
+    if (!SaveBoardShard(*shard->board, *shard->kernel, *shard->manager, &w,
+                        error)) {
+      return false;
+    }
+  }
+
+  // snapshot_corrupt fault: the checkpoint write itself is torn mid-file
+  // (simulated power loss while flushing). The truncated file fails CRC/size
+  // validation on restore — exactly the robustness case being modelled — so
+  // the write "succeeds" from the running fleet's point of view.
+  if (shards_[0]->board->fault_injector().ShouldCorruptSnapshot()) {
+    std::vector<uint8_t> blob = w.Seal();
+    blob.resize(blob.size() / 2);
+    std::ofstream out(checkpoint_path_, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+    return true;
+  }
+  return w.WriteFile(checkpoint_path_, error);
+}
+
+bool FleetCoordinator::LoadCheckpoint(SnapshotReader& r, std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    *error = msg;
+    return false;
+  };
+  if (!r.Section("fleet")) {
+    return fail(r.error());
+  }
+
+  // Compatibility block: every mismatch is a different scenario, not a
+  // corrupt file — say so.
+  const uint64_t seed = r.U64();
+  const TimeNs epoch = r.I64();
+  const TimeNs horizon = r.I64();
+  if (!r.ok()) {
+    return fail(r.error());
+  }
+  if (seed != scenario_.seed || epoch != scenario_.epoch ||
+      horizon != scenario_.horizon) {
+    return fail(
+        "checkpoint was written under a different fleet scenario "
+        "(seed/epoch/horizon mismatch)");
+  }
+  const size_t board_count = r.Count(sizeof(int64_t));
+  if (board_count != scenario_.boards.size()) {
+    return fail("checkpoint board count does not match the scenario");
+  }
+  for (size_t i = 0; i < board_count && r.ok(); ++i) {
+    if (r.I64() != scenario_.boards[i].fail_at) {
+      return fail("checkpoint board failure plan does not match the scenario");
+    }
+  }
+  const size_t app_count = r.Count(1);
+  if (app_count != scenario_.apps.size()) {
+    return fail("checkpoint app count does not match the scenario");
+  }
+  for (size_t i = 0; i < app_count && r.ok(); ++i) {
+    const std::string name = r.Str();
+    const int64_t board = r.I64();
+    const bool use_psbox = r.Bool();
+    const FleetAppSpec& spec = scenario_.apps[i];
+    if (name != spec.name || board != spec.board ||
+        use_psbox != spec.options.use_psbox) {
+      return fail("checkpoint app list does not match the scenario");
+    }
+  }
+  const bool mig_enabled = r.Bool();
+  const double pressure = r.F64();
+  const int64_t max_hops = r.I64();
+  const bool state_transfer = r.Bool();
+  if (!r.ok()) {
+    return fail(r.error());
+  }
+  if (mig_enabled != scenario_.migration.enabled ||
+      pressure != scenario_.migration.pressure_fraction ||
+      max_hops != scenario_.migration.max_hops ||
+      state_transfer != scenario_.crash_state_transfer) {
+    return fail("checkpoint migration policy does not match the scenario");
+  }
+
+  resume_t_ = r.I64();
+
+  const size_t spawn_count = r.Count(4 * sizeof(int64_t));
+  spawn_log_.clear();
+  spawn_log_.reserve(spawn_count);
+  for (size_t i = 0; i < spawn_count && r.ok(); ++i) {
+    SpawnRecord rec;
+    rec.app_index = static_cast<int>(r.I64());
+    rec.board = static_cast<int>(r.I64());
+    rec.label = r.Str();
+    rec.iterations = r.U64();
+    if (rec.app_index < 0 || static_cast<size_t>(rec.app_index) >= apps_.size() ||
+        rec.board < 0 || static_cast<size_t>(rec.board) >= shards_.size()) {
+      return fail("checkpoint spawn log references an out-of-range app/board");
+    }
+    spawn_log_.push_back(std::move(rec));
+  }
+
+  for (AppRuntime& app : apps_) {
+    app.board = static_cast<int>(r.I64());
+    app.hops = static_cast<int>(r.I64());
+    app.budget_hops = static_cast<int>(r.I64());
+    app.draining = r.Bool();
+    app.finished = r.Bool();
+    app.lost = r.Bool();
+    app.billed = r.F64();
+    app.ever_sandboxed = r.Bool();
+    app.budget_remaining = r.F64();
+    app.iterations_prev = r.U64();
+    app.remaining = r.U64();
+    app.transferred_base = r.F64();
+  }
+  for (uint64_t& iters : board_iterations_) {
+    iters = r.U64();
+  }
+  const size_t migration_count = r.Count(8 * sizeof(int64_t));
+  migrations_.clear();
+  migrations_.reserve(migration_count);
+  for (size_t i = 0; i < migration_count && r.ok(); ++i) {
+    MigrationRecord m;
+    m.when = r.I64();
+    m.app = r.Str();
+    m.from = static_cast<int>(r.I64());
+    m.to = static_cast<int>(r.I64());
+    m.crash = r.Bool();
+    m.state_transfer = r.Bool();
+    m.consumed_source = r.F64();
+    m.budget_carried = r.F64();
+    m.iterations_done = r.U64();
+    migrations_.push_back(std::move(m));
+  }
+  if (!r.ok()) {
+    return fail(r.error());
+  }
+
+  // An app's live handle/stop belong to its most recent spawn; earlier
+  // spawns are replayed only to reconstruct each shard's task population.
+  std::vector<int> last_spawn(apps_.size(), -1);
+  for (size_t i = 0; i < spawn_log_.size(); ++i) {
+    last_spawn[static_cast<size_t>(spawn_log_[i].app_index)] =
+        static_cast<int>(i);
+  }
+
+  for (auto& shard : shards_) {
+    shard->failed = r.Bool();
+    shard->now = r.I64();
+    if (!r.ok()) {
+      return fail(r.error());
+    }
+    Shard* s = shard.get();
+    auto replay = [this, s, &last_spawn] {
+      for (size_t i = 0; i < spawn_log_.size(); ++i) {
+        const SpawnRecord& rec = spawn_log_[i];
+        if (rec.board != s->index) {
+          continue;
+        }
+        AppRuntime& app = apps_[static_cast<size_t>(rec.app_index)];
+        AppOptions opts = app.spec.options;
+        opts.iterations = rec.iterations;
+        auto stop = std::make_shared<bool>(false);
+        opts.stop = stop;
+        AppHandle handle = app.spec.factory(*s->kernel, rec.label, opts);
+        if (last_spawn[static_cast<size_t>(rec.app_index)] ==
+            static_cast<int>(i)) {
+          app.stop = std::move(stop);
+          app.handle = handle;
+        }
+      }
+    };
+    if (!RestoreBoardShard(r, *s->board, *s->kernel, *s->manager, replay,
+                           error)) {
+      return false;
+    }
+  }
+
+  // Draining apps had their cooperative stop flag raised before the
+  // checkpoint; the replayed tasks get fresh flags, so re-raise them.
+  for (AppRuntime& app : apps_) {
+    if (app.draining && app.stop != nullptr) {
+      *app.stop = true;
+    }
+  }
+
+  if (!r.AtEnd()) {
+    return fail("checkpoint has trailing bytes after the last shard");
+  }
+  return true;
+}
+
+std::unique_ptr<FleetCoordinator> FleetCoordinator::RestoreFromCheckpoint(
+    FleetScenario scenario, int threads, const std::string& path,
+    std::string* error) {
+  SnapshotReader r;
+  if (!r.OpenFile(path)) {
+    *error = r.error();
+    return nullptr;
+  }
+  std::unique_ptr<FleetCoordinator> coord(
+      new FleetCoordinator(std::move(scenario), threads, RestoreTag{}));
+  if (!coord->LoadCheckpoint(r, error)) {
+    return nullptr;
+  }
+  coord->resumed_ = true;
+  return coord;
 }
 
 FleetStats FleetCoordinator::Aggregate() const {

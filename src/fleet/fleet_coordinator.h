@@ -55,6 +55,29 @@ class FleetCoordinator {
   // fleet stats. Call once.
   FleetStats Run();
 
+  // Periodic checkpointing: every |every_n_epochs| epoch barriers (before
+  // the barrier is processed — the only quiescent instant with no freshly
+  // spawned-but-unscheduled work) the whole fleet state is serialised to
+  // |path| (overwriting earlier checkpoints). Call before Run().
+  void set_checkpoint(std::string path, int every_n_epochs) {
+    checkpoint_path_ = std::move(path);
+    checkpoint_every_ = every_n_epochs;
+  }
+
+  // Warm restart: rebuilds a coordinator from a checkpoint written by a run
+  // of the *same* scenario (the caller re-supplies it — factories cannot be
+  // serialised; key fields are cross-checked against the file). The returned
+  // coordinator's Run() resumes at the checkpointed barrier and produces
+  // stats bit-identical to the uninterrupted run at any thread count.
+  // Returns nullptr with a descriptive |error| when the file is missing,
+  // corrupt, truncated, or from a different scenario.
+  static std::unique_ptr<FleetCoordinator> RestoreFromCheckpoint(
+      FleetScenario scenario, int threads, const std::string& path,
+      std::string* error);
+
+  // Barrier time a restored coordinator resumes from (0 on a fresh one).
+  TimeNs resume_time() const { return resume_t_; }
+
   // Post-run access for trace export (valid after Run()).
   int board_count() const { return static_cast<int>(shards_.size()); }
   Kernel& kernel(int board) { return *shards_[static_cast<size_t>(board)]->kernel; }
@@ -84,16 +107,44 @@ class FleetCoordinator {
     Joules budget_remaining = 0.0;
     uint64_t iterations_prev = 0;  // completed on boards already left
     uint64_t remaining = 0;        // iteration target for the current hop
+    // Raw meter value carried onto the current board by a state-transfer
+    // evacuation; the current hop's meter readings include it, so hop
+    // billing subtracts it back out (0 after a fresh/drain-style spawn).
+    Joules transferred_base = 0.0;
     std::shared_ptr<bool> stop;
     AppHandle handle;
   };
 
+  // One factory invocation, recorded so a checkpoint restore can replay the
+  // exact app/task construction sequence on every shard.
+  struct SpawnRecord {
+    int app_index = -1;
+    int board = -1;
+    std::string label;
+    uint64_t iterations = 0;
+  };
+
+  struct RestoreTag {};
+  // Builds shards and app runtimes but spawns nothing (checkpoint restore).
+  FleetCoordinator(FleetScenario scenario, int threads, RestoreTag);
+  void BuildShards();
+
   void SpawnOn(AppRuntime& app, int board_index);
   // Bills the current hop (energy + iterations, attributed to the board it
-  // ran on) and returns the energy consumed on it.
-  Joules CloseHop(AppRuntime& app);
+  // ran on) and returns the energy consumed on it. |raw_reading| (optional)
+  // receives the hop's raw cumulative meter value, transferred base
+  // included — the quantity a state-transfer evacuation ships onward.
+  Joules CloseHop(AppRuntime& app, Joules* raw_reading = nullptr);
+  // Crash evacuation of |app| onto |target|: serialise the billing state on
+  // the dying board, validate, and stage it on the target (true), or fall
+  // back to the drain-style carry on a torn/corrupt blob (false).
+  bool TransferAppState(AppRuntime& app, int target, Joules raw_reading);
   std::vector<BoardLoad> LoadSnapshot() const;
   void ProcessBarrier(TimeNs now);
+  // Post-barrier telemetry retention pass (deterministic board order).
+  void TrimShards();
+  bool WriteCheckpoint(TimeNs now, std::string* error);
+  bool LoadCheckpoint(SnapshotReader& r, std::string* error);
   FleetStats Aggregate() const;
 
   FleetScenario scenario_;
@@ -104,6 +155,11 @@ class FleetCoordinator {
   std::vector<MigrationRecord> migrations_;
   // App iterations completed per board (cross-hop attribution).
   std::vector<uint64_t> board_iterations_;
+  std::vector<SpawnRecord> spawn_log_;
+  std::string checkpoint_path_;
+  int checkpoint_every_ = 0;
+  TimeNs resume_t_ = 0;
+  bool resumed_ = false;
   bool ran_ = false;
 };
 

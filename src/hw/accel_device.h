@@ -25,6 +25,8 @@
 
 namespace psbox {
 
+class EventRearmer;
+
 struct AccelCommand {
   uint64_t id = 0;
   AppId app = kNoApp;
@@ -113,6 +115,12 @@ class AccelDevice {
   Watts ModelPower() const;
   const AccelConfig& config() const { return config_; }
   PowerRail* rail() { return rail_; }
+
+  // Snapshot support: in-flight commands with their exact remaining work, the
+  // lingering OPP index, reset/hang counters, and the pending completion
+  // interrupt (re-armed at its exact saved time through |rearmer|).
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r, EventRearmer& rearmer);
 
  private:
   struct Exec {

@@ -67,6 +67,14 @@ class Board {
   PowerRail& RailFor(HwComponent hw);
   const BoardConfig& config() const { return config_; }
 
+  // Snapshot support: serialises every rail history, every device, the meter,
+  // the board RNG, and the fault-injector streams. The simulator clock and
+  // pending events are handled by the snapshot layer (the devices hand their
+  // timers to |rearmer|); configuration is not serialised — restore requires
+  // a Board built from the identical BoardConfig.
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r, EventRearmer& rearmer);
+
  private:
   BoardConfig config_;
   Simulator sim_;

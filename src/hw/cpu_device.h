@@ -87,6 +87,11 @@ class CpuDevice {
   const CpuConfig& config() const { return config_; }
   PowerRail* rail() { return rail_; }
 
+  // Snapshot support: per-core activity, the lingering OPP index, and the
+  // failed-transition counter (the OPP table itself is configuration).
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r);
+
  private:
   struct CoreState {
     bool active = false;

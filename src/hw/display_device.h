@@ -52,6 +52,10 @@ class DisplayDevice {
   // steps dropped across all surfaces.
   size_t TrimHistory(TimeNs horizon);
 
+  // Snapshot support: composited surfaces and per-app contribution traces.
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r);
+
  private:
   struct Surface {
     double area = 0.0;

@@ -1,6 +1,8 @@
 #include "src/hw/gps_device.h"
 
 #include "src/base/check.h"
+#include "src/snapshot/event_rearmer.h"
+#include "src/snapshot/snapshot_io.h"
 
 namespace psbox {
 
@@ -44,6 +46,33 @@ void GpsDevice::Release(AppId app) {
   state_ = GpsState::kOff;
   operating_trace_.Set(sim_->Now(), 0.0);
   Update();
+}
+
+void GpsDevice::SaveState(SnapshotWriter& w) const {
+  w.U8(static_cast<uint8_t>(state_));
+  w.U64(users_.size());
+  for (const AppId app : users_) {
+    w.I64(app);
+  }
+  SaveEvent(w, *sim_, acquire_event_);
+  operating_trace_.SaveState(w);
+}
+
+void GpsDevice::RestoreState(SnapshotReader& r, EventRearmer& rearmer) {
+  state_ = static_cast<GpsState>(r.U8());
+  users_.clear();
+  const size_t n = r.Count(sizeof(AppId));
+  for (size_t i = 0; i < n; ++i) {
+    users_.insert(static_cast<AppId>(r.I64()));
+  }
+  acquire_event_ = kInvalidEventId;
+  LoadEvent(r, rearmer, [this](TimeNs when) {
+    acquire_event_ = sim_->ScheduleAt(when, [this] {
+      acquire_event_ = kInvalidEventId;
+      OnAcquired();
+    });
+  });
+  operating_trace_.RestoreState(r);
 }
 
 Watts GpsDevice::ModelPower() const {

@@ -20,6 +20,8 @@
 
 namespace psbox {
 
+class EventRearmer;
+
 enum class GpsState : uint8_t { kOff, kAcquiring, kOn };
 
 struct GpsConfig {
@@ -52,6 +54,11 @@ class GpsDevice {
   // Drops operating history behind |horizon| (telemetry retention); reads at
   // or after the horizon stay exact. Returns steps dropped.
   size_t TrimHistory(TimeNs horizon) { return operating_trace_.TrimBefore(horizon); }
+
+  // Snapshot support: power state, reference counts, operating history, and
+  // the in-flight acquisition event (re-armed through |rearmer|).
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r, EventRearmer& rearmer);
 
  private:
   void Update();

@@ -55,6 +55,10 @@ class PowerMeter {
 
   const PowerMeterConfig& config() const { return config_; }
 
+  // Snapshot support: the noise RNG stream position and the dropout counter.
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r);
+
  private:
   Rng rng_;
   PowerMeterConfig config_;

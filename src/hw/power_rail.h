@@ -40,6 +40,11 @@ class PowerRail {
   // base offset the StepTrace retains — stay exact. Returns steps dropped.
   size_t TrimBefore(TimeNs horizon) { return trace_.TrimBefore(horizon); }
 
+  // Snapshot support: the rail's only state is its power history (name and
+  // idle power are configuration).
+  void SaveState(SnapshotWriter& w) const { trace_.SaveState(w); }
+  void RestoreState(SnapshotReader& r) { trace_.RestoreState(r); }
+
  private:
   Simulator* sim_;
   std::string name_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/base/check.h"
+#include "src/snapshot/event_rearmer.h"
+#include "src/snapshot/snapshot_io.h"
 
 namespace psbox {
 
@@ -173,6 +175,59 @@ std::vector<StorageDevice::AbortedCommand> StorageDevice::Reset() {
   // flushing to the array (its energy has to go somewhere).
   UpdateRail();
   return aborted;
+}
+
+void StorageDevice::SaveState(SnapshotWriter& w) const {
+  w.U32(static_cast<uint32_t>(power_state_.perf_level));
+  w.I64(power_state_.flush_delay);
+  w.Bool(channel_busy_);
+  w.Bool(hung_);
+  w.U64(current_.id);
+  w.I64(current_.app);
+  w.Bool(current_.is_write);
+  w.U64(current_.bytes);
+  w.I64(current_dispatch_);
+  w.F64(remaining_bytes_);
+  w.I64(last_channel_update_);
+  w.F64(buffer_bytes_);
+  w.Bool(flush_active_);
+  w.I64(last_flush_update_);
+  w.U64(resets_);
+  w.U64(hung_commands_);
+  SaveEvent(w, *sim_, transfer_event_);
+  SaveEvent(w, *sim_, flush_start_event_);
+  SaveEvent(w, *sim_, flush_end_event_);
+}
+
+void StorageDevice::RestoreState(SnapshotReader& r, EventRearmer& rearmer) {
+  power_state_.perf_level = static_cast<int>(r.U32());
+  power_state_.flush_delay = r.I64();
+  channel_busy_ = r.Bool();
+  hung_ = r.Bool();
+  current_.id = r.U64();
+  current_.app = static_cast<AppId>(r.I64());
+  current_.is_write = r.Bool();
+  current_.bytes = r.U64();
+  current_dispatch_ = r.I64();
+  remaining_bytes_ = r.F64();
+  last_channel_update_ = r.I64();
+  buffer_bytes_ = r.F64();
+  flush_active_ = r.Bool();
+  last_flush_update_ = r.I64();
+  resets_ = r.U64();
+  hung_commands_ = r.U64();
+  transfer_event_ = kInvalidEventId;
+  flush_start_event_ = kInvalidEventId;
+  flush_end_event_ = kInvalidEventId;
+  LoadEvent(r, rearmer, [this](TimeNs when) {
+    transfer_event_ = sim_->ScheduleAt(when, [this] { OnTransferComplete(); });
+  });
+  LoadEvent(r, rearmer, [this](TimeNs when) {
+    flush_start_event_ = sim_->ScheduleAt(when, [this] { BeginFlush(); });
+  });
+  LoadEvent(r, rearmer, [this](TimeNs when) {
+    flush_end_event_ = sim_->ScheduleAt(when, [this] { OnFlushComplete(); });
+  });
 }
 
 void StorageDevice::SetPowerState(const StoragePowerState& state) {

@@ -26,6 +26,8 @@
 
 namespace psbox {
 
+class EventRearmer;
+
 struct StorageCommand {
   uint64_t id = 0;
   AppId app = kNoApp;
@@ -114,6 +116,11 @@ class StorageDevice {
   uint64_t hung_commands() const { return hung_commands_; }
   const StorageConfig& config() const { return config_; }
   PowerRail* rail() { return rail_; }
+
+  // Snapshot support: channel transfer, write-back buffer/flush machinery,
+  // the virtualisable power state, and all three timers.
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r, EventRearmer& rearmer);
 
  private:
   double BusRate(bool is_write) const;  // bytes per nanosecond

@@ -23,6 +23,8 @@
 
 namespace psbox {
 
+class EventRearmer;
+
 struct WifiFrame {
   uint64_t id = 0;
   AppId app = kNoApp;
@@ -87,6 +89,11 @@ class WifiDevice {
   size_t queued_frames() const { return queue_.size(); }
   const WifiConfig& config() const { return config_; }
   PowerRail* rail() { return rail_; }
+
+  // Snapshot support: queued/in-flight frames, the tail state machine, the
+  // virtualisable power state, and the frame/tail timers.
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r, EventRearmer& rearmer);
 
  private:
   void StartNextFrame();

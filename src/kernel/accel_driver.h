@@ -25,6 +25,7 @@
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "src/base/types.h"
 #include "src/hw/accel_device.h"
@@ -101,6 +102,11 @@ class AccelDriver : public ResourceDomain {
   uint64_t CompletedFor(AppId app) const;
   const AccelDriverConfig& config() const { return config_; }
 
+  // Snapshot support: queues, in-flight commands with their hang watchdogs,
+  // fairness/governor bookkeeping, and all pending driver timers.
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r, EventRearmer& rearmer);
+
  private:
   struct Pending {
     AccelCommand cmd;
@@ -137,6 +143,9 @@ class AccelDriver : public ResourceDomain {
   void FinishBalloonIfDrained();
   void SwitchOppContext(int ctx);
   void OnGovernorTick();
+  // Tracks a deferred Pump() wake-up so checkpoints can re-arm it; prunes
+  // already-fired entries.
+  void SchedulePumpAt(TimeNs when);
 
   // --- fault recovery ---
   void ArmCommandWatchdog(uint64_t cmd_id);
@@ -163,6 +172,9 @@ class AccelDriver : public ResourceDomain {
 
   TimeNs owner_idle_since_ = -1;
   EventId retry_event_ = kInvalidEventId;
+  EventId gov_event_ = kInvalidEventId;
+  // Outstanding deferred-Pump() events (idle-release and min-grant wakeups).
+  std::vector<EventId> pump_events_;
 
   // Frequency virtualisation contexts; context 0 is global.
   std::unordered_map<int, int> context_opp_;

@@ -181,6 +181,13 @@ class CpuScheduler : public ResourceDomain {
   // Also trims the per-core schedule traces.
   void TrimTelemetry(TimeNs horizon) override;
 
+  // Snapshot support: groups, per-core runqueues and occupancy, utilisation
+  // windows, and every pending scheduler timer (ticks, completions, IPIs,
+  // slice timers, idle retries). Requires the groups to have been recreated
+  // (via BindBox) and the tasks restored before the call.
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r, EventRearmer& rearmer);
+
  private:
   friend class Kernel;
 
@@ -273,6 +280,16 @@ class CpuScheduler : public ResourceDomain {
   void RemoveFromGroupRunnable(Task* task);
   double ClampVruntime(CoreId core, double vr) const;
 
+  // --- checkpoint plumbing ---
+  // Index of |group| in groups_ (stable across a save/restore pair because
+  // restore recreates the groups in the same BindBox order).
+  int GroupIndex(const TaskGroup* group) const;
+  // Tracked wrappers around the scheduler's loose timers so checkpoints can
+  // re-arm them; each prunes already-fired entries before appending.
+  void ScheduleIdleRetryAt(TimeNs when, CoreId core);
+  void ScheduleIpiAt(TimeNs when, CoreId core, TaskGroup* group);
+  void ScheduleOwnedNotifyAt(TimeNs when, TaskGroup* group);
+
   CpuDevice* cpu_;
   SchedConfig config_;
   Kernel* kernel_;
@@ -287,6 +304,24 @@ class CpuScheduler : public ResourceDomain {
   std::map<PsboxId, BalloonUtil> balloon_util_;
   // Wake timestamps for latency accounting.
   std::unordered_map<TaskId, TimeNs> wake_time_;
+
+  // Tracked loose timers (see the Schedule*At wrappers above).
+  struct RetryEvent {
+    CoreId core;
+    EventId event;
+  };
+  std::vector<RetryEvent> retry_events_;
+  struct IpiEvent {
+    CoreId core;
+    int group;
+    EventId event;
+  };
+  std::vector<IpiEvent> ipi_events_;
+  struct NotifyEvent {
+    int group;
+    EventId event;
+  };
+  std::vector<NotifyEvent> notify_events_;
 };
 
 }  // namespace psbox

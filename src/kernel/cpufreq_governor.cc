@@ -1,8 +1,11 @@
 #include "src/kernel/cpufreq_governor.h"
 
 #include <algorithm>
+#include <map>
 
 #include "src/base/check.h"
+#include "src/snapshot/event_rearmer.h"
+#include "src/snapshot/snapshot_io.h"
 
 namespace psbox {
 
@@ -13,7 +16,7 @@ CpufreqGovernor::CpufreqGovernor(Simulator* sim, CpuScheduler* sched, CpuDevice*
 }
 
 void CpufreqGovernor::Start() {
-  sim_->ScheduleAfter(config_.sample_period, [this] { OnSample(); });
+  sample_event_ = sim_->ScheduleAfter(config_.sample_period, [this] { OnSample(); });
 }
 
 int CpufreqGovernor::NextOpp(int opp, double util) const {
@@ -27,6 +30,7 @@ int CpufreqGovernor::NextOpp(int opp, double util) const {
 }
 
 void CpufreqGovernor::OnSample() {
+  sample_event_ = kInvalidEventId;
   const CpuScheduler::UtilizationSample sample = sched_->ConsumeUtilization();
   // The currently-applied context's stored OPP follows the hardware.
   context_opp_[current_context_] = cpu_->opp_index();
@@ -45,7 +49,7 @@ void CpufreqGovernor::OnSample() {
   }
 
   ApplyOpp(context_opp_[current_context_]);
-  sim_->ScheduleAfter(config_.sample_period, [this] { OnSample(); });
+  sample_event_ = sim_->ScheduleAfter(config_.sample_period, [this] { OnSample(); });
 }
 
 void CpufreqGovernor::ApplyOpp(int opp) {
@@ -74,6 +78,60 @@ int CpufreqGovernor::ContextForBox(PsboxId box) {
   context_opp_[ctx] = 0;
   context_of_box_[box] = ctx;
   return ctx;
+}
+
+void CpufreqGovernor::SaveState(SnapshotWriter& w) const {
+  w.Section("governor");
+  // unordered_map contents in sorted-key order for a stable byte stream.
+  const std::map<int, int> opps(context_opp_.begin(), context_opp_.end());
+  w.U64(opps.size());
+  for (const auto& [ctx, opp] : opps) {
+    w.U32(static_cast<uint32_t>(ctx));
+    w.U32(static_cast<uint32_t>(opp));
+  }
+  const std::map<PsboxId, int> boxes(context_of_box_.begin(), context_of_box_.end());
+  w.U64(boxes.size());
+  for (const auto& [box, ctx] : boxes) {
+    w.I64(box);
+    w.U32(static_cast<uint32_t>(ctx));
+  }
+  w.U32(static_cast<uint32_t>(next_context_));
+  w.U32(static_cast<uint32_t>(current_context_));
+  w.U64(transition_retries_);
+  SaveEvent(w, *sim_, sample_event_);
+  SaveEvent(w, *sim_, retry_event_);
+}
+
+void CpufreqGovernor::RestoreState(SnapshotReader& r, EventRearmer& rearmer) {
+  if (!r.Section("governor")) {
+    return;
+  }
+  context_opp_.clear();
+  const size_t num_ctx = r.Count(8);
+  for (size_t i = 0; i < num_ctx; ++i) {
+    const int ctx = static_cast<int>(r.U32());
+    context_opp_[ctx] = static_cast<int>(r.U32());
+  }
+  context_of_box_.clear();
+  const size_t num_boxes = r.Count(12);
+  for (size_t i = 0; i < num_boxes; ++i) {
+    const PsboxId box = static_cast<PsboxId>(r.I64());
+    context_of_box_[box] = static_cast<int>(r.U32());
+  }
+  next_context_ = static_cast<int>(r.U32());
+  current_context_ = static_cast<int>(r.U32());
+  transition_retries_ = r.U64();
+  sample_event_ = kInvalidEventId;
+  retry_event_ = kInvalidEventId;
+  LoadEvent(r, rearmer, [this](TimeNs when) {
+    sample_event_ = sim_->ScheduleAt(when, [this] { OnSample(); });
+  });
+  LoadEvent(r, rearmer, [this](TimeNs when) {
+    retry_event_ = sim_->ScheduleAt(when, [this] {
+      retry_event_ = kInvalidEventId;
+      sched_->SetOpp(context_opp_[current_context_]);
+    });
+  });
 }
 
 void CpufreqGovernor::SwitchContext(int ctx) {

@@ -56,6 +56,11 @@ class CpufreqGovernor {
   // Frequency transitions that failed at the hardware and were retried.
   uint64_t transition_retries() const { return transition_retries_; }
 
+  // Snapshot support: context table, box bindings, and the sample/retry
+  // timers (re-armed through |rearmer|).
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r, EventRearmer& rearmer);
+
  private:
   void OnSample();
   int NextOpp(int opp, double util) const;
@@ -71,6 +76,7 @@ class CpufreqGovernor {
   int next_context_ = 1;
   int current_context_ = kGlobalContext;
   uint64_t transition_retries_ = 0;
+  EventId sample_event_ = kInvalidEventId;
   EventId retry_event_ = kInvalidEventId;
 };
 

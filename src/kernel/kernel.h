@@ -70,6 +70,14 @@ class Kernel : public BalloonObserver {
   const std::vector<Task*>& AppTasks(AppId app) const;
   // True once every task of |app| has exited.
   bool AppFinished(AppId app) const;
+  // Task with the given id (ids are dense, starting at 1); nullptr when out
+  // of range. Snapshot restore uses this to resolve saved task references.
+  Task* TaskById(TaskId id) {
+    if (id <= 0 || static_cast<size_t>(id) > tasks_.size()) {
+      return nullptr;
+    }
+    return tasks_[static_cast<size_t>(id) - 1].get();
+  }
 
   // --- subsystem access ---------------------------------------------------
   Board& board() { return *board_; }
@@ -133,6 +141,20 @@ class Kernel : public BalloonObserver {
   TimeNs TrimTelemetry(TimeNs desired);
   TimeNs last_trim_horizon() const { return last_trim_horizon_; }
 
+  // --- checkpoint/restore -------------------------------------------------
+  // Restore protocol: BeginRestore() puts the kernel in restore mode —
+  // SpawnTask then only registers tasks (no scheduling) while the caller
+  // replays the scenario's app/task/box construction; RestoreState()
+  // overwrites all mutable state from the snapshot; EndRestore() leaves
+  // restore mode. See src/snapshot/board_snapshot.h for the full sequence.
+  void BeginRestore() { restoring_ = true; }
+  void EndRestore() { restoring_ = false; }
+  bool restoring() const { return restoring_; }
+  // Persists apps, tasks (incl. behaviour state), syscall bookkeeping, the
+  // usage ledger and every kernel subsystem.
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r, EventRearmer& rearmer);
+
  private:
   // Binds |domain| into the registry slot for its component and attaches the
   // kernel-side observer and the usage ledger — the one place balloon
@@ -140,6 +162,10 @@ class Kernel : public BalloonObserver {
   void RegisterDomain(ResourceDomain* domain);
   // Self-rescheduling periodic trim tick (armed when retention is on).
   void ArmTelemetryTrim();
+  void ArmTelemetryTrimAt(TimeNs when);
+  // Tracked body of ScheduleTaskWake; prunes fired entries so checkpoints
+  // can enumerate the live wake timers.
+  void ScheduleTaskWakeAt(Task* task, TimeNs when);
 
   Board* board_;
   KernelConfig config_;
@@ -163,6 +189,12 @@ class Kernel : public BalloonObserver {
   std::unordered_map<AppId, std::deque<Task*>> rx_waiters_;
   TaskId next_task_id_ = 1;
   TimeNs last_trim_horizon_ = 0;
+
+  // Checkpoint plumbing: the periodic trim tick, outstanding task-wake
+  // timers (fired entries pruned lazily), and the restore-mode flag.
+  EventId trim_event_ = kInvalidEventId;
+  std::vector<std::pair<TaskId, EventId>> wake_events_;
+  bool restoring_ = false;
 };
 
 }  // namespace psbox

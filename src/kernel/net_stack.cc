@@ -5,6 +5,8 @@
 
 #include "src/base/check.h"
 #include "src/kernel/kernel.h"
+#include "src/snapshot/event_rearmer.h"
+#include "src/snapshot/snapshot_io.h"
 
 namespace psbox {
 
@@ -194,11 +196,10 @@ void NetStack::Pump() {
         if (!nic_free || s.q.empty()) {
           if (contender != kNoApp && !grant_over) {
             const TimeNs when = balloon_start() + config_.min_grant;
-            sim_->ScheduleAt(std::max(when, sim_->Now()), [this] { Pump(); });
+            SchedulePumpAt(std::max(when, sim_->Now()));
           } else if (in_tail && contender == kNoApp) {
             // Come back when the tail expires to release the idle balloon.
-            sim_->ScheduleAt(std::max(tail_deadline, sim_->Now()),
-                             [this] { Pump(); });
+            SchedulePumpAt(std::max(tail_deadline, sim_->Now()));
           }
           // Lost sharing opportunity: a competitor's head packet could have
           // used this free slot (§4.2); its bytes discount the owner.
@@ -293,8 +294,9 @@ void NetStack::OnFrameDone(const WifiFrameDone& done) {
     const size_t resp_bytes = p.resp_bytes;
     const AppId app = done.frame.app;
     for (int i = 0; i < p.resp_count; ++i) {
-      sim_->ScheduleAfter(std::max<DurationNs>(p.resp_delay, 0) * (i + 1),
-                          [this, app, resp_bytes] { InjectRx(app, resp_bytes); });
+      ScheduleRxInject(
+          sim_->Now() + std::max<DurationNs>(p.resp_delay, 0) * (i + 1), app,
+          resp_bytes);
       kernel_->ExpectRx(p.task, resp_bytes);
     }
     // The task's in-flight unit is retired when the last chunk lands.
@@ -325,11 +327,39 @@ void NetStack::HandleTxLoss(SockPacket p) {
   }
   backoff = std::min(backoff, config_.retransmit_backoff_cap);
   ++stats_.tx_retransmits;
-  const AppId app = p.frame.app;
-  sim_->ScheduleAfter(backoff, [this, app, p] {
-    SockFor(app).q.push_front(p);
+  ScheduleRetx(sim_->Now() + backoff, p);
+}
+
+void NetStack::SchedulePumpAt(TimeNs when) {
+  std::erase_if(pump_events_, [this](EventId e) { return !sim_->IsPending(e); });
+  pump_events_.push_back(sim_->ScheduleAt(when, [this] { Pump(); }));
+}
+
+void NetStack::ScheduleRetx(TimeNs when, const SockPacket& p) {
+  pending_retx_[p.frame.id].pkt = p;
+  ArmRetx(p.frame.id, when);
+}
+
+void NetStack::ArmRetx(uint64_t frame_id, TimeNs when) {
+  pending_retx_.at(frame_id).event = sim_->ScheduleAt(when, [this, frame_id] {
+    auto it = pending_retx_.find(frame_id);
+    PSBOX_CHECK(it != pending_retx_.end());
+    const SockPacket pkt = it->second.pkt;
+    pending_retx_.erase(it);
+    SockFor(pkt.frame.app).q.push_front(pkt);
     Pump();
   });
+}
+
+void NetStack::ScheduleRxInject(TimeNs when, AppId app, size_t bytes) {
+  std::erase_if(rx_events_,
+                [this](const RxInject& e) { return !sim_->IsPending(e.event); });
+  RxInject inj;
+  inj.app = app;
+  inj.bytes = bytes;
+  inj.event =
+      sim_->ScheduleAt(when, [this, app, bytes] { InjectRx(app, bytes); });
+  rx_events_.push_back(inj);
 }
 
 void NetStack::DeliverSocketError(const SockPacket& p) {
@@ -377,6 +407,197 @@ void NetStack::OnDrainTimeout() {
   penalty_bytes_ = 0.0;
   BalloonAbort();
   Pump();
+}
+
+namespace {
+
+void SavePowerState(SnapshotWriter& w, const WifiPowerState& st) {
+  w.U32(static_cast<uint32_t>(st.tx_power_level));
+  w.I64(st.ps_timeout);
+}
+
+WifiPowerState LoadPowerState(SnapshotReader& r) {
+  WifiPowerState st;
+  st.tx_power_level = static_cast<int>(r.U32());
+  st.ps_timeout = r.I64();
+  return st;
+}
+
+}  // namespace
+
+void NetStack::SavePacket(SnapshotWriter& w, const SockPacket& p) const {
+  w.U64(p.frame.id);
+  w.I64(p.frame.app);
+  w.I64(p.frame.socket);
+  w.U64(p.frame.bytes);
+  w.Bool(p.frame.is_rx);
+  w.U64(p.task != nullptr ? static_cast<uint64_t>(p.task->id()) : 0);
+  w.U64(p.resp_bytes);
+  w.I64(p.resp_delay);
+  w.I64(p.resp_count);
+  w.I64(p.enqueue_time);
+  w.U32(static_cast<uint32_t>(p.retries));
+}
+
+NetStack::SockPacket NetStack::LoadPacket(SnapshotReader& r) {
+  SockPacket p{};
+  p.frame.id = r.U64();
+  p.frame.app = static_cast<AppId>(r.I64());
+  p.frame.socket = static_cast<int>(r.I64());
+  p.frame.bytes = r.U64();
+  p.frame.is_rx = r.Bool();
+  const uint64_t task_id = r.U64();
+  p.task =
+      task_id != 0 ? kernel_->TaskById(static_cast<TaskId>(task_id)) : nullptr;
+  p.resp_bytes = r.U64();
+  p.resp_delay = r.I64();
+  p.resp_count = static_cast<int>(r.I64());
+  p.enqueue_time = r.I64();
+  p.retries = static_cast<int>(r.U32());
+  return p;
+}
+
+void NetStack::SaveState(SnapshotWriter& w) const {
+  w.Section("net_stack");
+  SaveDomainState(w);
+  w.U64(socks_.size());
+  for (const auto& [app, s] : socks_) {  // std::map: sorted already
+    w.I64(app);
+    w.U64(s.q.size());
+    for (const SockPacket& p : s.q) {
+      SavePacket(w, p);
+    }
+    w.F64(s.credit_bytes);
+    w.Bool(s.sandboxed);
+    w.I64(s.box);
+    SavePowerState(w, s.vstate);
+    w.U64(s.bytes_delivered);
+    w.I64(s.expected_rx);
+    w.I64(s.last_activity);
+    w.U64(s.errors);
+  }
+  // In-flight TX in frame-id order for a stable byte stream.
+  const std::map<uint64_t, SockPacket> inflight(tx_in_flight_.begin(),
+                                                tx_in_flight_.end());
+  w.U64(inflight.size());
+  for (const auto& [id, p] : inflight) {
+    SavePacket(w, p);
+  }
+  w.U64(next_frame_id_);
+  w.Bool(our_tx_pending_);
+  w.F64(penalty_bytes_);
+  SavePowerState(w, global_state_);
+  w.U64(stats_.tx_frames);
+  w.U64(stats_.rx_frames);
+  w.I64(stats_.total_tx_latency);
+  w.I64(stats_.max_tx_latency);
+  w.U64(stats_.tx_retransmits);
+  w.U64(stats_.tx_failed);
+  w.U64(stats_.socket_errors);
+  SaveEvent(w, *sim_, retry_event_);
+  w.U64(pending_retx_.size());
+  for (const auto& [id, pr] : pending_retx_) {
+    SavePacket(w, pr.pkt);
+    SaveEvent(w, *sim_, pr.event);
+  }
+  uint64_t live_rx = 0;
+  for (const RxInject& inj : rx_events_) {
+    if (sim_->IsPending(inj.event)) {
+      ++live_rx;
+    }
+  }
+  w.U64(live_rx);
+  for (const RxInject& inj : rx_events_) {
+    if (sim_->IsPending(inj.event)) {
+      w.I64(inj.app);
+      w.U64(inj.bytes);
+      SaveEvent(w, *sim_, inj.event);
+    }
+  }
+  uint64_t live_pumps = 0;
+  for (EventId e : pump_events_) {
+    if (sim_->IsPending(e)) {
+      ++live_pumps;
+    }
+  }
+  w.U64(live_pumps);
+  for (EventId e : pump_events_) {
+    if (sim_->IsPending(e)) {
+      SaveEvent(w, *sim_, e);
+    }
+  }
+}
+
+void NetStack::RestoreState(SnapshotReader& r, EventRearmer& rearmer) {
+  if (!r.Section("net_stack")) {
+    return;
+  }
+  RestoreDomainState(r, rearmer);
+  socks_.clear();
+  tx_in_flight_.clear();
+  pending_retx_.clear();
+  rx_events_.clear();
+  pump_events_.clear();
+  const size_t num_socks = r.Count(8);
+  for (size_t i = 0; i < num_socks && r.ok(); ++i) {
+    const AppId app = static_cast<AppId>(r.I64());
+    Socket& s = socks_[app];
+    const size_t depth = r.Count(8);
+    for (size_t j = 0; j < depth && r.ok(); ++j) {
+      s.q.push_back(LoadPacket(r));
+    }
+    s.credit_bytes = r.F64();
+    s.sandboxed = r.Bool();
+    s.box = static_cast<PsboxId>(r.I64());
+    s.vstate = LoadPowerState(r);
+    s.bytes_delivered = r.U64();
+    s.expected_rx = static_cast<int>(r.I64());
+    s.last_activity = r.I64();
+    s.errors = r.U64();
+  }
+  const size_t num_inflight = r.Count(8);
+  for (size_t i = 0; i < num_inflight && r.ok(); ++i) {
+    const SockPacket p = LoadPacket(r);
+    tx_in_flight_[p.frame.id] = p;
+  }
+  next_frame_id_ = r.U64();
+  our_tx_pending_ = r.Bool();
+  penalty_bytes_ = r.F64();
+  global_state_ = LoadPowerState(r);
+  stats_ = Stats{};
+  stats_.tx_frames = r.U64();
+  stats_.rx_frames = r.U64();
+  stats_.total_tx_latency = r.I64();
+  stats_.max_tx_latency = r.I64();
+  stats_.tx_retransmits = r.U64();
+  stats_.tx_failed = r.U64();
+  stats_.socket_errors = r.U64();
+  retry_event_ = kInvalidEventId;
+  LoadEvent(r, rearmer, [this](TimeNs when) {
+    retry_event_ = sim_->ScheduleAt(when, [this] {
+      retry_event_ = kInvalidEventId;
+      Pump();
+    });
+  });
+  const size_t num_retx = r.Count(16);
+  for (size_t i = 0; i < num_retx && r.ok(); ++i) {
+    const SockPacket p = LoadPacket(r);
+    const uint64_t id = p.frame.id;
+    pending_retx_[id].pkt = p;
+    LoadEvent(r, rearmer, [this, id](TimeNs when) { ArmRetx(id, when); });
+  }
+  const size_t num_rx = r.Count(16);
+  for (size_t i = 0; i < num_rx && r.ok(); ++i) {
+    const AppId app = static_cast<AppId>(r.I64());
+    const uint64_t bytes = r.U64();
+    LoadEvent(r, rearmer, [this, app, bytes](TimeNs when) {
+      ScheduleRxInject(when, app, static_cast<size_t>(bytes));
+    });
+  }
+  const size_t num_pumps = r.Count(10);
+  for (size_t i = 0; i < num_pumps && r.ok(); ++i) {
+    LoadEvent(r, rearmer, [this](TimeNs when) { SchedulePumpAt(when); });
+  }
 }
 
 size_t NetStack::BytesDelivered(AppId app) const {

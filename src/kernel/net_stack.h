@@ -19,6 +19,7 @@
 #include <deque>
 #include <map>
 #include <unordered_map>
+#include <vector>
 
 #include "src/base/types.h"
 #include "src/hw/wifi_device.h"
@@ -82,6 +83,11 @@ class NetStack : public ResourceDomain {
   size_t BytesDelivered(AppId app) const;
   uint64_t SocketErrors(AppId app) const;
 
+  // Snapshot support: sockets, in-flight TX, retransmit backlog, expected RX
+  // injections, and all pending stack timers.
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r, EventRearmer& rearmer);
+
  private:
   struct SockPacket {
     WifiFrame frame;
@@ -124,6 +130,17 @@ class NetStack : public ResourceDomain {
   // A drain phase exceeded the (optionally) configured bound: unwind the
   // balloon, restoring the global power state and settling the penalty.
   void OnDrainTimeout() override;
+  // Tracks a deferred Pump() wake-up so checkpoints can re-arm it; prunes
+  // already-fired entries.
+  void SchedulePumpAt(TimeNs when);
+  // Parks a lost frame for retransmission at |when|, keyed by frame id so
+  // checkpoints can persist the packet and re-arm the timer.
+  void ScheduleRetx(TimeNs when, const SockPacket& p);
+  void ArmRetx(uint64_t frame_id, TimeNs when);
+  // Schedules a channel-model RX injection, tracked for checkpointing.
+  void ScheduleRxInject(TimeNs when, AppId app, size_t bytes);
+  void SavePacket(SnapshotWriter& w, const SockPacket& p) const;
+  SockPacket LoadPacket(SnapshotReader& r);
 
   WifiDevice* device_;
   Kernel* kernel_;
@@ -137,6 +154,22 @@ class NetStack : public ResourceDomain {
   EventId retry_event_ = kInvalidEventId;
   double penalty_bytes_ = 0.0;  // lost sharing opportunity during the balloon
   WifiPowerState global_state_;
+
+  // A lost TX frame sitting out its retransmit backoff, keyed by frame id.
+  struct PendingRetx {
+    SockPacket pkt;
+    EventId event = kInvalidEventId;
+  };
+  std::map<uint64_t, PendingRetx> pending_retx_;
+  // Channel-model RX injections still due (request/response exchanges).
+  struct RxInject {
+    EventId event = kInvalidEventId;
+    AppId app = kNoApp;
+    uint64_t bytes = 0;
+  };
+  std::vector<RxInject> rx_events_;
+  // Outstanding deferred-Pump() events (min-grant and tail-expiry wakeups).
+  std::vector<EventId> pump_events_;
 
   Stats stats_;
 };

@@ -44,6 +44,10 @@
 
 namespace psbox {
 
+class EventRearmer;
+class SnapshotReader;
+class SnapshotWriter;
+
 // One lifecycle edge of a balloon. Every domain keeps the full edge
 // sequence (request → serve → release → finish, or the cancel/abort
 // unwinds) so accounting disputes can be replayed offline from the CSV
@@ -131,6 +135,12 @@ class ResourceDomain {
   virtual Watts DirectPowerAt(AppId app, TimeNs t) const;
   // App-attributable energy over [t0, t1); aborts unless direct_metered().
   virtual Joules DirectEnergyOver(AppId app, TimeNs t0, TimeNs t1) const;
+
+  // Snapshot support for the common lifecycle layer: phase/owner/accounting
+  // window, stats, timeline, and the armed drain watchdog. Policies with
+  // extra state serialize it themselves and call these for the shared part.
+  void SaveDomainState(SnapshotWriter& w) const;
+  void RestoreDomainState(SnapshotReader& r, EventRearmer& rearmer);
 
  protected:
   enum class BalloonPhase { kIdle, kDrainOthers, kServe, kDrainOwner };

@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "src/base/types.h"
 #include "src/hw/storage_device.h"
@@ -78,6 +79,11 @@ class StorageDriver : public ResourceDomain {
   uint64_t CompletedFor(AppId app) const;
   const StorageDriverConfig& config() const { return config_; }
 
+  // Snapshot support: queues, the in-flight command with its hang watchdog,
+  // power-state virtualisation, and all pending driver timers.
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r, EventRearmer& rearmer);
+
  private:
   struct Pending {
     StorageCommand cmd;
@@ -104,6 +110,9 @@ class StorageDriver : public ResourceDomain {
   AppId BestPendingApp(bool exclude_sandboxed_owner) const;
   double MinRecentCompetitorVtime(AppId owner) const;
   void DispatchFrom(AppId app);
+  // Tracks a deferred Pump() wake-up so checkpoints can re-arm it; prunes
+  // already-fired entries.
+  void SchedulePumpAt(TimeNs when);
 
   // --- fault recovery ---
   void ArmCommandWatchdog(uint64_t cmd_id);
@@ -122,6 +131,8 @@ class StorageDriver : public ResourceDomain {
 
   TimeNs owner_idle_since_ = -1;
   EventId retry_event_ = kInvalidEventId;
+  // Outstanding deferred-Pump() events (idle-release and min-grant wakeups).
+  std::vector<EventId> pump_events_;
   StoragePowerState global_state_;
 
   Stats stats_;

@@ -77,6 +77,8 @@ struct Action {
 };
 
 class Kernel;
+class SnapshotReader;
+class SnapshotWriter;
 class Task;
 class TaskGroup;
 
@@ -94,6 +96,15 @@ class Behavior {
   virtual ~Behavior() = default;
   // Called when the previous action has fully completed. kExit ends the task.
   virtual Action NextAction(TaskEnv& env) = 0;
+
+  // --- checkpoint support -------------------------------------------------
+  // Restore replays the scenario's task factories to rebuild behaviours and
+  // then overwrites their mutable state from the snapshot; the marker guards
+  // against a snapshot written under a different scenario (the restored
+  // behaviour type must match the saved one). 0 = stateless base.
+  virtual uint8_t SnapshotMarker() const { return 0; }
+  virtual void SaveState(SnapshotWriter& w) const { (void)w; }
+  virtual void RestoreState(SnapshotReader& r) { (void)r; }
 };
 
 enum class TaskState : uint8_t { kRunnable, kRunning, kBlocked, kExited };

@@ -21,6 +21,9 @@
 
 namespace psbox {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 struct UsageRecord {
   AppId app;
   TimeNs begin;
@@ -46,6 +49,10 @@ class UsageLedger {
   uint64_t trimmed_records() const { return trimmed_records_; }
 
   void Clear();
+
+  // Snapshot support: persists every retained record per component.
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r);
 
  private:
   std::array<std::vector<UsageRecord>, kNumHwComponents> records_;

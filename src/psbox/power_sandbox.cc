@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/check.h"
+#include "src/snapshot/snapshot_io.h"
 
 namespace psbox {
 
@@ -264,6 +265,65 @@ void PowerSandbox::BankDirectEnergy(HwComponent hw, Joules energy, TimeNs new_fr
   const size_t i = static_cast<size_t>(hw);
   direct_base_[i] += energy;
   direct_from_[i] = new_from;
+}
+
+void PowerSandbox::SaveState(SnapshotWriter& w) const {
+  w.U64(static_cast<uint64_t>(id_));
+  w.I64(app_);
+  w.U64(hw_.size());
+  for (HwComponent hw : hw_) {
+    w.U8(static_cast<uint8_t>(hw));
+  }
+  w.Bool(inside_);
+  w.I64(meter_start_);
+  w.I64(sample_cursor_);
+  for (size_t i = 0; i < kNumHwComponents; ++i) {
+    owned_[i].SaveState(w);
+    w.I64(open_since_[i]);
+    w.F64(plain_base_[i]);
+    w.F64(detail_base_[i].measured);
+    w.F64(detail_base_[i].estimated);
+    w.I64(detail_base_[i].measured_time);
+    w.I64(detail_base_[i].estimated_time);
+    w.F64(direct_base_[i]);
+    w.I64(direct_from_[i]);
+  }
+  w.U64(samples_lost_);
+  w.F64(transferred_base_);
+}
+
+void PowerSandbox::RestoreState(SnapshotReader& r) {
+  if (r.U64() != static_cast<uint64_t>(id_) || static_cast<AppId>(r.I64()) != app_) {
+    r.Fail("sandbox identity mismatch between snapshot and replayed creation");
+    return;
+  }
+  const size_t nhw = r.Count(1);
+  if (r.ok() && nhw != hw_.size()) {
+    r.Fail("sandbox hardware binding mismatch between snapshot and replayed creation");
+    return;
+  }
+  for (size_t i = 0; i < nhw && r.ok(); ++i) {
+    if (static_cast<HwComponent>(r.U8()) != hw_[i]) {
+      r.Fail("sandbox hardware binding mismatch between snapshot and replayed creation");
+      return;
+    }
+  }
+  inside_ = r.Bool();
+  meter_start_ = r.I64();
+  sample_cursor_ = r.I64();
+  for (size_t i = 0; i < kNumHwComponents && r.ok(); ++i) {
+    owned_[i].RestoreState(r);
+    open_since_[i] = r.I64();
+    plain_base_[i] = r.F64();
+    detail_base_[i].measured = r.F64();
+    detail_base_[i].estimated = r.F64();
+    detail_base_[i].measured_time = r.I64();
+    detail_base_[i].estimated_time = r.I64();
+    direct_base_[i] = r.F64();
+    direct_from_[i] = r.I64();
+  }
+  samples_lost_ = r.U64();
+  transferred_base_ = r.F64();
 }
 
 uint64_t PowerSandbox::DropSampleBacklogBefore(TimeNs horizon, DurationNs period) {

@@ -34,6 +34,9 @@
 
 namespace psbox {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 class PowerSandbox {
  public:
   PowerSandbox(PsboxId id, AppId app, std::vector<HwComponent> hw, TimeNs created);
@@ -133,6 +136,19 @@ class PowerSandbox {
   uint64_t DropSampleBacklogBefore(TimeNs horizon, DurationNs period);
   uint64_t samples_lost() const { return samples_lost_; }
 
+  // --- crash evacuation (state transfer) ----------------------------------
+  // Energy already billed to this app on a previous board, carried over by a
+  // crash evacuation. Reported as part of every meter reading (measured
+  // share) and deliberately NOT cleared by ResetMeter: the transferred value
+  // stands in for history the new board's rails never saw.
+  Joules transferred_base() const { return transferred_base_; }
+  void set_transferred_base(Joules j) { transferred_base_ = j; }
+
+  // Snapshot support: verifies identity (id/app/hardware must match the
+  // replayed CreateBox) and overwrites all mutable meter state.
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r);
+
  private:
   // Owned duration within [t0, t1), treating a still-open balloon as
   // extending to t1.
@@ -160,6 +176,7 @@ class PowerSandbox {
   std::array<Joules, kNumHwComponents> direct_base_{};
   std::array<TimeNs, kNumHwComponents> direct_from_;
   uint64_t samples_lost_ = 0;
+  Joules transferred_base_ = 0.0;
 };
 
 }  // namespace psbox

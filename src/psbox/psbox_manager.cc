@@ -1,8 +1,10 @@
 #include "src/psbox/psbox_manager.h"
 
 #include <algorithm>
+#include <map>
 
 #include "src/base/check.h"
+#include "src/snapshot/snapshot_io.h"
 
 namespace psbox {
 
@@ -36,7 +38,26 @@ int PsboxManager::CreateBox(AppId app, const std::vector<HwComponent>& hw) {
     // domains bind nothing).
     kernel_->domain(component).BindBox(app, id);
   }
+  // An evacuated app resumes billing from its transferred value.
+  auto staged = staged_transfers_.find(app);
+  if (staged != staged_transfers_.end()) {
+    boxes_.back()->set_transferred_base(staged->second);
+    staged_transfers_.erase(staged);
+  }
   return id;
+}
+
+void PsboxManager::StageTransferredEnergy(AppId app, Joules energy) {
+  // The app's box may already exist — spawn dispatches the behaviour's box
+  // setup before the coordinator gets a chance to stage — in which case the
+  // transfer applies to it directly. Otherwise it parks here until CreateBox.
+  for (auto it = boxes_.rbegin(); it != boxes_.rend(); ++it) {
+    if ((*it)->app() == app) {
+      (*it)->set_transferred_base((*it)->transferred_base() + energy);
+      return;
+    }
+  }
+  staged_transfers_[app] += energy;
 }
 
 void PsboxManager::EnterBox(int box) {
@@ -108,7 +129,7 @@ PowerSandbox::EnergyDetail PsboxManager::ComponentEnergyDetail(PowerSandbox& sb,
 
 Joules PsboxManager::ReadEnergy(int box) {
   PowerSandbox& sb = sandbox(box);
-  Joules total = 0.0;
+  Joules total = sb.transferred_base();
   for (HwComponent hw : sb.hardware()) {
     total += ComponentEnergy(sb, hw, kernel_->Now());
   }
@@ -124,6 +145,8 @@ Joules PsboxManager::ReadEnergyFor(int box, HwComponent hw) {
 PowerSandbox::EnergyDetail PsboxManager::ReadEnergyDetail(int box) {
   PowerSandbox& sb = sandbox(box);
   PowerSandbox::EnergyDetail total;
+  // Transferred energy was measured on the failed board's rails.
+  total.measured = sb.transferred_base();
   for (HwComponent hw : sb.hardware()) {
     const PowerSandbox::EnergyDetail d =
         ComponentEnergyDetail(sb, hw, kernel_->Now());
@@ -240,6 +263,65 @@ void PsboxManager::TrimTelemetry(TimeNs horizon) {
       }
     }
     sb.DropSampleBacklogBefore(horizon, period);
+  }
+}
+
+void PsboxManager::SaveState(SnapshotWriter& w) const {
+  w.Section("psbox");
+  rng_.SaveState(w);
+  {
+    const std::map<AppId, Joules> staged(staged_transfers_.begin(),
+                                         staged_transfers_.end());
+    w.U64(staged.size());
+    for (const auto& [app, energy] : staged) {
+      w.I64(app);
+      w.F64(energy);
+    }
+  }
+  w.U64(boxes_.size());
+  for (const auto& bp : boxes_) {
+    w.I64(bp->app());
+    w.U64(bp->hardware().size());
+    for (HwComponent hw : bp->hardware()) {
+      w.U8(static_cast<uint8_t>(hw));
+    }
+    bp->SaveState(w);
+  }
+}
+
+void PsboxManager::RestoreState(SnapshotReader& r) {
+  if (!r.Section("psbox")) {
+    return;
+  }
+  rng_.RestoreState(r);
+  staged_transfers_.clear();
+  const size_t num_staged = r.Count(12);
+  for (size_t i = 0; i < num_staged && r.ok(); ++i) {
+    const AppId app = static_cast<AppId>(r.I64());
+    staged_transfers_[app] = r.F64();
+  }
+  if (!boxes_.empty()) {
+    r.Fail("sandbox restore requires a freshly constructed manager");
+    return;
+  }
+  const size_t num_boxes = r.Count(16);
+  for (size_t i = 0; i < num_boxes && r.ok(); ++i) {
+    const AppId app = static_cast<AppId>(r.I64());
+    const size_t nhw = r.Count(1);
+    std::vector<HwComponent> hw;
+    hw.reserve(nhw);
+    for (size_t j = 0; j < nhw && r.ok(); ++j) {
+      hw.push_back(static_cast<HwComponent>(r.U8()));
+    }
+    if (!r.ok()) {
+      return;
+    }
+    if (hw.empty()) {
+      r.Fail("sandbox with no bound hardware in snapshot");
+      return;
+    }
+    const int box = CreateBox(app, hw);
+    boxes_[static_cast<size_t>(box)]->RestoreState(r);
   }
 }
 

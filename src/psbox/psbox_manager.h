@@ -61,6 +61,21 @@ class PsboxManager : public PsboxService, public BalloonObserver {
   const PowerSandbox& sandbox(int box) const;
   size_t box_count() const { return boxes_.size(); }
 
+  // --- crash evacuation (state transfer) ----------------------------------
+  // Banks energy already billed to |app| on a failed board; the app's next
+  // CreateBox on this board seeds the sandbox's transferred base with it, so
+  // meter reads continue from the evacuated value instead of zero.
+  void StageTransferredEnergy(AppId app, Joules energy);
+
+  // --- checkpoint/restore -------------------------------------------------
+  // SaveState persists the sampling RNG, staged transfers and every sandbox
+  // (creation parameters + meter state). RestoreState replays CreateBox for
+  // each saved sandbox — re-running the per-domain BindBox setup — and then
+  // overwrites the sandbox state; it requires an empty manager (fresh boards
+  // only).
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r);
+
  private:
   void ApplyEnter(int box);
   void ApplyLeave(int box);
@@ -73,6 +88,8 @@ class PsboxManager : public PsboxService, public BalloonObserver {
   Kernel* kernel_;
   Rng rng_;
   std::vector<std::unique_ptr<PowerSandbox>> boxes_;
+  // Evacuated energy waiting for its app's next CreateBox.
+  std::unordered_map<AppId, Joules> staged_transfers_;
   // Reusable merge buffer for Sample(): one grid of timestamps, every bound
   // component accumulates onto it in a single pass (no per-call per-component
   // vector churn on the 100 kHz hot path).

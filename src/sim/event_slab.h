@@ -161,6 +161,11 @@ class EventSlab {
     // far-future overflow heap (the only queue where cancelled residue can
     // linger long enough to be worth compacting).
     bool in_overflow = false;
+    // Mirror of the queue entry's ordering key, kept so a pending event's
+    // (time, insertion-seq) position can be read back through its EventId —
+    // the checkpoint path persists this and replays re-arms in seq order.
+    int64_t when = 0;
+    uint64_t seq = 0;
   };
 
   // Allocates a slot and returns its index; the slot's generation is odd.

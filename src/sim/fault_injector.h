@@ -72,12 +72,19 @@ struct FaultPlan {
   // resets the controller.
   double storage_hang_prob = 0.0;
 
+  // --- Snapshot faults (scope "snapshot") ---------------------------------
+  // Probability that a checkpoint or evacuation snapshot suffers a torn
+  // write (power cut mid-flush): the written bytes are truncated at an
+  // arbitrary point and the CRC no longer matches. Consumers must reject the
+  // snapshot and fall back (e.g. crash evacuation degrades to a drain).
+  double snapshot_corrupt_prob = 0.0;
+
   // True when the plan can inject anything at all.
   bool Any() const {
     return accel_hang_prob > 0.0 || accel_latency_prob > 0.0 ||
            wifi_tx_loss_prob > 0.0 || !wifi_link_down.empty() ||
            !meter_dropout.empty() || freq_fail_prob > 0.0 ||
-           storage_hang_prob > 0.0;
+           storage_hang_prob > 0.0 || snapshot_corrupt_prob > 0.0;
   }
 };
 
@@ -95,6 +102,7 @@ class FaultInjector {
   bool ShouldDropTxFrame(TimeNs now);
   bool ShouldFailFreqTransition(const std::string& scope);
   bool ShouldHangStorageCommand();
+  bool ShouldCorruptSnapshot();
 
   // --- scheduled-window queries (pure functions of time) ------------------
   bool LinkUpAt(TimeNs t) const;
@@ -110,13 +118,19 @@ class FaultInjector {
     uint64_t wifi_frames_dropped = 0;
     uint64_t freq_transition_fails = 0;
     uint64_t storage_hangs = 0;
+    uint64_t snapshots_corrupted = 0;
     uint64_t Total() const {
       return accel_hangs + accel_latency_spikes + wifi_frames_dropped +
-             freq_transition_fails + storage_hangs;
+             freq_transition_fails + storage_hangs + snapshots_corrupted;
     }
   };
   const Stats& stats() const { return stats_; }
   const FaultPlan& plan() const { return plan_; }
+
+  // Snapshot support: persists/overwrites the per-scope RNG stream states
+  // and the fault counters (the plan itself is configuration, not state).
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r);
 
  private:
   // Independent deterministic stream for |scope|, derived from the plan seed

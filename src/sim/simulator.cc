@@ -19,6 +19,8 @@ void Simulator::InsertPending(TimeNs when, uint32_t slot) {
   EventSlab::Slot& s = slab_[slot];
   s.in_overflow = false;
   const Entry e{when, next_seq_++, slot, s.generation};
+  s.when = when;
+  s.seq = e.seq;
   ++live_;
   const uint64_t w = static_cast<uint64_t>(when);
   const uint64_t wt = static_cast<uint64_t>(wheel_time_);
@@ -279,6 +281,34 @@ size_t Simulator::RunUntil(TimeNs deadline) {
     AdvanceWheelTime(now_);
   }
   return fired;
+}
+
+void Simulator::ResetForRestore(TimeNs now, uint64_t total_fired) {
+  // Free every pending slot (destroying captured state) so the restored
+  // subsystems start from an empty queue. Slot generations keep advancing,
+  // which is all stale EventIds held by those subsystems need.
+  for (uint32_t i = 0; i < slab_.size(); ++i) {
+    if ((slab_[i].generation & 1u) == 1u) {
+      slab_.Free(i);
+    }
+  }
+  due_.clear();
+  due_pos_ = 0;
+  due_active_ = false;
+  due_end_ = 0;
+  for (size_t b = 0; b < kWheelSlots; ++b) {
+    level0_[b].clear();
+    level1_[b].clear();
+  }
+  bitmap0_ = Bitmap{};
+  bitmap1_ = Bitmap{};
+  overflow_.clear();
+  overflow_dead_ = 0;
+  live_ = 0;
+  next_seq_ = 1;
+  now_ = now;
+  wheel_time_ = now;
+  total_fired_ = total_fired;
 }
 
 size_t Simulator::RunToCompletion() {

@@ -119,6 +119,37 @@ class Simulator {
            (GenOf(id) & 1u) == 1u;
   }
 
+  // Ordering key of a pending event: its firing time and the insertion
+  // sequence number that breaks same-time ties. Checkpointing persists this
+  // so restore can replay re-arms in the original firing order.
+  struct PendingEventInfo {
+    TimeNs when = 0;
+    uint64_t seq = 0;
+  };
+  PendingEventInfo PendingInfo(EventId id) const {
+    PSBOX_CHECK(IsPending(id));
+    const EventSlab::Slot& s = slab_[SlotOf(id)];
+    return PendingEventInfo{s.when, s.seq};
+  }
+
+  // Snapshot-restore support: discards every pending event and resets the
+  // clock and sequence space so the restored subsystems can re-arm their
+  // pending work from scratch. Only valid at a quiescent point (between
+  // RunUntil calls); the caller is responsible for re-arming in original
+  // seq order so that same-time ties break as in the uninterrupted run.
+  void ResetForRestore(TimeNs now, uint64_t total_fired);
+
+  // Insertion-sequence counter, exposed for checkpointing: persisting it and
+  // re-arming every pending event under its original seq (see
+  // SetNextSeqForRestore) makes a restored engine's sequence space — and
+  // hence every later snapshot's bytes — identical to the uninterrupted
+  // run's.
+  uint64_t next_seq() const { return next_seq_; }
+  // Restore-only: forces the seq the next ScheduleAt will consume. Called by
+  // EventRearmer::Replay before each re-arm, and once more afterwards to
+  // land the counter on the checkpointed value.
+  void SetNextSeqForRestore(uint64_t seq) { next_seq_ = seq; }
+
   size_t pending_events() const { return live_; }
   uint64_t total_fired() const { return total_fired_; }
   const EngineStats& stats() const { return stats_; }

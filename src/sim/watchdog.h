@@ -44,11 +44,14 @@ class Watchdog {
       PSBOX_DCHECK(event_ != kInvalidEventId);
       return;
     }
-    event_ = sim_->ScheduleAfter(timeout_, [this] {
-      event_ = kInvalidEventId;
-      ++fires_;
-      on_expire_();
-    });
+    event_ = sim_->ScheduleAfter(timeout_, [this] { Expire(); });
+  }
+
+  // Re-arms at an absolute deadline: the snapshot-restore path, replaying a
+  // countdown that was in flight when the checkpoint was taken.
+  void RearmAt(TimeNs when) {
+    PSBOX_DCHECK(event_ == kInvalidEventId);
+    event_ = sim_->ScheduleAt(when, [this] { Expire(); });
   }
 
   // Restarts the countdown iff currently armed (progress heartbeat).
@@ -72,9 +75,17 @@ class Watchdog {
   DurationNs timeout() const { return timeout_; }
 
   bool armed() const { return event_ != kInvalidEventId; }
+  EventId event() const { return event_; }
   uint64_t fires() const { return fires_; }
+  void set_fires(uint64_t fires) { fires_ = fires; }
 
  private:
+  void Expire() {
+    event_ = kInvalidEventId;
+    ++fires_;
+    on_expire_();
+  }
+
   Simulator* sim_;
   DurationNs timeout_;
   std::function<void()> on_expire_;

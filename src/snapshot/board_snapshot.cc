@@ -1,0 +1,76 @@
+#include "src/snapshot/board_snapshot.h"
+
+#include "src/hw/board.h"
+#include "src/kernel/kernel.h"
+#include "src/psbox/psbox_manager.h"
+#include "src/snapshot/event_rearmer.h"
+#include "src/snapshot/snapshot_io.h"
+
+namespace psbox {
+
+bool SaveBoardShard(Board& board, Kernel& kernel, PsboxManager& manager,
+                    SnapshotWriter* w, std::string* error) {
+  w->ResetClaimedEvents();
+  w->Section("shard");
+  w->I64(board.sim().Now());
+  w->U64(board.sim().total_fired());
+  w->U64(board.sim().next_seq());
+  board.SaveState(*w);
+  manager.SaveState(*w);
+  kernel.SaveState(*w);
+  // Pending-event census: every event the engine still holds must have been
+  // claimed by exactly one subsystem serialiser above, or the restored run
+  // would silently lose (or invent) work. A mismatch means the shard is not
+  // at a quiescent point, or a subsystem grew an untracked timer.
+  if (w->claimed_events() != board.sim().pending_events()) {
+    if (error != nullptr) {
+      *error = "snapshot refused: " +
+               std::to_string(board.sim().pending_events()) +
+               " events pending but " + std::to_string(w->claimed_events()) +
+               " claimed by serialisers (shard not quiescent or a timer is "
+               "untracked)";
+    }
+    return false;
+  }
+  return true;
+}
+
+bool RestoreBoardShard(SnapshotReader& r, Board& board, Kernel& kernel,
+                       PsboxManager& manager,
+                       const std::function<void()>& replay_setup,
+                       std::string* error) {
+  kernel.BeginRestore();
+  if (replay_setup) {
+    replay_setup();
+  }
+  EventRearmer rearmer;
+  TimeNs now = 0;
+  uint64_t total_fired = 0;
+  uint64_t next_seq = 1;
+  if (r.Section("shard")) {
+    now = r.I64();
+    total_fired = r.U64();
+    next_seq = r.U64();
+    board.RestoreState(r, rearmer);
+    manager.RestoreState(r);  // replays CreateBox, so groups exist below
+    kernel.RestoreState(r, rearmer);
+  }
+  if (!r.ok()) {
+    kernel.EndRestore();
+    if (error != nullptr) {
+      *error = r.error();
+    }
+    return false;
+  }
+  board.sim().ResetForRestore(now, total_fired);
+  // Re-arm pending events under their original seqs, then land the counter
+  // on the checkpointed value: the engine's whole sequence space — not just
+  // relative order — survives the restore, so later snapshots of a restored
+  // world are byte-identical to the uninterrupted run's.
+  rearmer.Replay(board.sim());
+  board.sim().SetNextSeqForRestore(next_seq);
+  kernel.EndRestore();
+  return true;
+}
+
+}  // namespace psbox

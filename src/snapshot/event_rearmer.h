@@ -1,0 +1,90 @@
+// Pending-event reification for snapshot restore.
+//
+// The event engine's closures are opaque, so a snapshot cannot persist them
+// directly. Instead, every subsystem that owns a pending event saves a typed
+// descriptor — its firing time and original insertion sequence number — via
+// SaveEvent(), and on restore registers a re-arm callback via LoadEvent().
+// After all subsystems have restored their plain state (and the engine has
+// been ResetForRestore'd to an empty queue), EventRearmer::Replay() invokes
+// the re-arm callbacks in ascending original-seq order. Fresh sequence
+// numbers are handed out in call order, so both cross-time ordering and
+// same-time FIFO ties come out exactly as in the uninterrupted run.
+
+#ifndef SRC_SNAPSHOT_EVENT_REARMER_H_
+#define SRC_SNAPSHOT_EVENT_REARMER_H_
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/snapshot/snapshot_io.h"
+
+namespace psbox {
+
+class EventRearmer {
+ public:
+  void Defer(uint64_t seq, std::function<void()> rearm) {
+    items_.push_back(Item{seq, std::move(rearm)});
+  }
+
+  // Invokes every deferred re-arm in ascending original-seq order, forcing
+  // each re-armed event onto its original insertion sequence number so the
+  // restored engine's ordering state is bit-identical to the uninterrupted
+  // run's. Call exactly once, after Simulator::ResetForRestore.
+  void Replay(Simulator& sim) {
+    std::sort(items_.begin(), items_.end(),
+              [](const Item& a, const Item& b) { return a.seq < b.seq; });
+    for (Item& item : items_) {
+      sim.SetNextSeqForRestore(item.seq);
+      item.fn();
+      // Every saved event descriptor re-arms exactly one engine event; more
+      // would silently shift later seqs off their checkpointed values.
+      PSBOX_CHECK_EQ(sim.next_seq(), item.seq + 1);
+    }
+    items_.clear();
+  }
+
+  size_t deferred() const { return items_.size(); }
+
+ private:
+  struct Item {
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  std::vector<Item> items_;
+};
+
+// Persists a maybe-pending event: a presence flag, then (when, seq). Every
+// present event is claimed toward the writer's pending-event census, which
+// the save orchestrator checks against the engine's live count.
+inline void SaveEvent(SnapshotWriter& w, const Simulator& sim, EventId id) {
+  const bool present = sim.IsPending(id);
+  w.Bool(present);
+  if (present) {
+    const Simulator::PendingEventInfo info = sim.PendingInfo(id);
+    w.I64(info.when);
+    w.U64(info.seq);
+    w.ClaimEvent();
+  }
+}
+
+// Mirror of SaveEvent: when an event was saved, defers |rearm(when)| under
+// its original sequence number.
+inline void LoadEvent(SnapshotReader& r, EventRearmer& re,
+                      std::function<void(TimeNs)> rearm) {
+  if (!r.Bool()) {
+    return;
+  }
+  const TimeNs when = r.I64();
+  const uint64_t seq = r.U64();
+  if (!r.ok()) {
+    return;
+  }
+  re.Defer(seq, [when, rearm = std::move(rearm)] { rearm(when); });
+}
+
+}  // namespace psbox
+
+#endif  // SRC_SNAPSHOT_EVENT_REARMER_H_

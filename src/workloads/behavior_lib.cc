@@ -4,8 +4,51 @@
 
 #include "src/base/check.h"
 #include "src/psbox/psbox_api.h"
+#include "src/snapshot/snapshot_io.h"
 
 namespace psbox {
+
+namespace {
+
+void SaveAction(SnapshotWriter& w, const Action& a) {
+  w.U8(static_cast<uint8_t>(a.kind));
+  w.I64(a.duration);
+  w.F64(a.intensity);
+  w.U8(static_cast<uint8_t>(a.accel));
+  w.U64(a.cmd.id);
+  w.I64(a.cmd.app);
+  w.I64(a.cmd.type);
+  w.I64(a.cmd.nominal_work);
+  w.F64(a.cmd.active_power);
+  w.U64(a.bytes);
+  w.U64(a.response_bytes);
+  w.I64(a.response_delay);
+  w.I64(a.response_count);
+  w.I64(a.count);
+  w.Bool(a.storage_write);
+}
+
+Action LoadAction(SnapshotReader& r) {
+  Action a;
+  a.kind = static_cast<ActionKind>(r.U8());
+  a.duration = r.I64();
+  a.intensity = r.F64();
+  a.accel = static_cast<HwComponent>(r.U8());
+  a.cmd.id = r.U64();
+  a.cmd.app = static_cast<AppId>(r.I64());
+  a.cmd.type = static_cast<int>(r.I64());
+  a.cmd.nominal_work = r.I64();
+  a.cmd.active_power = r.F64();
+  a.bytes = r.U64();
+  a.response_bytes = r.U64();
+  a.response_delay = r.I64();
+  a.response_count = static_cast<int>(r.I64());
+  a.count = static_cast<int>(r.I64());
+  a.storage_write = r.Bool();
+  return a;
+}
+
+}  // namespace
 
 LoopBehavior::LoopBehavior(std::shared_ptr<WorkloadStats> stats, StepFn step,
                            uint64_t max_iterations, TimeNs deadline, Rng rng,
@@ -56,6 +99,44 @@ Action LoopBehavior::NextAction(TaskEnv& env) {
   return a;
 }
 
+void LoopBehavior::SaveState(SnapshotWriter& w) const {
+  // Stats may be shared by several worker tasks; every sharer writes the same
+  // values, so the repeated restores are idempotent.
+  w.U64(stats_->iterations);
+  w.I64(stats_->start_time);
+  w.I64(stats_->finish_time);
+  w.F64(stats_->psbox_energy);
+  w.I64(stats_->box);
+  w.Bool(stats_->evicted);
+  w.U64(queue_.size());
+  for (const Action& a : queue_) {
+    SaveAction(w, a);
+  }
+  w.U64(iter_);
+  w.Bool(started_);
+  w.Bool(finished_);
+  rng_.SaveState(w);
+  // stop_ is re-wired by the restoring coordinator, not serialised.
+}
+
+void LoopBehavior::RestoreState(SnapshotReader& r) {
+  stats_->iterations = r.U64();
+  stats_->start_time = r.I64();
+  stats_->finish_time = r.I64();
+  stats_->psbox_energy = r.F64();
+  stats_->box = static_cast<int>(r.I64());
+  stats_->evicted = r.Bool();
+  queue_.clear();
+  const size_t depth = r.Count(32);
+  for (size_t i = 0; i < depth && r.ok(); ++i) {
+    queue_.push_back(LoadAction(r));
+  }
+  iter_ = r.U64();
+  started_ = r.Bool();
+  finished_ = r.Bool();
+  rng_.RestoreState(r);
+}
+
 PsboxWrapBehavior::PsboxWrapBehavior(std::unique_ptr<Behavior> inner,
                                      std::vector<HwComponent> hw,
                                      std::shared_ptr<WorkloadStats> stats)
@@ -78,6 +159,23 @@ Action PsboxWrapBehavior::NextAction(TaskEnv& env) {
     psbox_leave(env, box_);
   }
   return a;
+}
+
+void PsboxWrapBehavior::SaveState(SnapshotWriter& w) const {
+  w.I64(box_);
+  w.Bool(finished_);
+  w.U8(inner_->SnapshotMarker());
+  inner_->SaveState(w);
+}
+
+void PsboxWrapBehavior::RestoreState(SnapshotReader& r) {
+  box_ = static_cast<int>(r.I64());
+  finished_ = r.Bool();
+  if (r.U8() != inner_->SnapshotMarker()) {
+    r.Fail("wrapped behavior type mismatch between snapshot and scenario");
+    return;
+  }
+  inner_->RestoreState(r);
 }
 
 DurationNs Jitter(Rng& rng, DurationNs value, double frac) {

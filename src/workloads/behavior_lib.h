@@ -52,6 +52,10 @@ class LoopBehavior : public Behavior {
 
   const WorkloadStats& stats() const { return *stats_; }
 
+  uint8_t SnapshotMarker() const override { return 1; }
+  void SaveState(SnapshotWriter& w) const override;
+  void RestoreState(SnapshotReader& r) override;
+
  private:
   std::shared_ptr<WorkloadStats> stats_;
   StepFn step_;
@@ -73,6 +77,10 @@ class PsboxWrapBehavior : public Behavior {
                     std::shared_ptr<WorkloadStats> stats);
 
   Action NextAction(TaskEnv& env) override;
+
+  uint8_t SnapshotMarker() const override { return 2; }
+  void SaveState(SnapshotWriter& w) const override;
+  void RestoreState(SnapshotReader& r) override;
 
  private:
   std::unique_ptr<Behavior> inner_;

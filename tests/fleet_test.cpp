@@ -225,6 +225,115 @@ TEST(FleetMigrationTest, BoardFailureEvacuatesApps) {
   EXPECT_EQ(dead.final_board, 0);
 }
 
+// Crash-evacuation billing comparison: the same fixed-iteration app run (a)
+// on one board that never fails, (b) across a crash with state-transfer
+// evacuation, (c) across the same crash with the legacy drain-style carry.
+// Both evacuation modes must bill within the established 10% accounting
+// bound of the single-board run — state transfer changes how the billing
+// state travels, never how much energy is billed.
+TEST(FleetMigrationTest, CrashEvacuationBillingMatchesSingleBoard) {
+  constexpr uint64_t kIterations = 120;
+  constexpr Joules kBudget = 100.0;  // generous: no pressure migrations
+
+  FleetScenario single;
+  single.seed = 0x5eed;
+  single.horizon = Seconds(4);
+  single.epoch = 10 * kMillisecond;
+  single.boards.resize(1);
+  FleetAppSpec app;
+  app.name = "calib3d";
+  app.factory = &SpawnCalib3d;
+  app.board = 0;
+  app.options.iterations = kIterations;
+  app.options.use_psbox = true;
+  app.energy_budget = kBudget;
+  app.migratable = true;
+  single.apps.push_back(app);
+
+  FleetScenario crashed = single;
+  crashed.boards.resize(2);
+  crashed.boards[0].fail_at = Millis(300);
+
+  FleetScenario legacy = crashed;
+  legacy.crash_state_transfer = false;
+
+  const FleetStats single_stats = FleetCoordinator(single, 1).Run();
+  const FleetStats xfer_stats = FleetCoordinator(crashed, 2).Run();
+  const FleetStats carry_stats = FleetCoordinator(legacy, 2).Run();
+
+  // Both evacuations really happened, in the intended mode.
+  ASSERT_EQ(xfer_stats.migrations.size(), 1u);
+  EXPECT_TRUE(xfer_stats.migrations[0].crash);
+  EXPECT_TRUE(xfer_stats.migrations[0].state_transfer);
+  ASSERT_EQ(carry_stats.migrations.size(), 1u);
+  EXPECT_TRUE(carry_stats.migrations[0].crash);
+  EXPECT_FALSE(carry_stats.migrations[0].state_transfer);
+
+  const FleetAppOutcome& alone = single_stats.apps[0];
+  const FleetAppOutcome& xfer = xfer_stats.apps[0];
+  const FleetAppOutcome& carry = carry_stats.apps[0];
+  EXPECT_TRUE(alone.finished);
+  EXPECT_TRUE(xfer.finished);
+  EXPECT_TRUE(carry.finished);
+  EXPECT_EQ(alone.iterations, kIterations);
+  EXPECT_EQ(xfer.iterations, kIterations);
+  EXPECT_EQ(carry.iterations, kIterations);
+
+  ASSERT_GT(alone.billed_energy, 0.0);
+  EXPECT_NEAR(xfer.billed_energy / alone.billed_energy, 1.0, 0.10);
+  EXPECT_NEAR(carry.billed_energy / alone.billed_energy, 1.0, 0.10);
+  std::printf(
+      "crash-evacuation billing (same work): single-board %.1f mJ, "
+      "state-transfer %.1f mJ, drain-carry %.1f mJ\n",
+      alone.billed_energy * 1e3, xfer.billed_energy * 1e3,
+      carry.billed_energy * 1e3);
+
+  // Budget conservation at the hand-off, both modes: what the source billed
+  // plus what the target received is exactly the original budget.
+  EXPECT_NEAR(xfer_stats.migrations[0].consumed_source +
+                  xfer_stats.migrations[0].budget_carried,
+              kBudget, 1e-9);
+  EXPECT_NEAR(carry_stats.migrations[0].consumed_source +
+                  carry_stats.migrations[0].budget_carried,
+              kBudget, 1e-9);
+}
+
+// A torn evacuation blob (snapshot_corrupt fault on the dying board) fails
+// its CRC validation mid-transfer; the hop must fall back to the drain-style
+// carry with the budget ledger still conserved.
+TEST(FleetMigrationTest, CorruptedTransferFallsBackToDrainCarry) {
+  constexpr Joules kBudget = 100.0;
+  FleetScenario scenario;
+  scenario.seed = 0x5eed;
+  scenario.horizon = Seconds(4);
+  scenario.epoch = 10 * kMillisecond;
+  scenario.boards.resize(2);
+  scenario.boards[0].fail_at = Millis(300);
+  scenario.boards[0].board.faults.snapshot_corrupt_prob = 1.0;
+
+  FleetAppSpec app;
+  app.name = "calib3d";
+  app.factory = &SpawnCalib3d;
+  app.board = 0;
+  app.options.iterations = 120;
+  app.options.use_psbox = true;
+  app.energy_budget = kBudget;
+  app.migratable = true;
+  scenario.apps.push_back(app);
+
+  ASSERT_TRUE(scenario.crash_state_transfer);  // transfer attempted...
+  const FleetStats stats = FleetCoordinator(scenario, 2).Run();
+
+  ASSERT_EQ(stats.migrations.size(), 1u);
+  const MigrationRecord& m = stats.migrations[0];
+  EXPECT_TRUE(m.crash);
+  EXPECT_FALSE(m.state_transfer);  // ...but the torn blob forced the fallback
+  EXPECT_NEAR(m.consumed_source + m.budget_carried, kBudget, 1e-9);
+  EXPECT_TRUE(stats.apps[0].finished);
+  EXPECT_EQ(stats.apps[0].iterations, 120u);
+  EXPECT_FALSE(stats.apps[0].lost);
+}
+
 // The worker pool actually runs submitted work and WaitIdle() is a barrier.
 TEST(ThreadPoolTest, RunsAllSubmittedWork) {
   ThreadPool pool(4);

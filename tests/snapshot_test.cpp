@@ -1,0 +1,344 @@
+// Checkpoint/restore contracts:
+//
+//   bit identity — a board shard serialised at a quiescent point and restored
+//     into a fresh world is indistinguishable from the original: re-saving it
+//     yields the same bytes, and continuing both worlds yields the same
+//     bytes again. At fleet scope, a run interrupted by checkpoint + restore
+//     reproduces the uninterrupted run's fingerprint at any thread count and
+//     with telemetry retention on or off.
+//
+//   corruption rejection — truncation, bit flips, a foreign magic/version,
+//     and scenario mismatches are all refused up front with a descriptive
+//     error; no partial state ever reaches a live board.
+//
+//   format compatibility — a golden snapshot committed to the repo must stay
+//     restorable; breaking it means the format changed without a version
+//     bump (regen with PSBOX_REGEN_GOLDEN=1 after bumping).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fleet/fleet_coordinator.h"
+#include "src/snapshot/board_snapshot.h"
+#include "src/snapshot/snapshot_io.h"
+
+namespace psbox {
+namespace {
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// --- board-level round trip ------------------------------------------------
+
+struct World {
+  std::unique_ptr<Board> board;
+  std::unique_ptr<Kernel> kernel;
+  std::unique_ptr<PsboxManager> manager;
+};
+
+World MakeWorld() {
+  World w;
+  BoardConfig config;
+  config.seed = 0x70B0;
+  w.board = std::make_unique<Board>(config);
+  w.kernel = std::make_unique<Kernel>(w.board.get(), KernelConfig{});
+  w.manager = std::make_unique<PsboxManager>(w.kernel.get());
+  return w;
+}
+
+void SpawnApps(World& w) {
+  AppOptions sandboxed;
+  sandboxed.use_psbox = true;
+  sandboxed.deadline = Millis(800);
+  SpawnCalib3d(*w.kernel, "calib3d", sandboxed);
+  AppOptions plain;
+  plain.deadline = Millis(800);
+  SpawnScp(*w.kernel, "scp", plain);
+}
+
+std::vector<uint8_t> SaveShard(World& w) {
+  SnapshotWriter writer;
+  std::string error;
+  EXPECT_TRUE(
+      SaveBoardShard(*w.board, *w.kernel, *w.manager, &writer, &error))
+      << error;
+  return writer.Seal();
+}
+
+TEST(BoardSnapshotTest, RoundTripIsBitIdentical) {
+  World original = MakeWorld();
+  SpawnApps(original);
+  original.kernel->RunUntil(Millis(200));
+  const std::vector<uint8_t> at_200ms = SaveShard(original);
+
+  World restored = MakeWorld();
+  SnapshotReader r;
+  ASSERT_TRUE(r.Open(at_200ms)) << r.error();
+  std::string error;
+  ASSERT_TRUE(RestoreBoardShard(r, *restored.board, *restored.kernel,
+                                *restored.manager,
+                                [&restored] { SpawnApps(restored); }, &error))
+      << error;
+
+  // Saving the restored world immediately reproduces the exact bytes: every
+  // field that went in came back out.
+  EXPECT_EQ(SaveShard(restored), at_200ms);
+
+  // And the restored world *behaves* identically: both worlds advanced the
+  // same distance produce the same bytes again, same event count included.
+  original.kernel->RunUntil(Millis(500));
+  restored.kernel->RunUntil(Millis(500));
+  EXPECT_EQ(original.kernel->sim().total_fired(),
+            restored.kernel->sim().total_fired());
+  EXPECT_EQ(SaveShard(restored), SaveShard(original));
+}
+
+// --- fleet-level warm restart ----------------------------------------------
+
+// Three boards, mixed sandboxed/plain apps, one mid-run board failure: the
+// checkpoint exercised here covers live shards, a frozen (failed) shard,
+// pending timers, sandboxes, and migration history.
+FleetScenario CheckpointScenario(DurationNs retention) {
+  FleetScenario scenario;
+  scenario.seed = 0xC4EC;
+  scenario.horizon = Seconds(1);
+  scenario.epoch = 10 * kMillisecond;
+  scenario.boards.resize(3);
+  scenario.boards[1].fail_at = Millis(400);
+  for (FleetBoardSpec& board : scenario.boards) {
+    board.kernel.telemetry_retention = retention;
+  }
+
+  struct Mix {
+    const char* name;
+    AppFactory factory;
+    int board;
+    bool sandboxed;
+    Joules budget;
+  };
+  const Mix mix[] = {
+      {"calib3d", &SpawnCalib3d, 0, true, 1.0},
+      {"triangle", &SpawnTriangle, 1, true, 0.7},
+      {"bodytrack", &SpawnBodytrack, 1, false, 0.0},
+      {"scp", &SpawnScp, 2, true, 0.5},
+      {"mediascan", &SpawnMediaScan, 2, true, 0.4},
+  };
+  for (const Mix& m : mix) {
+    FleetAppSpec spec;
+    spec.name = m.name;
+    spec.factory = m.factory;
+    spec.board = m.board;
+    spec.options.deadline = scenario.horizon;
+    spec.options.use_psbox = m.sandboxed;
+    spec.energy_budget = m.budget;
+    spec.migratable = m.sandboxed;
+    scenario.apps.push_back(spec);
+  }
+  return scenario;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+TEST(FleetCheckpointTest, WarmRestartMatchesUninterruptedRun) {
+  for (const DurationNs retention : {DurationNs{0}, Millis(100)}) {
+    SCOPED_TRACE("retention=" + std::to_string(retention));
+    const FleetScenario scenario = CheckpointScenario(retention);
+    const uint64_t baseline = FleetCoordinator(scenario, 2).Run().Fingerprint();
+
+    // Checkpoint at epoch 73 (730 ms) — after the board-1 crash, mid-run.
+    const std::string path = TempPath("fleet_warm_restart.snap");
+    FleetCoordinator writer(scenario, 2);
+    writer.set_checkpoint(path, 73);
+    EXPECT_EQ(writer.Run().Fingerprint(), baseline)
+        << "checkpointing itself must not perturb the run";
+
+    for (const int threads : {1, 2, 4}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      std::string error;
+      auto restored =
+          FleetCoordinator::RestoreFromCheckpoint(scenario, threads, path, &error);
+      ASSERT_NE(restored, nullptr) << error;
+      EXPECT_EQ(restored->resume_time(), Millis(730));
+      EXPECT_EQ(restored->Run().Fingerprint(), baseline);
+    }
+  }
+}
+
+// --- corruption rejection --------------------------------------------------
+
+class SnapshotCorruptionTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = CheckpointScenario(0);
+    path_ = TempPath("fleet_corruption.snap");
+    FleetCoordinator fleet(scenario_, 2);
+    fleet.set_checkpoint(path_, 50);
+    fleet.Run();
+    bytes_ = ReadFileBytes(path_);
+    ASSERT_GT(bytes_.size(), kSnapshotHeaderSize);
+  }
+
+  // Writes |bytes| to a scratch file and expects restore to fail with an
+  // error mentioning |expect_in_error|.
+  void ExpectRejected(const std::vector<uint8_t>& bytes,
+                      const std::string& expect_in_error) {
+    const std::string path = TempPath("fleet_corrupted.snap");
+    WriteFileBytes(path, bytes);
+    std::string error;
+    auto restored =
+        FleetCoordinator::RestoreFromCheckpoint(scenario_, 2, path, &error);
+    EXPECT_EQ(restored, nullptr);
+    EXPECT_NE(error.find(expect_in_error), std::string::npos)
+        << "error was: " << error;
+  }
+
+  FleetScenario scenario_;
+  std::string path_;
+  std::vector<uint8_t> bytes_;
+};
+
+TEST_F(SnapshotCorruptionTest, TruncationRejected) {
+  std::vector<uint8_t> torn = bytes_;
+  torn.resize(torn.size() / 2);
+  ExpectRejected(torn, "truncated");
+}
+
+TEST_F(SnapshotCorruptionTest, HeaderTruncationRejected) {
+  std::vector<uint8_t> stub = bytes_;
+  stub.resize(kSnapshotHeaderSize / 2);
+  ExpectRejected(stub, "header truncated");
+}
+
+TEST_F(SnapshotCorruptionTest, PayloadBitFlipRejected) {
+  std::vector<uint8_t> flipped = bytes_;
+  flipped[kSnapshotHeaderSize + flipped.size() / 3] ^= 0x10;
+  ExpectRejected(flipped, "CRC");
+}
+
+TEST_F(SnapshotCorruptionTest, ForeignMagicRejected) {
+  std::vector<uint8_t> foreign = bytes_;
+  foreign[0] ^= 0xFF;
+  ExpectRejected(foreign, "magic");
+}
+
+TEST_F(SnapshotCorruptionTest, UnknownVersionRejected) {
+  std::vector<uint8_t> future = bytes_;
+  future[8] += 1;  // format version field
+  ExpectRejected(future, "version");
+}
+
+TEST_F(SnapshotCorruptionTest, DifferentScenarioRejected) {
+  FleetScenario other = scenario_;
+  other.seed ^= 1;
+  std::string error;
+  auto restored =
+      FleetCoordinator::RestoreFromCheckpoint(other, 2, path_, &error);
+  EXPECT_EQ(restored, nullptr);
+  EXPECT_NE(error.find("different fleet scenario"), std::string::npos)
+      << "error was: " << error;
+}
+
+TEST_F(SnapshotCorruptionTest, MissingFileRejected) {
+  std::string error;
+  auto restored = FleetCoordinator::RestoreFromCheckpoint(
+      scenario_, 2, TempPath("does_not_exist.snap"), &error);
+  EXPECT_EQ(restored, nullptr);
+  EXPECT_NE(error.find("cannot open"), std::string::npos)
+      << "error was: " << error;
+}
+
+// The snapshot_corrupt fault scope: a checkpoint written while the writing
+// board is injecting snapshot corruption is torn mid-file, and a restore
+// attempt rejects it the same way as any other truncation.
+TEST_F(SnapshotCorruptionTest, TornCheckpointWriteRejectedOnRestore) {
+  FleetScenario scenario = CheckpointScenario(0);
+  scenario.boards[0].board.faults.snapshot_corrupt_prob = 1.0;
+  const std::string path = TempPath("fleet_torn.snap");
+  FleetCoordinator fleet(scenario, 2);
+  fleet.set_checkpoint(path, 50);
+  fleet.Run();  // the run itself is oblivious to the torn write
+
+  std::string error;
+  auto restored =
+      FleetCoordinator::RestoreFromCheckpoint(scenario, 2, path, &error);
+  EXPECT_EQ(restored, nullptr);
+  EXPECT_FALSE(error.empty());
+  EXPECT_NE(error.find("truncated"), std::string::npos)
+      << "error was: " << error;
+}
+
+// --- golden snapshot -------------------------------------------------------
+
+// Pinned scenario for the committed golden checkpoint. Never change this
+// without regenerating the golden (and bumping kSnapshotFormatVersion if the
+// wire format moved).
+FleetScenario GoldenScenario() {
+  FleetScenario scenario;
+  scenario.seed = 0x601D;
+  scenario.horizon = Millis(500);
+  scenario.epoch = 10 * kMillisecond;
+  scenario.boards.resize(2);
+
+  FleetAppSpec calib;
+  calib.name = "calib3d";
+  calib.factory = &SpawnCalib3d;
+  calib.board = 0;
+  calib.options.deadline = scenario.horizon;
+  calib.options.use_psbox = true;
+  calib.energy_budget = 1.0;
+  calib.migratable = true;
+  scenario.apps.push_back(calib);
+
+  FleetAppSpec scp;
+  scp.name = "scp";
+  scp.factory = &SpawnScp;
+  scp.board = 1;
+  scp.options.deadline = scenario.horizon;
+  scp.options.use_psbox = true;
+  scenario.apps.push_back(scp);
+  return scenario;
+}
+
+TEST(GoldenSnapshotTest, CommittedCheckpointStaysRestorable) {
+  const std::string golden =
+      std::string(PSBOX_SOURCE_DIR) + "/tests/golden/fleet_checkpoint_v1.snap";
+  if (std::getenv("PSBOX_REGEN_GOLDEN") != nullptr) {
+    FleetCoordinator fleet(GoldenScenario(), 2);
+    fleet.set_checkpoint(golden, 25);  // one checkpoint, at 250 ms
+    fleet.Run();
+    GTEST_SKIP() << "regenerated " << golden;
+  }
+
+  std::string error;
+  auto restored =
+      FleetCoordinator::RestoreFromCheckpoint(GoldenScenario(), 2, golden, &error);
+  ASSERT_NE(restored, nullptr)
+      << "committed golden snapshot no longer restores — the wire format "
+         "changed without a version bump (or the golden scenario drifted): "
+      << error;
+  EXPECT_EQ(restored->resume_time(), Millis(250));
+  // Resuming from the golden must still converge on the uninterrupted run:
+  // the golden guards semantic compatibility, not just parseability.
+  EXPECT_EQ(restored->Run().Fingerprint(),
+            FleetCoordinator(GoldenScenario(), 2).Run().Fingerprint());
+}
+
+}  // namespace
+}  // namespace psbox
