@@ -1,14 +1,21 @@
-// Fleet throughput bench: how fast the shard pool advances simulated boards.
+// Fleet throughput bench: flat vs hierarchical coordination at scale.
 //
 //   ./fleet_throughput [--json PATH] [--seconds S]
 //
-// Runs the same per-board workload at 1, 4 and 8 shards (worker threads
-// matched to the shard count, capped at the hardware concurrency) and
-// reports boards-advanced-per-second: board-seconds of simulation completed
-// per wall-clock second. Also emits machine-readable JSON (default
-// BENCH_fleet.json) so CI can track the shard-scaling trend, plus each run's
-// fleet fingerprint — a throughput number from a non-deterministic run would
-// be meaningless.
+// Runs the same per-board workload at 8, 64 and 256 boards, once flat
+// (subfleets = 1, root_period = 1: every board synchronises at every epoch
+// barrier on one shared worker pool) and once hierarchical (contiguous
+// sub-fleets with their own worker slices, root barrier every 8 sub-epochs),
+// and reports boards-advanced-per-second: board-seconds of simulation
+// completed per wall-clock second. The flat/hier gap is the cost of global
+// synchronisation — the hierarchy turns one fleet-wide barrier + one shared
+// pool mutex into per-slice barriers that only meet at root boundaries.
+//
+// Before any configuration is timed, its determinism is cross-checked: the
+// same scenario is run twice with different worker allocations and the two
+// fleet fingerprints must be bit-identical (a throughput number from a
+// non-deterministic run would be meaningless). Results go to machine-
+// readable JSON (default BENCH_fleet_hier.json) so CI can track the trend.
 
 #include <chrono>
 #include <cstdio>
@@ -19,7 +26,7 @@
 #include <vector>
 
 #include "src/base/csv.h"
-#include "src/fleet/fleet_coordinator.h"
+#include "src/fleet/root_coordinator.h"
 
 namespace psbox {
 namespace {
@@ -27,11 +34,14 @@ namespace {
 // Every board runs the same three-app mix: a sandboxed CPU app (spatial
 // balloons), a sandboxed GPU app (temporal balloons) and a plain co-runner —
 // enough cross-domain traffic that shard advancement is representative.
-FleetScenario BenchScenario(int boards, int seconds) {
+FleetScenario BenchScenario(int boards, int subfleets, int root_period,
+                            TimeNs horizon) {
   FleetScenario scenario;
   scenario.seed = 0xBE7C;
-  scenario.horizon = Seconds(seconds);
+  scenario.horizon = horizon;
   scenario.epoch = 10 * kMillisecond;
+  scenario.subfleets = subfleets;
+  scenario.root_period = root_period;
   scenario.migration.enabled = false;  // measure pure shard advancement
   scenario.boards.resize(static_cast<size_t>(boards));
   for (int b = 0; b < boards; ++b) {
@@ -57,27 +67,76 @@ FleetScenario BenchScenario(int boards, int seconds) {
   return scenario;
 }
 
-struct Result {
+struct Config {
   int boards = 0;
+  int subfleets = 1;
+  int root_period = 1;
+  const char* mode = "flat";
+};
+
+struct Result {
+  Config config;
   int threads = 0;
   double wall_s = 0.0;
   double board_seconds_per_s = 0.0;
   uint64_t fingerprint = 0;
 };
 
-Result RunOnce(int boards, int seconds) {
+int ThreadBudget(int boards) {
   const unsigned hw = std::thread::hardware_concurrency();
-  Result r;
-  r.boards = boards;
-  r.threads = static_cast<int>(
+  return static_cast<int>(
       std::min<unsigned>(static_cast<unsigned>(boards), hw > 0 ? hw : 1));
-  FleetCoordinator fleet(BenchScenario(boards, seconds), r.threads);
+}
+
+// Determinism cross-check on a short horizon: the same scenario under two
+// different worker allocations must produce one fingerprint. Returns false
+// (and complains) when it does not.
+bool CrossCheck(const Config& c) {
+  const TimeNs horizon = Millis(300);
+  const int threads = ThreadBudget(c.boards);
+  RootCoordinator a(
+      BenchScenario(c.boards, c.subfleets, c.root_period, horizon), threads);
+  const uint64_t fp_a = a.Run().Fingerprint();
+  uint64_t fp_b = 0;
+  if (c.subfleets > 1) {
+    // Deliberately lopsided split: everything spare on the first sub-fleet.
+    std::vector<int> split(static_cast<size_t>(c.subfleets), 1);
+    split[0] = std::max(1, threads - (c.subfleets - 1));
+    RootCoordinator b(
+        BenchScenario(c.boards, c.subfleets, c.root_period, horizon),
+        std::move(split));
+    fp_b = b.Run().Fingerprint();
+  } else {
+    RootCoordinator b(
+        BenchScenario(c.boards, c.subfleets, c.root_period, horizon),
+        std::max(1, threads / 2));
+    fp_b = b.Run().Fingerprint();
+  }
+  if (fp_a != fp_b) {
+    std::fprintf(stderr,
+                 "fleet_throughput: %s/%d boards NOT deterministic: "
+                 "%016llx vs %016llx\n",
+                 c.mode, c.boards, static_cast<unsigned long long>(fp_a),
+                 static_cast<unsigned long long>(fp_b));
+    return false;
+  }
+  return true;
+}
+
+Result RunOnce(const Config& c, int seconds) {
+  Result r;
+  r.config = c;
+  r.threads = ThreadBudget(c.boards);
+  RootCoordinator fleet(
+      BenchScenario(c.boards, c.subfleets, c.root_period, Seconds(seconds)),
+      r.threads);
   const auto t0 = std::chrono::steady_clock::now();
   const FleetStats stats = fleet.Run();
   const auto t1 = std::chrono::steady_clock::now();
   r.wall_s = std::chrono::duration<double>(t1 - t0).count();
   r.board_seconds_per_s =
-      r.wall_s > 0.0 ? boards * static_cast<double>(seconds) / r.wall_s : 0.0;
+      r.wall_s > 0.0 ? c.boards * static_cast<double>(seconds) / r.wall_s
+                     : 0.0;
   r.fingerprint = stats.Fingerprint();
   return r;
 }
@@ -87,7 +146,7 @@ Result RunOnce(int boards, int seconds) {
 
 int main(int argc, char** argv) {
   using namespace psbox;
-  std::string json_path = "BENCH_fleet.json";
+  std::string json_path = "BENCH_fleet_hier.json";
   int seconds = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -102,36 +161,67 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<Result> results;
-  for (int boards : {1, 4, 8}) {
-    results.push_back(RunOnce(boards, seconds));
+  // Flat vs hierarchical at each size; 8 sub-fleets once there are enough
+  // boards for real slices, root barrier every 8 sub-epochs.
+  const std::vector<Config> configs = {
+      {8, 1, 1, "flat"},    {8, 2, 8, "hier"},   {64, 1, 1, "flat"},
+      {64, 8, 8, "hier"},   {256, 1, 1, "flat"}, {256, 8, 8, "hier"},
+  };
+
+  for (const Config& c : configs) {
+    if (!CrossCheck(c)) {
+      return 1;
+    }
   }
 
-  TextTable table({"boards", "threads", "wall (s)", "board-s/s", "fingerprint"});
+  std::vector<Result> results;
+  for (const Config& c : configs) {
+    results.push_back(RunOnce(c, seconds));
+  }
+
+  TextTable table({"boards", "mode", "subfleets", "threads", "wall (s)",
+                   "board-s/s", "fingerprint"});
   for (const Result& r : results) {
     char fp[32];
     std::snprintf(fp, sizeof(fp), "%016llx",
                   static_cast<unsigned long long>(r.fingerprint));
-    table.AddRow({std::to_string(r.boards), std::to_string(r.threads),
-                  FormatDouble(r.wall_s, 3),
+    table.AddRow({std::to_string(r.config.boards), r.config.mode,
+                  std::to_string(r.config.subfleets),
+                  std::to_string(r.threads), FormatDouble(r.wall_s, 3),
                   FormatDouble(r.board_seconds_per_s, 1), fp});
   }
-  std::printf("fleet throughput (%d simulated second(s) per board)\n\n", seconds);
+  std::printf("fleet throughput, flat vs hierarchical "
+              "(%d simulated second(s) per board)\n\n",
+              seconds);
   table.Print(std::cout);
+
+  // Headline: the hierarchical speedup at each size.
+  for (size_t i = 0; i + 1 < results.size(); i += 2) {
+    const Result& flat = results[i];
+    const Result& hier = results[i + 1];
+    std::printf("%d boards: hier/flat throughput = %.2fx\n",
+                flat.config.boards,
+                flat.board_seconds_per_s > 0.0
+                    ? hier.board_seconds_per_s / flat.board_seconds_per_s
+                    : 0.0);
+  }
 
   std::ofstream json(json_path);
   if (!json) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
-  json << "{\n  \"bench\": \"fleet_throughput\",\n  \"horizon_s\": " << seconds
+  json << "{\n  \"bench\": \"fleet_hier\",\n  \"horizon_s\": " << seconds
        << ",\n  \"results\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
     char fp[32];
     std::snprintf(fp, sizeof(fp), "%016llx",
                   static_cast<unsigned long long>(r.fingerprint));
-    json << "    {\"boards\": " << r.boards << ", \"threads\": " << r.threads
+    json << "    {\"boards\": " << r.config.boards << ", \"mode\": \""
+         << r.config.mode << "\", \"subfleets\": " << r.config.subfleets
+         << ", \"root_period\": " << r.config.root_period
+         << ", \"threads\": " << r.threads
          << ", \"wall_s\": " << FormatDouble(r.wall_s, 6)
          << ", \"board_seconds_per_s\": "
          << FormatDouble(r.board_seconds_per_s, 3) << ", \"fingerprint\": \""

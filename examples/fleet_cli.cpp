@@ -1,8 +1,9 @@
-// Fleet runner CLI: simulate N boards in parallel shards with cross-board
-// app migration, and print per-board energy/balloon/migration stats plus the
-// deterministic fleet fingerprint.
+// Fleet runner CLI: simulate N boards as a two-level fleet-of-fleets with
+// cross-board app migration, and print per-board and per-sub-fleet
+// energy/balloon/migration stats plus the deterministic fleet fingerprint.
 //
 //   ./fleet_cli [--boards N] [--threads T] [--seconds S] [--seed X]
+//               [--subfleets K] [--root-period P] [--fleet-budget J]
 //               [--fail BOARD@MS] [--trace-dir DIR] [--retention MS]
 //               [--checkpoint-every N] [--checkpoint-path FILE]
 //               [--restore-from FILE]
@@ -10,19 +11,34 @@
 // A default mix of Table-5 apps is placed round-robin: sandboxed CPU, GPU
 // and WiFi apps with energy budgets (migratable under budget pressure) plus
 // plain co-runners. --fail makes a board lose power at MS milliseconds; its
-// sandboxed apps are crash-migrated to the least-loaded surviving board.
+// sandboxed apps are crash-migrated at the owning sub-fleet's next barrier
+// (in-epoch hand-off), escalating to a cross-sub-fleet evacuation at the
+// next root barrier only when the whole slice is dead.
+//
+// Hierarchy: --subfleets K splits the boards into K contiguous sub-fleets,
+// each running its own bounded-lag barrier on its own worker-thread slice;
+// the root synchronises them every --root-period sub-epochs by exchanging
+// compact digests. --fleet-budget J enables the fleet-wide energy ledger:
+// the root subdivides J joules across sub-fleets (proportional to alive
+// boards) and rebalances app placement against the per-board energy
+// pressure. The defaults (--subfleets 1 --root-period 1) reproduce the old
+// flat single-barrier fleet exactly. The fingerprint is bit-identical at any
+// --threads value for a fixed scenario.
+//
 // With --trace-dir, every board's balloon timelines are exported as
 // DIR/board<i>_balloons_<domain>.csv. --retention bounds every board's
 // telemetry working set to the last MS milliseconds (energy accounting
 // stays exact; see KernelConfig::telemetry_retention).
 //
 // Checkpoint/restore: --checkpoint-every N writes the full fleet state (all
-// boards, kernels, sandboxes, pending events) to --checkpoint-path every N
-// epoch barriers. --restore-from warm-starts a later invocation from such a
-// file; the scenario flags must match the writing run, and the restored
-// run's final fingerprint is bit-identical to an uninterrupted one.
+// boards, kernels, sandboxes, pending events, hierarchy/budget ledger) to
+// --checkpoint-path at the first root boundary every N sub-epochs.
+// --restore-from warm-starts a later invocation from such a file; the
+// scenario flags must match the writing run, and the restored run's final
+// fingerprint is bit-identical to an uninterrupted one.
 //
-// Example: ./fleet_cli --boards 4 --threads 4 --seconds 2 --fail 1@600
+// Example: ./fleet_cli --boards 8 --threads 4 --subfleets 2 --root-period 4
+//                      --fleet-budget 40 --seconds 2 --fail 1@600
 // Warm restart:
 //   ./fleet_cli --boards 4 --seconds 2 --checkpoint-every 50
 //               --checkpoint-path /tmp/fleet.snap
@@ -33,7 +49,7 @@
 #include <memory>
 #include <string>
 
-#include "src/fleet/fleet_coordinator.h"
+#include "src/fleet/root_coordinator.h"
 #include "src/kernel/balloon_timeline.h"
 
 namespace psbox {
@@ -42,25 +58,37 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: fleet_cli [--boards N] [--threads T] [--seconds S] "
-               "[--seed X] [--fail BOARD@MS] [--trace-dir DIR] "
+               "[--seed X] [--subfleets K] [--root-period P] "
+               "[--fleet-budget J] [--fail BOARD@MS] [--trace-dir DIR] "
                "[--retention MS] [--checkpoint-every N] "
                "[--checkpoint-path FILE] [--restore-from FILE]\n");
   return 2;
 }
 
+// Flag validation with a descriptive message (exit code 2, like Usage()).
+int Invalid(const char* what) {
+  std::fprintf(stderr, "fleet_cli: %s\n", what);
+  return 2;
+}
+
 FleetScenario BuildScenario(int boards, int seconds, uint64_t seed,
-                            int fail_board, int fail_ms, int retention_ms) {
+                            int subfleets, int root_period,
+                            double fleet_budget, int fail_board, int fail_ms,
+                            int retention_ms) {
   FleetScenario scenario;
   scenario.seed = seed;
   scenario.horizon = Seconds(seconds);
   scenario.epoch = 10 * kMillisecond;
+  scenario.subfleets = subfleets;
+  scenario.root_period = root_period;
+  scenario.fleet_budget = fleet_budget;
   scenario.boards.resize(static_cast<size_t>(boards));
   if (retention_ms > 0) {
     for (FleetBoardSpec& board : scenario.boards) {
       board.kernel.telemetry_retention = Millis(retention_ms);
     }
   }
-  if (fail_board >= 0 && fail_board < boards) {
+  if (fail_board >= 0) {
     scenario.boards[static_cast<size_t>(fail_board)].fail_at = Millis(fail_ms);
   }
 
@@ -105,6 +133,9 @@ int main(int argc, char** argv) {
   int threads = 2;
   int seconds = 2;
   uint64_t seed = 0x5eed;
+  int subfleets = 1;
+  int root_period = 1;
+  double fleet_budget = 0.0;
   int fail_board = -1;
   int fail_ms = 0;
   int retention_ms = 0;
@@ -123,11 +154,17 @@ int main(int argc, char** argv) {
       seconds = std::atoi(argv[++i]);
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--subfleets" && i + 1 < argc) {
+      subfleets = std::atoi(argv[++i]);
+    } else if (arg == "--root-period" && i + 1 < argc) {
+      root_period = std::atoi(argv[++i]);
+    } else if (arg == "--fleet-budget" && i + 1 < argc) {
+      fleet_budget = std::atof(argv[++i]);
     } else if (arg == "--fail" && i + 1 < argc) {
       const std::string spec = argv[++i];
       const size_t at = spec.find('@');
       if (at == std::string::npos) {
-        return Usage();
+        return Invalid("--fail expects BOARD@MS (e.g. --fail 1@600)");
       }
       fail_board = std::atoi(spec.substr(0, at).c_str());
       fail_ms = std::atoi(spec.substr(at + 1).c_str());
@@ -145,16 +182,39 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
-  if (boards < 1 || threads < 1 || seconds < 1) {
-    return Usage();
+  if (boards < 1) {
+    return Invalid("--boards must be at least 1");
+  }
+  if (threads < 1) {
+    return Invalid("--threads must be at least 1");
+  }
+  if (seconds < 1) {
+    return Invalid("--seconds must be at least 1");
+  }
+  if (subfleets < 1 || subfleets > boards) {
+    return Invalid("--subfleets must be between 1 and the board count");
+  }
+  if (root_period < 1) {
+    return Invalid("--root-period must be at least 1");
+  }
+  if (fleet_budget < 0.0) {
+    return Invalid("--fleet-budget must be non-negative (joules; 0 disables)");
+  }
+  if (fail_board >= boards ||
+      (fail_board >= 0 && fail_ms <= 0)) {
+    return Invalid("--fail board index out of range or time not positive");
+  }
+  if (checkpoint_every < 0) {
+    return Invalid("--checkpoint-every must be non-negative");
   }
 
   FleetScenario scenario =
-      BuildScenario(boards, seconds, seed, fail_board, fail_ms, retention_ms);
-  std::unique_ptr<FleetCoordinator> fleet_ptr;
+      BuildScenario(boards, seconds, seed, subfleets, root_period,
+                    fleet_budget, fail_board, fail_ms, retention_ms);
+  std::unique_ptr<RootCoordinator> fleet_ptr;
   if (!restore_from.empty()) {
     std::string error;
-    fleet_ptr = FleetCoordinator::RestoreFromCheckpoint(
+    fleet_ptr = RootCoordinator::RestoreFromCheckpoint(
         std::move(scenario), threads, restore_from, &error);
     if (fleet_ptr == nullptr) {
       std::fprintf(stderr, "fleet_cli: cannot restore from %s: %s\n",
@@ -165,16 +225,18 @@ int main(int argc, char** argv) {
                 ToMillis(fleet_ptr->resume_time()));
   } else {
     fleet_ptr =
-        std::make_unique<FleetCoordinator>(std::move(scenario), threads);
+        std::make_unique<RootCoordinator>(std::move(scenario), threads);
   }
-  FleetCoordinator& fleet = *fleet_ptr;
+  RootCoordinator& fleet = *fleet_ptr;
   if (checkpoint_every > 0 && !checkpoint_path.empty()) {
     fleet.set_checkpoint(checkpoint_path, checkpoint_every);
   }
   const FleetStats stats = fleet.Run();
 
-  std::printf("fleet: %d board(s), %d worker thread(s), %d s simulated\n\n",
-              boards, threads, seconds);
+  std::printf(
+      "fleet: %d board(s) in %d sub-fleet(s), root period %d, "
+      "%d worker thread(s), %d s simulated\n\n",
+      boards, subfleets, root_period, threads, seconds);
   std::printf("%-6s %-6s %10s %12s %9s %8s %6s %6s\n", "board", "state",
               "ran(ms)", "energy(mJ)", "balloons", "iters", "in", "out");
   for (size_t i = 0; i < stats.boards.size(); ++i) {
@@ -185,6 +247,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(b.balloons),
                 static_cast<unsigned long long>(b.iterations), b.migrations_in,
                 b.migrations_out);
+  }
+
+  if (stats.subfleets.size() > 1 || fleet_budget > 0.0) {
+    std::printf("\n%-9s %7s %7s %12s %14s %6s %6s\n", "subfleet", "first",
+                "boards", "energy(mJ)", "budget(mJ)", "xin", "xout");
+    for (size_t s = 0; s < stats.subfleets.size(); ++s) {
+      const SubFleetStats& sf = stats.subfleets[s];
+      std::printf("%-9zu %7d %7d %12.1f %14.1f %6d %6d\n", s, sf.first_board,
+                  sf.boards, sf.energy * 1e3, sf.allocation * 1e3,
+                  sf.cross_in, sf.cross_out);
+    }
   }
 
   std::printf("\n%-14s %5s %6s %6s %8s %14s\n", "app", "hops", "board",
@@ -206,11 +279,13 @@ int main(int argc, char** argv) {
   if (!stats.migrations.empty()) {
     std::printf("\nmigrations:\n");
     for (const MigrationRecord& m : stats.migrations) {
-      std::printf("  %7.0f ms  %-14s board %d -> %d  (%s, %.1f mJ billed, "
+      const char* kind =
+          m.crash ? (m.state_transfer ? "crash/xfer" : "crash/carry")
+                  : (m.cross_subfleet ? "rebalance" : "drain");
+      std::printf("  %7.0f ms  %-14s board %d -> %d  (%s%s, %.1f mJ billed, "
                   "%.1f mJ budget carried)\n",
-                  ToMillis(m.when), m.app.c_str(), m.from, m.to,
-                  m.crash ? (m.state_transfer ? "crash/xfer" : "crash/carry")
-                          : "drain",
+                  ToMillis(m.when), m.app.c_str(), m.from, m.to, kind,
+                  m.cross_subfleet ? ", cross-subfleet" : "",
                   m.consumed_source * 1e3, m.budget_carried * 1e3);
     }
   }

@@ -46,6 +46,15 @@ uint64_t FleetStats::Fingerprint() const {
     HashI64(&h, b.migrations_in);
     HashI64(&h, b.migrations_out);
   }
+  HashU64(&h, subfleets.size());
+  for (const SubFleetStats& s : subfleets) {
+    HashI64(&h, s.first_board);
+    HashI64(&h, s.boards);
+    HashDouble(&h, s.energy);
+    HashDouble(&h, s.allocation);
+    HashI64(&h, s.cross_in);
+    HashI64(&h, s.cross_out);
+  }
   HashU64(&h, apps.size());
   for (const FleetAppOutcome& a : apps) {
     HashString(&h, a.name);
@@ -63,6 +72,7 @@ uint64_t FleetStats::Fingerprint() const {
     HashI64(&h, m.from);
     HashI64(&h, m.to);
     HashU64(&h, m.crash ? 1 : 0);
+    HashU64(&h, m.cross_subfleet ? 1 : 0);
     HashU64(&h, m.state_transfer ? 1 : 0);
     HashDouble(&h, m.consumed_source);
     HashDouble(&h, m.budget_carried);

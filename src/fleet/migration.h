@@ -1,31 +1,32 @@
 // MigrationPolicy: the decision half of cross-board app migration.
 //
-// The coordinator asks two questions at every epoch barrier, always from the
+// Coordinators ask two questions at every barrier, always from a
 // single-threaded barrier context and always in deterministic order:
 //
 //   ShouldDrain  — has this app's consumption crossed the budget-pressure
 //                  watermark on its current board?
-//   PickTarget   — which alive board should receive an evicted app?
+//   ClaimTarget  — which alive board should receive an evicted app?
 //
-// The policy is pure: it reads the snapshot the coordinator hands it and
-// never touches shard state itself, so its decisions are trivially
-// reproducible across thread counts.
+// The policy is pure over the load view it is handed and never touches shard
+// state itself, so its decisions are trivially reproducible across thread
+// counts. The load view may be the sub-fleet's own fresh slice (intra-
+// sub-fleet decisions) or a digest-assembled, bounded-stale global view
+// (root decisions) — the policy cannot tell the difference.
+//
+// ClaimTarget additionally *claims* the chosen board by bumping its
+// active_apps in the caller's view, so back-to-back evictions inside one
+// barrier see each other's placements instead of piling onto the board that
+// was least loaded when the barrier started.
 
 #ifndef SRC_FLEET_MIGRATION_H_
 #define SRC_FLEET_MIGRATION_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "src/fleet/fleet.h"
 
 namespace psbox {
-
-// Per-board load snapshot the coordinator assembles at each barrier.
-struct BoardLoad {
-  bool alive = true;
-  // Apps currently resident and still running.
-  int active_apps = 0;
-};
 
 class MigrationPolicy {
  public:
@@ -46,19 +47,43 @@ class MigrationPolicy {
     return consumed >= config_.pressure_fraction * budget_remaining;
   }
 
-  // Least-loaded alive board other than |source|; ties break towards the
-  // lowest index. Returns -1 when no board can take the app.
+  // Placement cost of a board: resident apps plus the weighted
+  // energy-pressure term. With the fleet budget disabled pressure is always
+  // 0 and this degenerates to pure least-loaded.
+  double Score(const BoardLoad& load) const {
+    return static_cast<double>(load.active_apps) +
+           config_.energy_weight * load.pressure;
+  }
+
+  // Lowest-score alive board other than |source|; ties break towards the
+  // lowest index (strict < keeps the first minimum). Returns -1 when no
+  // board can take the app. Pure: the caller's view is not modified — use
+  // ClaimTarget inside decision loops.
   int PickTarget(const std::vector<BoardLoad>& loads, int source) const {
     int best = -1;
+    double best_score = 0.0;
     for (int i = 0; i < static_cast<int>(loads.size()); ++i) {
-      if (i == source || !loads[i].alive) {
+      if (i == source || !loads[static_cast<size_t>(i)].alive) {
         continue;
       }
-      if (best < 0 || loads[i].active_apps < loads[static_cast<size_t>(best)].active_apps) {
+      const double score = Score(loads[static_cast<size_t>(i)]);
+      if (best < 0 || score < best_score) {
         best = i;
+        best_score = score;
       }
     }
     return best;
+  }
+
+  // PickTarget plus the claim: the chosen board's active_apps is bumped in
+  // |loads| so subsequent decisions in the same barrier account for the
+  // placement that was just made.
+  int ClaimTarget(std::vector<BoardLoad>& loads, int source) const {
+    const int target = PickTarget(loads, source);
+    if (target >= 0) {
+      ++loads[static_cast<size_t>(target)].active_apps;
+    }
+    return target;
   }
 
  private:

@@ -1,0 +1,834 @@
+#include "src/fleet/root_coordinator.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "src/base/check.h"
+#include "src/snapshot/board_snapshot.h"
+#include "src/snapshot/snapshot_io.h"
+
+namespace psbox {
+namespace {
+
+// Even division of the fleet-wide worker budget: every sub-fleet gets at
+// least one worker; the first |threads % subfleets| slices get the spare.
+std::vector<int> SplitThreads(int subfleets, int threads) {
+  PSBOX_CHECK_GE(threads, 1);
+  std::vector<int> split(static_cast<size_t>(subfleets), 1);
+  const int base = threads / subfleets;
+  const int rem = threads % subfleets;
+  for (int s = 0; s < subfleets; ++s) {
+    split[static_cast<size_t>(s)] = std::max(1, base + (s < rem ? 1 : 0));
+  }
+  return split;
+}
+
+}  // namespace
+
+RootCoordinator::RootCoordinator(FleetScenario scenario, int threads)
+    : rt_(std::move(scenario)) {
+  Init(SplitThreads(rt_.scenario().subfleets, threads), /*spawn=*/true);
+}
+
+RootCoordinator::RootCoordinator(FleetScenario scenario,
+                                 std::vector<int> subfleet_threads)
+    : rt_(std::move(scenario)) {
+  Init(subfleet_threads, /*spawn=*/true);
+}
+
+RootCoordinator::RootCoordinator(FleetScenario scenario, int threads,
+                                 RestoreTag)
+    : rt_(std::move(scenario)) {
+  // Checkpoint restore: sub-fleets and app runtimes are built, but every
+  // spawn is replayed from the checkpoint's logs instead (LoadCheckpoint).
+  Init(SplitThreads(rt_.scenario().subfleets, threads), /*spawn=*/false);
+}
+
+RootCoordinator::~RootCoordinator() = default;
+
+void RootCoordinator::Init(const std::vector<int>& threads_per_subfleet,
+                           bool spawn) {
+  const int subfleet_count = rt_.scenario().subfleets;
+  PSBOX_CHECK_EQ(static_cast<int>(threads_per_subfleet.size()),
+                 subfleet_count);
+  const int boards = static_cast<int>(rt_.shards().size());
+  const int base = boards / subfleet_count;
+  const int rem = boards % subfleet_count;
+  board_to_subfleet_.assign(static_cast<size_t>(boards), 0);
+  int first = 0;
+  for (int s = 0; s < subfleet_count; ++s) {
+    const int count = base + (s < rem ? 1 : 0);
+    PSBOX_CHECK_GE(threads_per_subfleet[static_cast<size_t>(s)], 1);
+    subfleets_.push_back(std::make_unique<SubFleetCoordinator>(
+        &rt_, s, first, count, threads_per_subfleet[static_cast<size_t>(s)]));
+    for (int b = first; b < first + count; ++b) {
+      board_to_subfleet_[static_cast<size_t>(b)] = s;
+    }
+    first += count;
+  }
+
+  budget_.total = rt_.scenario().fleet_budget;
+  budget_.allocation.assign(static_cast<size_t>(subfleet_count), 0.0);
+  budget_.consumed.assign(static_cast<size_t>(subfleet_count), 0.0);
+  if (budget_.enabled()) {
+    // Initial division: proportional to board count (everything is alive).
+    for (int s = 0; s < subfleet_count; ++s) {
+      budget_.allocation[static_cast<size_t>(s)] =
+          budget_.total * subfleets_[static_cast<size_t>(s)]->board_count() /
+          boards;
+      subfleets_[static_cast<size_t>(s)]->set_allocation(
+          budget_.allocation[static_cast<size_t>(s)]);
+    }
+  }
+
+  if (subfleet_count > 1) {
+    driver_pool_ = std::make_unique<ThreadPool>(subfleet_count);
+  }
+
+  if (spawn) {
+    auto& apps = rt_.apps();
+    for (size_t i = 0; i < apps.size(); ++i) {
+      SubFleetCoordinator& sf =
+          *subfleets_[static_cast<size_t>(SubfleetOf(apps[i].spec.board))];
+      sf.AdoptApp(static_cast<int>(i));
+      rt_.SpawnOn(apps[i], apps[i].spec.board, &sf.spawn_log());
+    }
+  }
+}
+
+void RootCoordinator::MoveApp(int app_index, int from_subfleet,
+                              int to_subfleet) {
+  if (from_subfleet == to_subfleet) {
+    return;
+  }
+  subfleets_[static_cast<size_t>(from_subfleet)]->ReleaseApp(app_index);
+  subfleets_[static_cast<size_t>(to_subfleet)]->AdoptApp(app_index);
+}
+
+void RootCoordinator::RunRounds(TimeNs from, TimeNs until) {
+  if (subfleets_.size() == 1) {
+    subfleets_[0]->RunRound(from, until);
+    return;
+  }
+  for (auto& sf : subfleets_) {
+    SubFleetCoordinator* p = sf.get();
+    driver_pool_->Submit([p, from, until] { p->RunRound(from, until); });
+  }
+  driver_pool_->WaitIdle();
+}
+
+void RootCoordinator::BoundaryBarriers(TimeNs now) {
+  if (subfleets_.size() == 1) {
+    subfleets_[0]->ProcessBarrier(now);
+    subfleets_[0]->TrimShards();
+    return;
+  }
+  // Safe to run concurrently: each barrier touches only its own shard slice
+  // and its own app ownership list.
+  for (auto& sf : subfleets_) {
+    SubFleetCoordinator* p = sf.get();
+    driver_pool_->Submit([p, now] {
+      p->ProcessBarrier(now);
+      p->TrimShards();
+    });
+  }
+  driver_pool_->WaitIdle();
+}
+
+void RootCoordinator::ProcessRootBarrier(TimeNs now) {
+  const size_t subfleet_count = subfleets_.size();
+  auto& apps = rt_.apps();
+  auto& shards = rt_.shards();
+  const MigrationPolicy& policy = rt_.policy();
+
+  // --- 1. digest exchange --------------------------------------------------
+  std::vector<SubFleetDigest> digests;
+  digests.reserve(subfleet_count);
+  for (auto& sf : subfleets_) {
+    digests.push_back(sf->BuildDigest());
+  }
+  // Global load view assembled purely from the digests. For placement this
+  // is as fresh as it gets (the digests were built at this boundary); the
+  // point is that it is the *only* remote state the root consumes.
+  std::vector<BoardLoad> view(shards.size());
+  for (const SubFleetDigest& d : digests) {
+    for (size_t i = 0; i < d.loads.size(); ++i) {
+      view[static_cast<size_t>(d.first_board) + i] = d.loads[i];
+    }
+  }
+
+  // --- 2a. cross-sub-fleet crash evacuations -------------------------------
+  // Apps whose whole sub-fleet slice died before a local target was found.
+  for (size_t ai = 0; ai < apps.size(); ++ai) {
+    FleetAppRuntime& app = apps[ai];
+    if (!app.evac_pending) {
+      continue;
+    }
+    app.evac_pending = false;
+    const int from = app.parked_from;
+    const int target = policy.ClaimTarget(view, from);
+    if (target < 0) {
+      app.lost = true;  // the whole fleet is dead
+      continue;
+    }
+    ++app.hops;
+    const bool transferred = rt_.TransferAppState(
+        app, from, target, app.parked_raw,
+        &subfleets_[static_cast<size_t>(SubfleetOf(target))]->spawn_log());
+    MigrationRecord rec;
+    rec.when = now;
+    rec.app = app.spec.name;
+    rec.from = from;
+    rec.to = target;
+    rec.crash = true;
+    rec.cross_subfleet = true;
+    rec.state_transfer = transferred;
+    rec.consumed_source = app.parked_consumed;
+    rec.budget_carried = app.budget_remaining;
+    rec.iterations_done = app.iterations_prev;
+    root_migrations_.push_back(std::move(rec));
+    MoveApp(static_cast<int>(ai), SubfleetOf(from), SubfleetOf(target));
+  }
+
+  // --- 2b. parked graceful hand-offs ---------------------------------------
+  // Drains the root ordered towards a remote target; the target is
+  // re-validated against this boundary's digests (it may have died since the
+  // decision one root period ago).
+  for (size_t ai = 0; ai < apps.size(); ++ai) {
+    FleetAppRuntime& app = apps[ai];
+    if (!app.parked) {
+      continue;
+    }
+    app.parked = false;
+    const int from = app.parked_from;
+    int target = app.cross_target;
+    if (target >= 0 && view[static_cast<size_t>(target)].alive) {
+      ++view[static_cast<size_t>(target)].active_apps;  // claim
+    } else {
+      target = policy.ClaimTarget(view, from);
+    }
+    if (target < 0) {
+      app.finished = true;  // nowhere to go; what ran is the outcome
+      app.board = from;
+      app.cross_target = -1;
+      continue;
+    }
+    ++app.hops;
+    ++app.rebalance_hops;
+    rt_.SpawnOn(
+        app, target,
+        &subfleets_[static_cast<size_t>(SubfleetOf(target))]->spawn_log());
+    MigrationRecord rec;
+    rec.when = now;
+    rec.app = app.spec.name;
+    rec.from = from;
+    rec.to = target;
+    rec.crash = false;
+    rec.cross_subfleet = true;
+    rec.consumed_source = app.parked_consumed;
+    rec.budget_carried = app.budget_remaining;
+    rec.iterations_done = app.iterations_prev;
+    root_migrations_.push_back(std::move(rec));
+    MoveApp(static_cast<int>(ai), SubfleetOf(from), SubfleetOf(target));
+  }
+
+  // --- 3. fleet-budget ledger re-division ----------------------------------
+  if (budget_.enabled()) {
+    int alive_total = 0;
+    for (const SubFleetDigest& d : digests) {
+      alive_total += d.alive_boards;
+    }
+    for (size_t s = 0; s < subfleet_count; ++s) {
+      budget_.consumed[s] = digests[s].energy_total;
+      budget_.allocation[s] =
+          alive_total > 0
+              ? budget_.total * digests[s].alive_boards / alive_total
+              : 0.0;
+      subfleets_[s]->set_allocation(budget_.allocation[s]);
+    }
+  }
+
+  // --- 4. rebalance: at most one donated app per root barrier --------------
+  if (!budget_.enabled() || !policy.config().enabled || subfleet_count < 2 ||
+      now >= rt_.scenario().horizon) {
+    return;
+  }
+  const double fleet_pressure = budget_.FleetPressure();
+  if (fleet_pressure <= 0.0) {
+    return;
+  }
+  int donor = -1;
+  double donor_pressure = 0.0;
+  for (size_t s = 0; s < subfleet_count; ++s) {
+    const double p = budget_.Pressure(s);
+    if (donor < 0 || p > donor_pressure) {
+      donor = static_cast<int>(s);
+      donor_pressure = p;
+    }
+  }
+  if (donor_pressure <= policy.config().rebalance_ratio * fleet_pressure) {
+    return;
+  }
+  // The donor's hungriest live app: most energy drawn on its current hop.
+  // Ties break towards the lowest app index (strict >).
+  int best_app = -1;
+  Joules best_consumed = -1.0;
+  for (int ai : subfleets_[static_cast<size_t>(donor)]->owned_apps()) {
+    FleetAppRuntime& app = apps[static_cast<size_t>(ai)];
+    if (app.finished || app.lost || app.draining || app.parked ||
+        app.evac_pending || !app.spec.migratable || app.board < 0) {
+      continue;
+    }
+    if (app.rebalance_hops >= policy.config().max_hops) {
+      continue;
+    }
+    if (!app.spec.options.use_psbox || app.handle.stats == nullptr ||
+        app.handle.stats->box < 0) {
+      continue;
+    }
+    FleetShard& shard = *shards[static_cast<size_t>(app.board)];
+    if (shard.failed) {
+      continue;
+    }
+    const Joules consumed =
+        std::max(0.0, shard.manager->ReadEnergy(app.handle.stats->box) -
+                          app.transferred_base);
+    if (consumed > best_consumed) {
+      best_app = ai;
+      best_consumed = consumed;
+    }
+  }
+  if (best_app < 0) {
+    return;
+  }
+  // Target: lowest-score alive board outside the donor, from the digests.
+  std::vector<BoardLoad> outside = view;
+  const int donor_first =
+      subfleets_[static_cast<size_t>(donor)]->first_board();
+  const int donor_boards =
+      subfleets_[static_cast<size_t>(donor)]->board_count();
+  for (int b = donor_first; b < donor_first + donor_boards; ++b) {
+    outside[static_cast<size_t>(b)].alive = false;
+  }
+  const int target = policy.PickTarget(outside, -1);
+  if (target < 0) {
+    return;
+  }
+  FleetAppRuntime& app = apps[static_cast<size_t>(best_app)];
+  app.cross_target = target;
+  *app.stop = true;  // cooperative drain; the park happens at a sub-barrier
+  app.draining = true;
+}
+
+FleetStats RootCoordinator::Run() {
+  PSBOX_CHECK(!ran_);
+  ran_ = true;
+  const FleetScenario& scenario = rt_.scenario();
+  const DurationNs period = scenario.epoch * scenario.root_period;
+
+  TimeNs t = 0;
+  uint64_t epochs_done = 0;
+  if (resumed_) {
+    // The checkpoint was cut with every shard advanced to resume_t_ but the
+    // boundary barriers not yet processed — re-run them (and the root
+    // barrier) on the restored, bit-identical state and continue.
+    BoundaryBarriers(resume_t_);
+    ProcessRootBarrier(resume_t_);
+    t = resume_t_;
+    epochs_done = static_cast<uint64_t>(resume_t_ / scenario.epoch);
+  }
+  uint64_t next_checkpoint =
+      checkpoint_every_ > 0
+          ? (epochs_done / static_cast<uint64_t>(checkpoint_every_) + 1) *
+                static_cast<uint64_t>(checkpoint_every_)
+          : 0;
+
+  while (t < scenario.horizon) {
+    const TimeNs next = std::min<TimeNs>(t + period, scenario.horizon);
+    RunRounds(t, next);
+    epochs_done +=
+        static_cast<uint64_t>((next - t + scenario.epoch - 1) / scenario.epoch);
+    // Checkpoint cadence: the instant after all rounds joined and before the
+    // boundary barriers is the only globally quiescent point — the barriers'
+    // respawns schedule work that the event census would (correctly) refuse
+    // to serialise.
+    if (checkpoint_every_ > 0 && !checkpoint_path_.empty() &&
+        next < scenario.horizon && epochs_done >= next_checkpoint) {
+      std::string error;
+      if (!WriteCheckpoint(next, &error)) {
+        PSBOX_CHECK(false);  // census refusal: a serialiser lost a timer
+      }
+      next_checkpoint =
+          (epochs_done / static_cast<uint64_t>(checkpoint_every_) + 1) *
+          static_cast<uint64_t>(checkpoint_every_);
+    }
+    BoundaryBarriers(next);
+    ProcessRootBarrier(next);
+    t = next;
+  }
+
+  // Settle apps still running at the horizon so their last hop is billed.
+  // Parked hops were already closed when they parked.
+  for (FleetAppRuntime& app : rt_.apps()) {
+    if (!app.finished && !app.lost && !app.parked && !app.evac_pending &&
+        app.board >= 0) {
+      rt_.CloseHop(app);
+    }
+  }
+  return Aggregate();
+}
+
+bool RootCoordinator::WriteCheckpoint(TimeNs now, std::string* error) {
+  const FleetScenario& scenario = rt_.scenario();
+  SnapshotWriter w;
+  w.Section("fleet");
+
+  // Compatibility block: enough of the scenario to refuse a restore under a
+  // different one (factories cannot be serialised, so the caller re-supplies
+  // the scenario and these fields cross-check it).
+  w.U64(scenario.seed);
+  w.I64(scenario.epoch);
+  w.I64(scenario.horizon);
+  w.U64(scenario.boards.size());
+  for (const FleetBoardSpec& spec : scenario.boards) {
+    w.I64(spec.fail_at);
+  }
+  w.U64(scenario.apps.size());
+  for (const FleetAppSpec& spec : scenario.apps) {
+    w.Str(spec.name);
+    w.I64(spec.board);
+    w.Bool(spec.options.use_psbox);
+  }
+  w.Bool(scenario.migration.enabled);
+  w.F64(scenario.migration.pressure_fraction);
+  w.I64(scenario.migration.max_hops);
+  w.Bool(scenario.crash_state_transfer);
+  // Hierarchy/budget block (format v2): the sub-fleet split shapes every
+  // load view and therefore every placement — a different split is a
+  // different scenario, not a resumable state.
+  w.I64(scenario.subfleets);
+  w.I64(scenario.root_period);
+  w.F64(scenario.fleet_budget);
+  w.F64(scenario.migration.energy_weight);
+  w.F64(scenario.migration.rebalance_ratio);
+
+  w.I64(now);  // root boundary the restored run resumes at
+
+  // Budget ledger: the live allocations are bounded-stale state the
+  // sub-fleets keep using until the next root barrier.
+  for (const auto& sf : subfleets_) {
+    w.F64(sf->allocation());
+  }
+
+  const auto write_migrations =
+      [&w](const std::vector<MigrationRecord>& migrations) {
+        w.U64(migrations.size());
+        for (const MigrationRecord& m : migrations) {
+          w.I64(m.when);
+          w.Str(m.app);
+          w.I64(m.from);
+          w.I64(m.to);
+          w.Bool(m.crash);
+          w.Bool(m.cross_subfleet);
+          w.Bool(m.state_transfer);
+          w.F64(m.consumed_source);
+          w.F64(m.budget_carried);
+          w.U64(m.iterations_done);
+        }
+      };
+
+  // Per-sub-fleet spawn logs (replayed verbatim on restore so every shard
+  // re-creates its apps/tasks through the same factory calls, in the same
+  // order) and local migration histories.
+  for (const auto& sf : subfleets_) {
+    const std::vector<SpawnRecord>& log = sf->spawn_log();
+    w.U64(log.size());
+    for (const SpawnRecord& rec : log) {
+      w.I64(rec.app_index);
+      w.I64(rec.board);
+      w.Str(rec.label);
+      w.U64(rec.iterations);
+    }
+    write_migrations(sf->migrations());
+  }
+  write_migrations(root_migrations_);
+
+  // Coordinator-side app runtime state.
+  for (const FleetAppRuntime& app : rt_.apps()) {
+    w.I64(app.board);
+    w.I64(app.hops);
+    w.I64(app.budget_hops);
+    w.I64(app.rebalance_hops);
+    w.Bool(app.draining);
+    w.Bool(app.finished);
+    w.Bool(app.lost);
+    w.F64(app.billed);
+    w.Bool(app.ever_sandboxed);
+    w.F64(app.budget_remaining);
+    w.U64(app.iterations_prev);
+    w.U64(app.remaining);
+    w.F64(app.transferred_base);
+    w.I64(app.cross_target);
+    w.Bool(app.parked);
+    w.Bool(app.evac_pending);
+    w.I64(app.parked_from);
+    w.F64(app.parked_consumed);
+    w.F64(app.parked_raw);
+  }
+  for (uint64_t iters : rt_.board_iterations()) {
+    w.U64(iters);
+  }
+
+  // Every shard, whole: device state, kernel, sandboxes, pending events.
+  for (const auto& shard : rt_.shards()) {
+    w.Bool(shard->failed);
+    w.I64(shard->now);
+    if (!SaveBoardShard(*shard->board, *shard->kernel, *shard->manager, &w,
+                        error)) {
+      return false;
+    }
+  }
+
+  // snapshot_corrupt fault: the checkpoint write itself is torn mid-file
+  // (simulated power loss while flushing). The truncated file fails CRC/size
+  // validation on restore — exactly the robustness case being modelled — so
+  // the write "succeeds" from the running fleet's point of view.
+  if (rt_.shards()[0]->board->fault_injector().ShouldCorruptSnapshot()) {
+    std::vector<uint8_t> blob = w.Seal();
+    blob.resize(blob.size() / 2);
+    std::ofstream out(checkpoint_path_, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+    return true;
+  }
+  return w.WriteFile(checkpoint_path_, error);
+}
+
+bool RootCoordinator::LoadCheckpoint(SnapshotReader& r, std::string* error) {
+  const FleetScenario& scenario = rt_.scenario();
+  auto& apps = rt_.apps();
+  auto& shards = rt_.shards();
+  auto fail = [&](const std::string& msg) {
+    *error = msg;
+    return false;
+  };
+  if (!r.Section("fleet")) {
+    return fail(r.error());
+  }
+
+  // Compatibility block: every mismatch is a different scenario, not a
+  // corrupt file — say so.
+  const uint64_t seed = r.U64();
+  const TimeNs epoch = r.I64();
+  const TimeNs horizon = r.I64();
+  if (!r.ok()) {
+    return fail(r.error());
+  }
+  if (seed != scenario.seed || epoch != scenario.epoch ||
+      horizon != scenario.horizon) {
+    return fail(
+        "checkpoint was written under a different fleet scenario "
+        "(seed/epoch/horizon mismatch)");
+  }
+  const size_t board_count = r.Count(sizeof(int64_t));
+  if (board_count != scenario.boards.size()) {
+    return fail("checkpoint board count does not match the scenario");
+  }
+  for (size_t i = 0; i < board_count && r.ok(); ++i) {
+    if (r.I64() != scenario.boards[i].fail_at) {
+      return fail("checkpoint board failure plan does not match the scenario");
+    }
+  }
+  const size_t app_count = r.Count(1);
+  if (app_count != scenario.apps.size()) {
+    return fail("checkpoint app count does not match the scenario");
+  }
+  for (size_t i = 0; i < app_count && r.ok(); ++i) {
+    const std::string name = r.Str();
+    const int64_t board = r.I64();
+    const bool use_psbox = r.Bool();
+    const FleetAppSpec& spec = scenario.apps[i];
+    if (name != spec.name || board != spec.board ||
+        use_psbox != spec.options.use_psbox) {
+      return fail("checkpoint app list does not match the scenario");
+    }
+  }
+  const bool mig_enabled = r.Bool();
+  const double pressure = r.F64();
+  const int64_t max_hops = r.I64();
+  const bool state_transfer = r.Bool();
+  if (!r.ok()) {
+    return fail(r.error());
+  }
+  if (mig_enabled != scenario.migration.enabled ||
+      pressure != scenario.migration.pressure_fraction ||
+      max_hops != scenario.migration.max_hops ||
+      state_transfer != scenario.crash_state_transfer) {
+    return fail("checkpoint migration policy does not match the scenario");
+  }
+  const int64_t subfleet_count = r.I64();
+  const int64_t root_period = r.I64();
+  const double fleet_budget = r.F64();
+  const double energy_weight = r.F64();
+  const double rebalance_ratio = r.F64();
+  if (!r.ok()) {
+    return fail(r.error());
+  }
+  if (subfleet_count != scenario.subfleets ||
+      root_period != scenario.root_period ||
+      fleet_budget != scenario.fleet_budget ||
+      energy_weight != scenario.migration.energy_weight ||
+      rebalance_ratio != scenario.migration.rebalance_ratio) {
+    return fail(
+        "checkpoint was written under a different fleet scenario "
+        "(hierarchy/budget mismatch)");
+  }
+
+  resume_t_ = r.I64();
+
+  for (auto& sf : subfleets_) {
+    const Joules allocation = r.F64();
+    sf->set_allocation(allocation);
+    budget_.allocation[static_cast<size_t>(sf->index())] = allocation;
+  }
+
+  const auto read_migrations = [&](std::vector<MigrationRecord>* out) {
+    const size_t count = r.Count(6 * sizeof(int64_t));
+    out->clear();
+    out->reserve(count);
+    for (size_t i = 0; i < count && r.ok(); ++i) {
+      MigrationRecord m;
+      m.when = r.I64();
+      m.app = r.Str();
+      m.from = static_cast<int>(r.I64());
+      m.to = static_cast<int>(r.I64());
+      m.crash = r.Bool();
+      m.cross_subfleet = r.Bool();
+      m.state_transfer = r.Bool();
+      m.consumed_source = r.F64();
+      m.budget_carried = r.F64();
+      m.iterations_done = r.U64();
+      out->push_back(std::move(m));
+    }
+  };
+
+  for (auto& sf : subfleets_) {
+    const size_t spawn_count = r.Count(3 * sizeof(int64_t));
+    std::vector<SpawnRecord>& log = sf->spawn_log();
+    log.clear();
+    log.reserve(spawn_count);
+    for (size_t i = 0; i < spawn_count && r.ok(); ++i) {
+      SpawnRecord rec;
+      rec.app_index = static_cast<int>(r.I64());
+      rec.board = static_cast<int>(r.I64());
+      rec.label = r.Str();
+      rec.iterations = r.U64();
+      if (rec.app_index < 0 ||
+          static_cast<size_t>(rec.app_index) >= apps.size() ||
+          !sf->Owns(rec.board)) {
+        return fail("checkpoint spawn log references an out-of-range app/board");
+      }
+      log.push_back(std::move(rec));
+    }
+    read_migrations(&sf->migrations());
+  }
+  read_migrations(&root_migrations_);
+
+  for (FleetAppRuntime& app : apps) {
+    app.board = static_cast<int>(r.I64());
+    app.hops = static_cast<int>(r.I64());
+    app.budget_hops = static_cast<int>(r.I64());
+    app.rebalance_hops = static_cast<int>(r.I64());
+    app.draining = r.Bool();
+    app.finished = r.Bool();
+    app.lost = r.Bool();
+    app.billed = r.F64();
+    app.ever_sandboxed = r.Bool();
+    app.budget_remaining = r.F64();
+    app.iterations_prev = r.U64();
+    app.remaining = r.U64();
+    app.transferred_base = r.F64();
+    app.cross_target = static_cast<int>(r.I64());
+    app.parked = r.Bool();
+    app.evac_pending = r.Bool();
+    app.parked_from = static_cast<int>(r.I64());
+    app.parked_consumed = r.F64();
+    app.parked_raw = r.F64();
+  }
+  for (uint64_t& iters : rt_.board_iterations()) {
+    iters = r.U64();
+  }
+  if (!r.ok()) {
+    return fail(r.error());
+  }
+
+  // Rebuild the per-sub-fleet app ownership lists from the restored state:
+  // an app belongs to the sub-fleet of its current board, or — parked with
+  // its hop closed — of the board it last ran on.
+  for (size_t i = 0; i < apps.size(); ++i) {
+    const int home = apps[i].board >= 0 ? apps[i].board : apps[i].parked_from;
+    if (home < 0 || static_cast<size_t>(home) >= shards.size()) {
+      return fail("checkpoint app state references an out-of-range board");
+    }
+    subfleets_[static_cast<size_t>(SubfleetOf(home))]->AdoptApp(
+        static_cast<int>(i));
+  }
+
+  // An app's live handle/stop belong to its most recent spawn — within one
+  // sub-fleet's log that is its last record, and only the log of the
+  // sub-fleet owning the app's current board can hold it (the board is
+  // cross-checked to reject a stale last record in a sub-fleet the app has
+  // since left). Earlier spawns are replayed only to reconstruct each
+  // shard's task population.
+  std::vector<std::vector<int>> last_spawn(subfleets_.size());
+  for (const auto& sf : subfleets_) {
+    std::vector<int>& last = last_spawn[static_cast<size_t>(sf->index())];
+    last.assign(apps.size(), -1);
+    const std::vector<SpawnRecord>& log = sf->spawn_log();
+    for (size_t i = 0; i < log.size(); ++i) {
+      last[static_cast<size_t>(log[i].app_index)] = static_cast<int>(i);
+    }
+  }
+
+  for (auto& shard : shards) {
+    shard->failed = r.Bool();
+    shard->now = r.I64();
+    if (!r.ok()) {
+      return fail(r.error());
+    }
+    FleetShard* s = shard.get();
+    SubFleetCoordinator& owner =
+        *subfleets_[static_cast<size_t>(SubfleetOf(s->index))];
+    const std::vector<int>& last =
+        last_spawn[static_cast<size_t>(owner.index())];
+    auto replay = [this, s, &owner, &last] {
+      const std::vector<SpawnRecord>& log = owner.spawn_log();
+      auto& all_apps = rt_.apps();
+      for (size_t i = 0; i < log.size(); ++i) {
+        const SpawnRecord& rec = log[i];
+        if (rec.board != s->index) {
+          continue;
+        }
+        FleetAppRuntime& app = all_apps[static_cast<size_t>(rec.app_index)];
+        AppOptions opts = app.spec.options;
+        opts.iterations = rec.iterations;
+        auto stop = std::make_shared<bool>(false);
+        opts.stop = stop;
+        AppHandle handle = app.spec.factory(*s->kernel, rec.label, opts);
+        if (last[static_cast<size_t>(rec.app_index)] == static_cast<int>(i) &&
+            rec.board == app.board) {
+          app.stop = std::move(stop);
+          app.handle = handle;
+        }
+      }
+    };
+    if (!RestoreBoardShard(r, *s->board, *s->kernel, *s->manager, replay,
+                           error)) {
+      return false;
+    }
+  }
+
+  // Draining apps had their cooperative stop flag raised before the
+  // checkpoint; the replayed tasks get fresh flags, so re-raise them.
+  for (FleetAppRuntime& app : apps) {
+    if (app.draining && app.stop != nullptr) {
+      *app.stop = true;
+    }
+  }
+
+  if (!r.AtEnd()) {
+    return fail("checkpoint has trailing bytes after the last shard");
+  }
+  return true;
+}
+
+std::unique_ptr<RootCoordinator> RootCoordinator::RestoreFromCheckpoint(
+    FleetScenario scenario, int threads, const std::string& path,
+    std::string* error) {
+  SnapshotReader r;
+  if (!r.OpenFile(path)) {
+    *error = r.error();
+    return nullptr;
+  }
+  std::unique_ptr<RootCoordinator> coord(
+      new RootCoordinator(std::move(scenario), threads, RestoreTag{}));
+  if (!coord->LoadCheckpoint(r, error)) {
+    return nullptr;
+  }
+  coord->resumed_ = true;
+  return coord;
+}
+
+FleetStats RootCoordinator::Aggregate() {
+  auto& shards = rt_.shards();
+  auto& apps = rt_.apps();
+  FleetStats stats;
+  stats.boards.resize(shards.size());
+  for (size_t i = 0; i < shards.size(); ++i) {
+    FleetShard& shard = *shards[i];
+    FleetBoardStats& b = stats.boards[i];
+    b.failed = shard.failed;
+    b.ran_until = shard.now;
+    b.iterations = rt_.board_iterations()[i];
+    b.events_fired = shard.kernel->sim().total_fired();
+    for (size_t c = 0; c < kNumHwComponents; ++c) {
+      const HwComponent hw = static_cast<HwComponent>(c);
+      b.rail_energy += shard.board->RailFor(hw).EnergyOver(0, shard.now);
+      const DomainStats& d = shard.kernel->domain(hw).domain_stats();
+      b.balloons += d.balloons;
+      b.balloons_aborted += d.aborted;
+    }
+  }
+
+  // Migration history: the sub-fleets' local lists (each internally
+  // chronological) in sub-fleet order, then the root's cross-sub-fleet list,
+  // merged into one chronological stream. The stable sort keeps the
+  // fixed concatenation order within a barrier instant, so the merged list
+  // is identical at any thread count.
+  for (const auto& sf : subfleets_) {
+    stats.migrations.insert(stats.migrations.end(), sf->migrations().begin(),
+                            sf->migrations().end());
+  }
+  stats.migrations.insert(stats.migrations.end(), root_migrations_.begin(),
+                          root_migrations_.end());
+  std::stable_sort(
+      stats.migrations.begin(), stats.migrations.end(),
+      [](const MigrationRecord& a, const MigrationRecord& b) {
+        return a.when < b.when;
+      });
+  for (const MigrationRecord& m : stats.migrations) {
+    ++stats.boards[static_cast<size_t>(m.from)].migrations_out;
+    ++stats.boards[static_cast<size_t>(m.to)].migrations_in;
+  }
+
+  stats.subfleets.resize(subfleets_.size());
+  for (size_t s = 0; s < subfleets_.size(); ++s) {
+    SubFleetStats& out = stats.subfleets[s];
+    out.first_board = subfleets_[s]->first_board();
+    out.boards = subfleets_[s]->board_count();
+    out.allocation = subfleets_[s]->allocation();
+    for (int b = out.first_board; b < out.first_board + out.boards; ++b) {
+      out.energy += stats.boards[static_cast<size_t>(b)].rail_energy;
+    }
+  }
+  for (const MigrationRecord& m : root_migrations_) {
+    ++stats.subfleets[static_cast<size_t>(SubfleetOf(m.from))].cross_out;
+    ++stats.subfleets[static_cast<size_t>(SubfleetOf(m.to))].cross_in;
+  }
+
+  stats.apps.reserve(apps.size());
+  for (const FleetAppRuntime& app : apps) {
+    FleetAppOutcome out;
+    out.name = app.spec.name;
+    out.hops = app.hops;
+    out.final_board = app.board;
+    out.finished = app.finished;
+    out.lost = app.lost;
+    out.iterations = app.iterations_prev;
+    out.billed_energy = app.ever_sandboxed ? app.billed : -1.0;
+    stats.apps.push_back(std::move(out));
+  }
+  return stats;
+}
+
+}  // namespace psbox

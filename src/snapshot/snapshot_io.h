@@ -37,7 +37,9 @@
 namespace psbox {
 
 // Bump on any payload layout change; readers reject other versions.
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+// v2: hierarchical fleet checkpoints — hierarchy/budget compat block,
+// per-sub-fleet spawn logs and allocations, cross-sub-fleet app state.
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
 inline constexpr char kSnapshotMagic[8] = {'P', 'S', 'B', 'X',
                                            'S', 'N', 'A', 'P'};
 inline constexpr size_t kSnapshotHeaderSize = 8 + 4 + 8 + 4;

@@ -13,7 +13,7 @@
 
 #include <gtest/gtest.h>
 
-#include "src/fleet/fleet_coordinator.h"
+#include "src/fleet/root_coordinator.h"
 
 namespace psbox {
 namespace {
@@ -58,7 +58,7 @@ FleetScenario MixedScenario(uint64_t seed) {
 }
 
 uint64_t RunFingerprint(const FleetScenario& scenario, int threads) {
-  FleetCoordinator fleet(scenario, threads);
+  RootCoordinator fleet(scenario, threads);
   return fleet.Run().Fingerprint();
 }
 
@@ -87,8 +87,8 @@ TEST(FleetDeterminismTest, EventsFiredIdenticalAcrossThreadCounts) {
   // not depend on the worker-thread count, and a busy board fires a
   // non-trivial number of events.
   const FleetScenario scenario = MixedScenario(0xF1EE7);
-  const FleetStats one = FleetCoordinator(scenario, 1).Run();
-  const FleetStats four = FleetCoordinator(scenario, 4).Run();
+  const FleetStats one = RootCoordinator(scenario, 1).Run();
+  const FleetStats four = RootCoordinator(scenario, 4).Run();
   ASSERT_EQ(one.boards.size(), four.boards.size());
   for (size_t i = 0; i < one.boards.size(); ++i) {
     EXPECT_EQ(one.boards[i].events_fired, four.boards[i].events_fired)
@@ -100,7 +100,7 @@ TEST(FleetDeterminismTest, EventsFiredIdenticalAcrossThreadCounts) {
 TEST(FleetDeterminismTest, MigrationsActuallyHappenInTheMixedScenario) {
   // Guards the determinism tests against vacuity: the fingerprints above
   // must cover real cross-board activity, not three idle islands.
-  FleetCoordinator fleet(MixedScenario(0xF1EE7), 2);
+  RootCoordinator fleet(MixedScenario(0xF1EE7), 2);
   const FleetStats stats = fleet.Run();
   EXPECT_FALSE(stats.migrations.empty());
   uint64_t balloons = 0;
@@ -140,9 +140,9 @@ TEST(FleetMigrationTest, BudgetConservedAcrossMigration) {
   split.apps[0].migratable = true;
   split.migration.pressure_fraction = 0.5;
 
-  FleetCoordinator single_fleet(single, 1);
+  RootCoordinator single_fleet(single, 1);
   const FleetStats single_stats = single_fleet.Run();
-  FleetCoordinator split_fleet(split, 2);
+  RootCoordinator split_fleet(split, 2);
   const FleetStats split_stats = split_fleet.Run();
 
   ASSERT_EQ(single_stats.apps.size(), 1u);
@@ -202,7 +202,7 @@ TEST(FleetMigrationTest, BoardFailureEvacuatesApps) {
   doomed.migratable = false;  // rides the board down
   scenario.apps.push_back(doomed);
 
-  FleetCoordinator fleet(scenario, 2);
+  RootCoordinator fleet(scenario, 2);
   const FleetStats stats = fleet.Run();
 
   EXPECT_TRUE(stats.boards[0].failed);
@@ -257,9 +257,9 @@ TEST(FleetMigrationTest, CrashEvacuationBillingMatchesSingleBoard) {
   FleetScenario legacy = crashed;
   legacy.crash_state_transfer = false;
 
-  const FleetStats single_stats = FleetCoordinator(single, 1).Run();
-  const FleetStats xfer_stats = FleetCoordinator(crashed, 2).Run();
-  const FleetStats carry_stats = FleetCoordinator(legacy, 2).Run();
+  const FleetStats single_stats = RootCoordinator(single, 1).Run();
+  const FleetStats xfer_stats = RootCoordinator(crashed, 2).Run();
+  const FleetStats carry_stats = RootCoordinator(legacy, 2).Run();
 
   // Both evacuations really happened, in the intended mode.
   ASSERT_EQ(xfer_stats.migrations.size(), 1u);
@@ -322,7 +322,7 @@ TEST(FleetMigrationTest, CorruptedTransferFallsBackToDrainCarry) {
   scenario.apps.push_back(app);
 
   ASSERT_TRUE(scenario.crash_state_transfer);  // transfer attempted...
-  const FleetStats stats = FleetCoordinator(scenario, 2).Run();
+  const FleetStats stats = RootCoordinator(scenario, 2).Run();
 
   ASSERT_EQ(stats.migrations.size(), 1u);
   const MigrationRecord& m = stats.migrations[0];
@@ -332,6 +332,237 @@ TEST(FleetMigrationTest, CorruptedTransferFallsBackToDrainCarry) {
   EXPECT_TRUE(stats.apps[0].finished);
   EXPECT_EQ(stats.apps[0].iterations, 120u);
   EXPECT_FALSE(stats.apps[0].lost);
+}
+
+// A larger fleet exercising the full hierarchy: six boards, budgeted apps on
+// every slice, a board failure, a fleet-wide energy budget, and a root
+// period > 1 so sub-fleets genuinely run ahead between root barriers.
+FleetScenario HierarchicalScenario(uint64_t seed, int subfleets) {
+  FleetScenario scenario;
+  scenario.seed = seed;
+  scenario.horizon = Seconds(1);
+  scenario.epoch = 10 * kMillisecond;
+  scenario.subfleets = subfleets;
+  scenario.root_period = 4;
+  scenario.fleet_budget = 30.0;
+  scenario.boards.resize(6);
+  scenario.boards[4].fail_at = Millis(370);
+
+  struct Mix {
+    const char* name;
+    AppFactory factory;
+    int board;
+    bool sandboxed;
+    Joules budget;
+  };
+  const Mix mix[] = {
+      {"calib3d", &SpawnCalib3d, 0, true, 1.0},
+      {"triangle", &SpawnTriangle, 0, true, 0.7},
+      {"bodytrack", &SpawnBodytrack, 1, false, 0.0},
+      {"scp", &SpawnScp, 2, true, 0.5},
+      {"mediascan", &SpawnMediaScan, 3, true, 0.4},
+      {"dedup", &SpawnDedup, 4, false, 0.0},
+      {"calib3d2", &SpawnCalib3d, 4, true, 0.9},
+      {"triangle2", &SpawnTriangle, 5, true, 0.6},
+  };
+  for (const Mix& m : mix) {
+    FleetAppSpec spec;
+    spec.name = m.name;
+    spec.factory = m.factory;
+    spec.board = m.board;
+    spec.options.deadline = scenario.horizon;
+    spec.options.use_psbox = m.sandboxed;
+    spec.energy_budget = m.budget;
+    spec.migratable = m.sandboxed;
+    scenario.apps.push_back(spec);
+  }
+  return scenario;
+}
+
+TEST(HierarchicalFleetTest, FingerprintIdenticalAcrossThreadCounts) {
+  // The tentpole determinism contract: for each sub-fleet split, the
+  // fingerprint is bit-identical at any worker-thread count. (Different
+  // splits are different scenarios and may legitimately differ.)
+  for (int subfleets : {2, 3}) {
+    const FleetScenario scenario = HierarchicalScenario(0xF1EE7, subfleets);
+    const uint64_t one = RunFingerprint(scenario, 1);
+    const uint64_t two = RunFingerprint(scenario, 2);
+    const uint64_t four = RunFingerprint(scenario, 4);
+    EXPECT_EQ(one, two) << "subfleets " << subfleets;
+    EXPECT_EQ(one, four) << "subfleets " << subfleets;
+  }
+}
+
+TEST(HierarchicalFleetTest, FingerprintIdenticalAcrossWorkerAllocations) {
+  // ... and under any explicit assignment of workers to sub-fleets.
+  const FleetScenario scenario = HierarchicalScenario(0xF1EE7, 2);
+  const uint64_t even = RootCoordinator(scenario, {2, 2}).Run().Fingerprint();
+  const uint64_t skew = RootCoordinator(scenario, {1, 3}).Run().Fingerprint();
+  const uint64_t flat4 = RunFingerprint(scenario, 4);
+  EXPECT_EQ(even, skew);
+  EXPECT_EQ(even, flat4);
+}
+
+TEST(HierarchicalFleetTest, HierarchyActuallyExercised) {
+  // Vacuity guard for the fingerprints above: the scenario really migrates,
+  // really fails a board, and reports per-sub-fleet budget allocations.
+  RootCoordinator fleet(HierarchicalScenario(0xF1EE7, 2), 4);
+  const FleetStats stats = fleet.Run();
+  EXPECT_FALSE(stats.migrations.empty());
+  EXPECT_TRUE(stats.boards[4].failed);
+  ASSERT_EQ(stats.subfleets.size(), 2u);
+  EXPECT_EQ(stats.subfleets[0].first_board, 0);
+  EXPECT_EQ(stats.subfleets[0].boards, 3);
+  EXPECT_EQ(stats.subfleets[1].first_board, 3);
+  EXPECT_EQ(stats.subfleets[1].boards, 3);
+  EXPECT_GT(stats.subfleets[0].energy, 0.0);
+  EXPECT_GT(stats.subfleets[1].energy, 0.0);
+  // The ledger was divided: allocations sum to the fleet budget (the failed
+  // board shifts shares, it never destroys budget).
+  EXPECT_NEAR(stats.subfleets[0].allocation + stats.subfleets[1].allocation,
+              30.0, 1e-9);
+}
+
+// In-epoch hand-off: a board failure inside a root period is resolved at the
+// owning sub-fleet's own barrier (the failure instant), never deferred to
+// the next root boundary.
+TEST(HierarchicalFleetTest, FailureHandoffDoesNotWaitForRootBarrier) {
+  FleetScenario scenario;
+  scenario.seed = 0x5eed;
+  scenario.horizon = Seconds(1);
+  scenario.epoch = 10 * kMillisecond;
+  scenario.subfleets = 2;        // boards {0,1} and {2,3}
+  scenario.root_period = 4;      // root barriers at 40 ms multiples
+  scenario.boards.resize(4);
+  scenario.boards[0].fail_at = Millis(300);  // not a root boundary (300/40)
+
+  FleetAppSpec app;
+  app.name = "calib3d";
+  app.factory = &SpawnCalib3d;
+  app.board = 0;
+  app.options.deadline = scenario.horizon;
+  app.options.use_psbox = true;
+  app.migratable = true;
+  scenario.apps.push_back(app);
+
+  const FleetStats stats = RootCoordinator(scenario, 2).Run();
+  ASSERT_EQ(stats.migrations.size(), 1u);
+  const MigrationRecord& m = stats.migrations[0];
+  EXPECT_TRUE(m.crash);
+  EXPECT_FALSE(m.cross_subfleet);
+  EXPECT_EQ(m.when, Millis(300));  // the sub-fleet barrier, not 320 ms
+  EXPECT_EQ(m.from, 0);
+  EXPECT_EQ(m.to, 1);  // evacuated inside the sub-fleet
+  EXPECT_FALSE(stats.apps[0].lost);
+}
+
+// When a whole sub-fleet slice is dead, the evacuation escalates: the app
+// parks at the failure barrier and the root places it cross-sub-fleet from
+// digests at the next root boundary.
+TEST(HierarchicalFleetTest, WholeSliceDeadEscalatesCrossSubfleet) {
+  FleetScenario scenario;
+  scenario.seed = 0x5eed;
+  scenario.horizon = Seconds(1);
+  scenario.epoch = 10 * kMillisecond;
+  scenario.subfleets = 2;    // boards {0,1} and {2,3}
+  scenario.root_period = 4;  // root barriers at 40 ms multiples
+  scenario.boards.resize(4);
+  scenario.boards[1].fail_at = Millis(260);  // partner dies first
+  scenario.boards[0].fail_at = Millis(300);  // then the app's own board
+
+  FleetAppSpec app;
+  app.name = "calib3d";
+  app.factory = &SpawnCalib3d;
+  app.board = 0;
+  app.options.deadline = scenario.horizon;
+  app.options.use_psbox = true;
+  app.migratable = true;
+  scenario.apps.push_back(app);
+
+  const FleetStats stats = RootCoordinator(scenario, 4).Run();
+  ASSERT_EQ(stats.migrations.size(), 1u);
+  const MigrationRecord& m = stats.migrations[0];
+  EXPECT_TRUE(m.crash);
+  EXPECT_TRUE(m.cross_subfleet);
+  EXPECT_EQ(m.when, Millis(320));  // the root boundary after the 300 ms crash
+  EXPECT_EQ(m.from, 0);
+  EXPECT_GE(m.to, 2);  // landed in the other sub-fleet
+  EXPECT_FALSE(stats.apps[0].lost);
+  EXPECT_GE(stats.apps[0].final_board, 2);
+  ASSERT_EQ(stats.subfleets.size(), 2u);
+  EXPECT_EQ(stats.subfleets[0].cross_out, 1);
+  EXPECT_EQ(stats.subfleets[1].cross_in, 1);
+}
+
+// Fleet-budget rebalance: a sub-fleet whose energy pressure overruns its
+// allocation donates an app to the cooler sub-fleet via a root-driven
+// cooperative drain.
+TEST(HierarchicalFleetTest, FleetBudgetRebalancesAcrossSubfleets) {
+  FleetScenario scenario;
+  scenario.seed = 0x5eed;
+  scenario.horizon = Seconds(2);
+  scenario.epoch = 10 * kMillisecond;
+  scenario.subfleets = 2;    // boards {0,1} and {2,3}
+  scenario.root_period = 4;
+  scenario.fleet_budget = 20.0;
+  scenario.migration.rebalance_ratio = 1.1;
+  scenario.boards.resize(4);
+
+  // All the work lands on sub-fleet 0; sub-fleet 1 idles, so sub-fleet 0's
+  // pressure overruns its allocation while the fleet average stays low.
+  const struct {
+    const char* name;
+    AppFactory factory;
+    int board;
+  } hot[] = {
+      {"calib3d", &SpawnCalib3d, 0},
+      {"triangle", &SpawnTriangle, 0},
+      {"scp", &SpawnScp, 1},
+      {"mediascan", &SpawnMediaScan, 1},
+  };
+  for (const auto& h : hot) {
+    FleetAppSpec spec;
+    spec.name = h.name;
+    spec.factory = h.factory;
+    spec.board = h.board;
+    spec.options.deadline = scenario.horizon;
+    spec.options.use_psbox = true;
+    spec.energy_budget = 1000.0;  // never drains on per-app pressure
+    spec.migratable = true;
+    scenario.apps.push_back(spec);
+  }
+
+  const FleetStats stats = RootCoordinator(scenario, 4).Run();
+  int rebalances = 0;
+  for (const MigrationRecord& m : stats.migrations) {
+    if (m.cross_subfleet && !m.crash) {
+      ++rebalances;
+      EXPECT_LT(m.from, 2);  // out of the hot slice...
+      EXPECT_GE(m.to, 2);    // ...into the idle one
+    }
+  }
+  EXPECT_GT(rebalances, 0);
+  ASSERT_EQ(stats.subfleets.size(), 2u);
+  EXPECT_EQ(stats.subfleets[0].cross_out, rebalances);
+  EXPECT_EQ(stats.subfleets[1].cross_in, rebalances);
+  // Determinism of the rebalance machinery specifically.
+  EXPECT_EQ(RunFingerprint(scenario, 1), RunFingerprint(scenario, 4));
+}
+
+// Flat compatibility: subfleets = 1, root_period = 1 must behave exactly
+// like the historical flat coordinator — one barrier per epoch, no
+// cross-sub-fleet records, one degenerate sub-fleet stats entry.
+TEST(HierarchicalFleetTest, DegenerateHierarchyMatchesFlatSemantics) {
+  RootCoordinator fleet(MixedScenario(0xF1EE7), 2);
+  const FleetStats stats = fleet.Run();
+  ASSERT_EQ(stats.subfleets.size(), 1u);
+  EXPECT_EQ(stats.subfleets[0].first_board, 0);
+  EXPECT_EQ(stats.subfleets[0].boards, 3);
+  EXPECT_EQ(stats.subfleets[0].cross_in, 0);
+  EXPECT_EQ(stats.subfleets[0].cross_out, 0);
+  for (const MigrationRecord& m : stats.migrations) {
+    EXPECT_FALSE(m.cross_subfleet);
+  }
 }
 
 // The worker pool actually runs submitted work and WaitIdle() is a barrier.

@@ -1,0 +1,132 @@
+// MigrationPolicy edge cases: the decision half of migration is pure over
+// (config, load view), so its corner behaviour is pinned directly —
+// hop-cap boundaries, budgetless apps, dead fleets, tie-breaks, and the
+// claim semantics that keep back-to-back evictions from piling up.
+
+#include <gtest/gtest.h>
+
+#include "src/fleet/migration.h"
+
+namespace psbox {
+namespace {
+
+MigrationConfig Config(int max_hops = 1, double pressure = 0.6) {
+  MigrationConfig config;
+  config.enabled = true;
+  config.max_hops = max_hops;
+  config.pressure_fraction = pressure;
+  return config;
+}
+
+std::vector<BoardLoad> Loads(std::initializer_list<int> active) {
+  std::vector<BoardLoad> loads;
+  for (int a : active) {
+    BoardLoad load;
+    load.active_apps = a;
+    loads.push_back(load);
+  }
+  return loads;
+}
+
+TEST(MigrationPolicyTest, ShouldDrainRespectsHopCapBoundary) {
+  const MigrationPolicy policy(Config(/*max_hops=*/2));
+  // Well past the watermark either way; only the hop count varies.
+  EXPECT_TRUE(policy.ShouldDrain(10.0, 1.0, 0));
+  EXPECT_TRUE(policy.ShouldDrain(10.0, 1.0, 1));
+  EXPECT_FALSE(policy.ShouldDrain(10.0, 1.0, 2));  // hops == cap: no drain
+  EXPECT_FALSE(policy.ShouldDrain(10.0, 1.0, 3));
+}
+
+TEST(MigrationPolicyTest, ShouldDrainExactWatermarkFires) {
+  const MigrationPolicy policy(Config(1, /*pressure=*/0.5));
+  EXPECT_FALSE(policy.ShouldDrain(0.49, 1.0, 0));
+  EXPECT_TRUE(policy.ShouldDrain(0.50, 1.0, 0));  // >= is the contract
+}
+
+TEST(MigrationPolicyTest, BudgetlessAppsNeverDrain) {
+  const MigrationPolicy policy(Config());
+  EXPECT_FALSE(policy.ShouldDrain(100.0, 0.0, 0));
+  EXPECT_FALSE(policy.ShouldDrain(100.0, -1.0, 0));
+}
+
+TEST(MigrationPolicyTest, DisabledPolicyNeverDrains) {
+  MigrationConfig config = Config();
+  config.enabled = false;
+  const MigrationPolicy policy(config);
+  EXPECT_FALSE(policy.ShouldDrain(100.0, 1.0, 0));
+}
+
+TEST(MigrationPolicyTest, PickTargetAllBoardsDead) {
+  const MigrationPolicy policy(Config());
+  std::vector<BoardLoad> loads = Loads({0, 0, 0});
+  for (BoardLoad& load : loads) {
+    load.alive = false;
+  }
+  EXPECT_EQ(policy.PickTarget(loads, 0), -1);
+}
+
+TEST(MigrationPolicyTest, PickTargetOnlySourceAlive) {
+  const MigrationPolicy policy(Config());
+  std::vector<BoardLoad> loads = Loads({0, 3, 3});
+  loads[1].alive = false;
+  loads[2].alive = false;
+  EXPECT_EQ(policy.PickTarget(loads, 0), -1);
+}
+
+TEST(MigrationPolicyTest, PickTargetSingleAliveBoard) {
+  const MigrationPolicy policy(Config());
+  std::vector<BoardLoad> loads = Loads({0, 9, 9});
+  loads[0].alive = false;
+  loads[2].alive = false;
+  EXPECT_EQ(policy.PickTarget(loads, 0), 1);  // heavy but the only option
+}
+
+TEST(MigrationPolicyTest, PickTargetTieBreaksTowardsLowestIndex) {
+  const MigrationPolicy policy(Config());
+  EXPECT_EQ(policy.PickTarget(Loads({5, 2, 2, 2}), 0), 1);
+  // ... including when the source sits between tied candidates.
+  EXPECT_EQ(policy.PickTarget(Loads({2, 5, 2, 2}), 1), 0);
+}
+
+TEST(MigrationPolicyTest, PickTargetWeighsEnergyPressure) {
+  MigrationConfig config = Config();
+  config.energy_weight = 2.0;
+  const MigrationPolicy policy(config);
+  // Board 1 is emptier but hot (pressure 1.5 -> score 0 + 3.0); board 2 has
+  // a resident app but is cool (score 1 + 0.4). Pressure steers placement.
+  std::vector<BoardLoad> loads = Loads({4, 0, 1});
+  loads[1].pressure = 1.5;
+  loads[2].pressure = 0.2;
+  EXPECT_EQ(policy.PickTarget(loads, 0), 2);
+  // With the weight zeroed the same view degenerates to least-loaded.
+  config.energy_weight = 0.0;
+  EXPECT_EQ(MigrationPolicy(config).PickTarget(loads, 0), 1);
+}
+
+TEST(MigrationPolicyTest, ClaimTargetSpreadsBackToBackEvictions) {
+  // The load-staleness regression: two evictions decided at one barrier must
+  // not both land on the board that was least loaded when the barrier
+  // started. ClaimTarget bumps the chosen board in the caller's view.
+  const MigrationPolicy policy(Config());
+  std::vector<BoardLoad> loads = Loads({2, 0, 0});
+  const int first = policy.ClaimTarget(loads, 0);
+  const int second = policy.ClaimTarget(loads, 0);
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 2);  // a stale view would say 1 again
+  EXPECT_EQ(loads[1].active_apps, 1);
+  EXPECT_EQ(loads[2].active_apps, 1);
+  // A third eviction ties 1 and 2 at one app each: lowest index wins.
+  EXPECT_EQ(policy.ClaimTarget(loads, 0), 1);
+}
+
+TEST(MigrationPolicyTest, ClaimTargetLeavesViewUntouchedWhenNoTarget) {
+  const MigrationPolicy policy(Config());
+  std::vector<BoardLoad> loads = Loads({1, 4});
+  loads[1].alive = false;
+  EXPECT_EQ(policy.ClaimTarget(loads, 0), -1);
+  EXPECT_EQ(loads[0].active_apps, 1);
+  EXPECT_EQ(loads[1].active_apps, 4);
+}
+
+}  // namespace
+}  // namespace psbox

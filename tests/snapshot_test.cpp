@@ -24,7 +24,7 @@
 #include <string>
 #include <vector>
 
-#include "src/fleet/fleet_coordinator.h"
+#include "src/fleet/root_coordinator.h"
 #include "src/snapshot/board_snapshot.h"
 #include "src/snapshot/snapshot_io.h"
 
@@ -160,11 +160,11 @@ TEST(FleetCheckpointTest, WarmRestartMatchesUninterruptedRun) {
   for (const DurationNs retention : {DurationNs{0}, Millis(100)}) {
     SCOPED_TRACE("retention=" + std::to_string(retention));
     const FleetScenario scenario = CheckpointScenario(retention);
-    const uint64_t baseline = FleetCoordinator(scenario, 2).Run().Fingerprint();
+    const uint64_t baseline = RootCoordinator(scenario, 2).Run().Fingerprint();
 
     // Checkpoint at epoch 73 (730 ms) — after the board-1 crash, mid-run.
     const std::string path = TempPath("fleet_warm_restart.snap");
-    FleetCoordinator writer(scenario, 2);
+    RootCoordinator writer(scenario, 2);
     writer.set_checkpoint(path, 73);
     EXPECT_EQ(writer.Run().Fingerprint(), baseline)
         << "checkpointing itself must not perturb the run";
@@ -173,11 +173,45 @@ TEST(FleetCheckpointTest, WarmRestartMatchesUninterruptedRun) {
       SCOPED_TRACE("threads=" + std::to_string(threads));
       std::string error;
       auto restored =
-          FleetCoordinator::RestoreFromCheckpoint(scenario, threads, path, &error);
+          RootCoordinator::RestoreFromCheckpoint(scenario, threads, path, &error);
       ASSERT_NE(restored, nullptr) << error;
       EXPECT_EQ(restored->resume_time(), Millis(730));
       EXPECT_EQ(restored->Run().Fingerprint(), baseline);
     }
+  }
+}
+
+// A hierarchical fleet checkpoint carries strictly more state than a flat
+// one: per-sub-fleet budget allocations, per-sub-fleet spawn logs and
+// migration histories, the root migration list, and any apps parked between
+// sub-fleets at the cut. Warm restart through that format must still
+// reproduce the uninterrupted fingerprint, at any thread count.
+//
+// Checkpoints cut only at root boundaries: with a 10 ms epoch and
+// root_period = 4 the boundaries fall on 40 ms multiples, so a cadence of
+// "every 73 epochs" fires at the first boundary at or past epoch 73 —
+// epoch 76, i.e. 760 ms.
+TEST(FleetCheckpointTest, HierarchicalWarmRestartMatchesUninterruptedRun) {
+  FleetScenario scenario = CheckpointScenario(Millis(100));
+  scenario.subfleets = 2;
+  scenario.root_period = 4;
+  scenario.fleet_budget = 8.0;
+  const uint64_t baseline = RootCoordinator(scenario, 2).Run().Fingerprint();
+
+  const std::string path = TempPath("fleet_hier_restart.snap");
+  RootCoordinator writer(scenario, 2);
+  writer.set_checkpoint(path, 73);
+  EXPECT_EQ(writer.Run().Fingerprint(), baseline)
+      << "checkpointing itself must not perturb the run";
+
+  for (const int threads : {1, 2, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    std::string error;
+    auto restored =
+        RootCoordinator::RestoreFromCheckpoint(scenario, threads, path, &error);
+    ASSERT_NE(restored, nullptr) << error;
+    EXPECT_EQ(restored->resume_time(), Millis(760));
+    EXPECT_EQ(restored->Run().Fingerprint(), baseline);
   }
 }
 
@@ -188,7 +222,7 @@ class SnapshotCorruptionTest : public testing::Test {
   void SetUp() override {
     scenario_ = CheckpointScenario(0);
     path_ = TempPath("fleet_corruption.snap");
-    FleetCoordinator fleet(scenario_, 2);
+    RootCoordinator fleet(scenario_, 2);
     fleet.set_checkpoint(path_, 50);
     fleet.Run();
     bytes_ = ReadFileBytes(path_);
@@ -203,7 +237,7 @@ class SnapshotCorruptionTest : public testing::Test {
     WriteFileBytes(path, bytes);
     std::string error;
     auto restored =
-        FleetCoordinator::RestoreFromCheckpoint(scenario_, 2, path, &error);
+        RootCoordinator::RestoreFromCheckpoint(scenario_, 2, path, &error);
     EXPECT_EQ(restored, nullptr);
     EXPECT_NE(error.find(expect_in_error), std::string::npos)
         << "error was: " << error;
@@ -249,7 +283,7 @@ TEST_F(SnapshotCorruptionTest, DifferentScenarioRejected) {
   other.seed ^= 1;
   std::string error;
   auto restored =
-      FleetCoordinator::RestoreFromCheckpoint(other, 2, path_, &error);
+      RootCoordinator::RestoreFromCheckpoint(other, 2, path_, &error);
   EXPECT_EQ(restored, nullptr);
   EXPECT_NE(error.find("different fleet scenario"), std::string::npos)
       << "error was: " << error;
@@ -257,7 +291,7 @@ TEST_F(SnapshotCorruptionTest, DifferentScenarioRejected) {
 
 TEST_F(SnapshotCorruptionTest, MissingFileRejected) {
   std::string error;
-  auto restored = FleetCoordinator::RestoreFromCheckpoint(
+  auto restored = RootCoordinator::RestoreFromCheckpoint(
       scenario_, 2, TempPath("does_not_exist.snap"), &error);
   EXPECT_EQ(restored, nullptr);
   EXPECT_NE(error.find("cannot open"), std::string::npos)
@@ -271,13 +305,13 @@ TEST_F(SnapshotCorruptionTest, TornCheckpointWriteRejectedOnRestore) {
   FleetScenario scenario = CheckpointScenario(0);
   scenario.boards[0].board.faults.snapshot_corrupt_prob = 1.0;
   const std::string path = TempPath("fleet_torn.snap");
-  FleetCoordinator fleet(scenario, 2);
+  RootCoordinator fleet(scenario, 2);
   fleet.set_checkpoint(path, 50);
   fleet.Run();  // the run itself is oblivious to the torn write
 
   std::string error;
   auto restored =
-      FleetCoordinator::RestoreFromCheckpoint(scenario, 2, path, &error);
+      RootCoordinator::RestoreFromCheckpoint(scenario, 2, path, &error);
   EXPECT_EQ(restored, nullptr);
   EXPECT_FALSE(error.empty());
   EXPECT_NE(error.find("truncated"), std::string::npos)
@@ -295,6 +329,11 @@ FleetScenario GoldenScenario() {
   scenario.horizon = Millis(500);
   scenario.epoch = 10 * kMillisecond;
   scenario.boards.resize(2);
+  // Hierarchical so the golden pins the v2 blocks too: two one-board
+  // sub-fleets, root barrier every 2 epochs, a fleet-wide budget.
+  scenario.subfleets = 2;
+  scenario.root_period = 2;
+  scenario.fleet_budget = 2.0;
 
   FleetAppSpec calib;
   calib.name = "calib3d";
@@ -318,26 +357,28 @@ FleetScenario GoldenScenario() {
 
 TEST(GoldenSnapshotTest, CommittedCheckpointStaysRestorable) {
   const std::string golden =
-      std::string(PSBOX_SOURCE_DIR) + "/tests/golden/fleet_checkpoint_v1.snap";
+      std::string(PSBOX_SOURCE_DIR) + "/tests/golden/fleet_checkpoint_v2.snap";
   if (std::getenv("PSBOX_REGEN_GOLDEN") != nullptr) {
-    FleetCoordinator fleet(GoldenScenario(), 2);
-    fleet.set_checkpoint(golden, 25);  // one checkpoint, at 250 ms
+    RootCoordinator fleet(GoldenScenario(), 2);
+    // Cadence 25 with root boundaries on 20 ms multiples: the one
+    // checkpoint fires at epoch 26 (260 ms).
+    fleet.set_checkpoint(golden, 25);
     fleet.Run();
     GTEST_SKIP() << "regenerated " << golden;
   }
 
   std::string error;
   auto restored =
-      FleetCoordinator::RestoreFromCheckpoint(GoldenScenario(), 2, golden, &error);
+      RootCoordinator::RestoreFromCheckpoint(GoldenScenario(), 2, golden, &error);
   ASSERT_NE(restored, nullptr)
       << "committed golden snapshot no longer restores — the wire format "
          "changed without a version bump (or the golden scenario drifted): "
       << error;
-  EXPECT_EQ(restored->resume_time(), Millis(250));
+  EXPECT_EQ(restored->resume_time(), Millis(260));
   // Resuming from the golden must still converge on the uninterrupted run:
   // the golden guards semantic compatibility, not just parseability.
   EXPECT_EQ(restored->Run().Fingerprint(),
-            FleetCoordinator(GoldenScenario(), 2).Run().Fingerprint());
+            RootCoordinator(GoldenScenario(), 2).Run().Fingerprint());
 }
 
 }  // namespace

@@ -20,7 +20,7 @@
 #include <memory>
 #include <vector>
 
-#include "src/fleet/fleet_coordinator.h"
+#include "src/fleet/root_coordinator.h"
 #include "tests/test_util.h"
 
 namespace psbox {
@@ -341,7 +341,7 @@ FleetScenario RetentionScenario(uint64_t seed, DurationNs retention) {
 }
 
 uint64_t RunFingerprint(const FleetScenario& scenario, int threads) {
-  FleetCoordinator fleet(scenario, threads);
+  RootCoordinator fleet(scenario, threads);
   return fleet.Run().Fingerprint();
 }
 
@@ -356,7 +356,7 @@ TEST(FleetRetentionTest, FingerprintInvariantUnderRetentionAndThreads) {
 
 TEST(FleetRetentionTest, BoundedShardsActuallyTrim) {
   // Guard against vacuity: the invariance test must cover real trimming.
-  FleetCoordinator fleet(RetentionScenario(0xF1EE7, kRetention), 2);
+  RootCoordinator fleet(RetentionScenario(0xF1EE7, kRetention), 2);
   (void)fleet.Run();
   bool any_trimmed = false;
   for (int i = 0; i < fleet.board_count(); ++i) {
