@@ -1,0 +1,201 @@
+// Population soak: a 64-board fleet streaming a generated app population,
+// cross-checked for determinism and audited for the nested accounting bound.
+//
+//   ./popgen_soak [--json PATH] [--boards N] [--seconds S] [--rate HZ]
+//
+// The fleet runs no fixed cast at all — every app on every board arrives
+// from the seeded population generator (diurnal wave + flash crowd over the
+// behavior-library mix), nested under per-board tenant sandboxes. The same
+// scenario is run twice with different worker-thread counts; the two fleet
+// fingerprints must be bit-identical or the soak fails. After the run the
+// per-board tenant hierarchies are audited: every level must respect the
+// <= 10 % accounting bound, and the violation count reported (and asserted)
+// is zero.
+//
+// Reported (and written to BENCH_popgen.json for CI trend tracking):
+//   * spawn throughput — generated apps spawned per wall-clock second
+//   * steady-state apps/board — spawned minus completed at the horizon,
+//     averaged over boards (the standing population the boards carry)
+//   * accounting-bound violations — must be 0
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/csv.h"
+#include "src/fleet/root_coordinator.h"
+#include "src/popgen/board_population.h"
+
+namespace psbox {
+namespace {
+
+FleetScenario SoakScenario(int boards, TimeNs horizon, double rate_hz) {
+  FleetScenario scenario;
+  scenario.seed = 0x50AC;
+  scenario.horizon = horizon;
+  scenario.epoch = 10 * kMillisecond;
+  scenario.subfleets = boards >= 8 ? 8 : 1;
+  scenario.root_period = 4;
+  scenario.migration.enabled = false;
+  scenario.boards.resize(static_cast<size_t>(boards));
+  scenario.population.seed = 0x90D5;
+  scenario.population.base_rate_hz = rate_hz;
+  scenario.population.diurnal_amplitude = 0.5;
+  scenario.population.diurnal_period = 400 * kMillisecond;
+  scenario.population.flash_start = horizon / 2;
+  scenario.population.flash_duration = horizon / 5;
+  scenario.population.flash_multiplier = 2.5;
+  scenario.population.tenants_per_board = 2;
+  scenario.population.tenant_budget = 0.8;
+  scenario.population.child_budget = 0.05;
+  return scenario;
+}
+
+int ThreadBudget(int boards) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(
+      std::min<unsigned>(static_cast<unsigned>(boards), hw > 0 ? hw : 1));
+}
+
+struct SoakResult {
+  int threads = 0;
+  double wall_s = 0.0;
+  uint64_t fingerprint = 0;
+  uint64_t spawned = 0;
+  uint64_t completed = 0;
+  size_t violations = 0;
+};
+
+SoakResult RunOnce(const FleetScenario& scenario, int threads, int boards) {
+  SoakResult r;
+  r.threads = threads;
+  RootCoordinator fleet(scenario, threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  const FleetStats stats = fleet.Run();
+  const auto t1 = std::chrono::steady_clock::now();
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.fingerprint = stats.Fingerprint();
+  for (const FleetBoardStats& b : stats.boards) {
+    r.spawned += b.popgen_spawned;
+    r.completed += b.popgen_completed;
+  }
+  // Audit the tenant hierarchy on every board: served balloon energy must
+  // stay within 10 % of metered truth at every level of the nesting.
+  for (int b = 0; b < boards; ++b) {
+    BoardPopulation* pop = fleet.population(b);
+    if (pop != nullptr) {
+      r.violations += pop->AccountingViolations(0.10);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+}  // namespace psbox
+
+int main(int argc, char** argv) {
+  using namespace psbox;
+  std::string json_path = "BENCH_popgen.json";
+  int boards = 64;
+  int seconds = 1;
+  double rate_hz = 100.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--boards" && i + 1 < argc) {
+      boards = std::atoi(argv[++i]);
+    } else if (arg == "--seconds" && i + 1 < argc) {
+      seconds = std::atoi(argv[++i]);
+    } else if (arg == "--rate" && i + 1 < argc) {
+      rate_hz = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: popgen_soak [--json PATH] [--boards N] "
+                   "[--seconds S] [--rate HZ]\n");
+      return 2;
+    }
+  }
+
+  const FleetScenario scenario =
+      SoakScenario(boards, Seconds(seconds), rate_hz);
+  // The two runs must use genuinely different worker counts for the
+  // determinism cross-check to mean anything, even on a 1-core machine
+  // (workers are plain threads; oversubscription only costs wall time).
+  const int threads_a = ThreadBudget(boards);
+  const int threads_b =
+      threads_a > 1 ? threads_a - threads_a / 2 : std::min(2, boards);
+
+  std::printf("population soak: %d boards, %d s, %.0f arrivals/s/board\n",
+              boards, seconds, rate_hz);
+  const SoakResult a = RunOnce(scenario, threads_a, boards);
+  const SoakResult b = RunOnce(scenario, threads_b, boards);
+
+  const bool deterministic = a.fingerprint == b.fingerprint;
+  const uint64_t live = a.spawned - a.completed;
+  const double apps_per_board =
+      static_cast<double>(live) / static_cast<double>(boards);
+  const double spawn_per_s =
+      a.wall_s > 0.0 ? static_cast<double>(a.spawned) / a.wall_s : 0.0;
+
+  TextTable table({"threads", "wall (s)", "spawned", "completed",
+                   "violations", "fingerprint"});
+  for (const SoakResult* r : {&a, &b}) {
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(r->fingerprint));
+    table.AddRow({std::to_string(r->threads), FormatDouble(r->wall_s, 3),
+                  std::to_string(r->spawned), std::to_string(r->completed),
+                  std::to_string(r->violations), fp});
+  }
+  table.Print(std::cout);
+  std::printf("\nspawn throughput: %.0f apps/s (wall)\n", spawn_per_s);
+  std::printf("steady-state apps/board at horizon: %.1f\n", apps_per_board);
+  std::printf("fingerprints %s across %d vs %d threads\n",
+              deterministic ? "IDENTICAL" : "DIFFER", threads_a, threads_b);
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  char fpa[32], fpb[32];
+  std::snprintf(fpa, sizeof(fpa), "%016llx",
+                static_cast<unsigned long long>(a.fingerprint));
+  std::snprintf(fpb, sizeof(fpb), "%016llx",
+                static_cast<unsigned long long>(b.fingerprint));
+  json << "{\n  \"bench\": \"popgen_soak\",\n"
+       << "  \"boards\": " << boards << ",\n  \"horizon_s\": " << seconds
+       << ",\n  \"rate_hz\": " << FormatDouble(rate_hz, 1)
+       << ",\n  \"threads_a\": " << threads_a
+       << ",\n  \"threads_b\": " << threads_b << ",\n  \"fingerprint_a\": \""
+       << fpa << "\",\n  \"fingerprint_b\": \"" << fpb
+       << "\",\n  \"deterministic\": " << (deterministic ? "true" : "false")
+       << ",\n  \"spawned\": " << a.spawned
+       << ",\n  \"completed\": " << a.completed
+       << ",\n  \"spawn_per_wall_s\": " << FormatDouble(spawn_per_s, 1)
+       << ",\n  \"steady_apps_per_board\": " << FormatDouble(apps_per_board, 2)
+       << ",\n  \"accounting_violations\": " << (a.violations + b.violations)
+       << "\n}\n";
+  std::printf("JSON written to %s\n", json_path.c_str());
+
+  if (!deterministic) {
+    std::fprintf(stderr, "popgen_soak: FINGERPRINT MISMATCH\n");
+    return 1;
+  }
+  if (a.violations + b.violations != 0) {
+    std::fprintf(stderr, "popgen_soak: accounting bound violated\n");
+    return 1;
+  }
+  if (a.spawned < 5000 && boards >= 64 && seconds >= 1 && rate_hz >= 100.0) {
+    std::fprintf(stderr, "popgen_soak: expected >= 5000 generated apps, got %llu\n",
+                 static_cast<unsigned long long>(a.spawned));
+    return 1;
+  }
+  return 0;
+}

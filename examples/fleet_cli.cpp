@@ -6,7 +6,8 @@
 //               [--subfleets K] [--root-period P] [--fleet-budget J]
 //               [--fail BOARD@MS] [--trace-dir DIR] [--retention MS]
 //               [--checkpoint-every N] [--checkpoint-path FILE]
-//               [--restore-from FILE]
+//               [--restore-from FILE] [--population CONFIG.csv]
+//               [--popgen-seed X]
 //
 // A default mix of Table-5 apps is placed round-robin: sandboxed CPU, GPU
 // and WiFi apps with energy budgets (migratable under budget pressure) plus
@@ -30,6 +31,14 @@
 // telemetry working set to the last MS milliseconds (energy accounting
 // stays exact; see KernelConfig::telemetry_retention).
 //
+// Population: --population CONFIG.csv streams a generated background app
+// population onto every board (arrival-rate curve, app mix, heavy-tailed
+// work sizes, diurnal/flash/adversarial modifiers — see
+// src/popgen/population_config.h for the key set), nested under per-board
+// tenant sandboxes. One independent deterministic stream per board, so the
+// fingerprint stays bit-identical at any --threads value. --popgen-seed
+// overrides the config's seed without editing the file.
+//
 // Checkpoint/restore: --checkpoint-every N writes the full fleet state (all
 // boards, kernels, sandboxes, pending events, hierarchy/budget ledger) to
 // --checkpoint-path at the first root boundary every N sub-epochs.
@@ -51,6 +60,7 @@
 
 #include "src/fleet/root_coordinator.h"
 #include "src/kernel/balloon_timeline.h"
+#include "src/popgen/population_config.h"
 
 namespace psbox {
 namespace {
@@ -61,7 +71,8 @@ int Usage() {
                "[--seed X] [--subfleets K] [--root-period P] "
                "[--fleet-budget J] [--fail BOARD@MS] [--trace-dir DIR] "
                "[--retention MS] [--checkpoint-every N] "
-               "[--checkpoint-path FILE] [--restore-from FILE]\n");
+               "[--checkpoint-path FILE] [--restore-from FILE] "
+               "[--population CONFIG.csv] [--popgen-seed X]\n");
   return 2;
 }
 
@@ -143,6 +154,9 @@ int main(int argc, char** argv) {
   std::string checkpoint_path;
   std::string restore_from;
   std::string trace_dir;
+  std::string population_path;
+  bool popgen_seed_set = false;
+  uint64_t popgen_seed = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -178,6 +192,11 @@ int main(int argc, char** argv) {
       checkpoint_path = argv[++i];
     } else if (arg == "--restore-from" && i + 1 < argc) {
       restore_from = argv[++i];
+    } else if (arg == "--population" && i + 1 < argc) {
+      population_path = argv[++i];
+    } else if (arg == "--popgen-seed" && i + 1 < argc) {
+      popgen_seed = std::strtoull(argv[++i], nullptr, 0);
+      popgen_seed_set = true;
     } else {
       return Usage();
     }
@@ -207,10 +226,24 @@ int main(int argc, char** argv) {
   if (checkpoint_every < 0) {
     return Invalid("--checkpoint-every must be non-negative");
   }
+  if (popgen_seed_set && population_path.empty()) {
+    return Invalid("--popgen-seed requires --population CONFIG.csv");
+  }
 
   FleetScenario scenario =
       BuildScenario(boards, seconds, seed, subfleets, root_period,
                     fleet_budget, fail_board, fail_ms, retention_ms);
+  if (!population_path.empty()) {
+    std::string error;
+    if (!LoadPopulationConfig(population_path, &scenario.population, &error)) {
+      std::fprintf(stderr, "fleet_cli: invalid --population config: %s\n",
+                   error.c_str());
+      return 2;
+    }
+    if (popgen_seed_set) {
+      scenario.population.seed = popgen_seed;
+    }
+  }
   std::unique_ptr<RootCoordinator> fleet_ptr;
   if (!restore_from.empty()) {
     std::string error;
@@ -247,6 +280,21 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(b.balloons),
                 static_cast<unsigned long long>(b.iterations), b.migrations_in,
                 b.migrations_out);
+  }
+
+  uint64_t pop_spawned = 0;
+  uint64_t pop_completed = 0;
+  for (const FleetBoardStats& b : stats.boards) {
+    pop_spawned += b.popgen_spawned;
+    pop_completed += b.popgen_completed;
+  }
+  if (!population_path.empty()) {
+    std::printf(
+        "\npopulation: %llu generated app(s) (%.1f per board), "
+        "%llu ran to completion\n",
+        static_cast<unsigned long long>(pop_spawned),
+        static_cast<double>(pop_spawned) / static_cast<double>(boards),
+        static_cast<unsigned long long>(pop_completed));
   }
 
   if (stats.subfleets.size() > 1 || fleet_budget > 0.0) {

@@ -2,10 +2,74 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "src/base/check.h"
 
 namespace psbox {
+
+namespace {
+
+std::string TrimCell(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r')) {
+    ++b;
+  }
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> CsvReader::Parse(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string trimmed = TrimCell(line);
+    if (trimmed.empty() || trimmed[0] == '#') {
+      continue;
+    }
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream ls(trimmed);
+    while (std::getline(ls, cell, ',')) {
+      cells.push_back(TrimCell(cell));
+    }
+    if (!trimmed.empty() && trimmed.back() == ',') {
+      cells.emplace_back();  // trailing empty cell getline() drops
+    }
+    rows.push_back(std::move(cells));
+  }
+  return rows;
+}
+
+bool CsvReader::ReadFile(const std::string& path,
+                         std::vector<std::vector<std::string>>* rows,
+                         std::string* error) {
+  PSBOX_CHECK(rows != nullptr);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot open '" + path + "' for reading";
+    }
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    if (error != nullptr) {
+      *error = "I/O error while reading '" + path + "'";
+    }
+    return false;
+  }
+  *rows = Parse(buf.str());
+  return true;
+}
 
 void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
   for (size_t i = 0; i < cells.size(); ++i) {

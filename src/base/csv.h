@@ -21,6 +21,20 @@ class CsvWriter {
   std::ostream& out_;
 };
 
+// Reads rows of a CSV file (the counterpart of CsvWriter): cells split on
+// commas, surrounding whitespace trimmed, blank lines and '#' comment lines
+// skipped. No quoting/escapes — our configs are plain identifiers + numbers.
+class CsvReader {
+ public:
+  // Parses in-memory CSV text into rows of cells.
+  static std::vector<std::vector<std::string>> Parse(const std::string& text);
+  // Reads and parses |path|; on I/O failure returns false and sets |error|
+  // to a descriptive message.
+  static bool ReadFile(const std::string& path,
+                       std::vector<std::vector<std::string>>* rows,
+                       std::string* error);
+};
+
 // Formats a double with |digits| decimals.
 std::string FormatDouble(double v, int digits = 3);
 

@@ -45,6 +45,8 @@ uint64_t FleetStats::Fingerprint() const {
     HashU64(&h, b.iterations);
     HashI64(&h, b.migrations_in);
     HashI64(&h, b.migrations_out);
+    HashU64(&h, b.popgen_spawned);
+    HashU64(&h, b.popgen_completed);
   }
   HashU64(&h, subfleets.size());
   for (const SubFleetStats& s : subfleets) {

@@ -23,6 +23,7 @@
 
 #include "src/hw/board.h"
 #include "src/kernel/kernel.h"
+#include "src/popgen/population_config.h"
 #include "src/workloads/table5_apps.h"
 
 namespace psbox {
@@ -118,6 +119,12 @@ struct FleetScenario {
   // ledger stays conserved either way). When false, the legacy carry is
   // always used.
   bool crash_state_transfer = true;
+  // Generated background population: when enabled, every board streams a
+  // seeded endless arrival mix (one independent stream per board, derived
+  // from population.seed and the board index) under per-board tenant
+  // sandboxes, alongside the fixed `apps` cast. Deterministic per seed, so
+  // fingerprints stay bit-identical across worker-thread counts.
+  PopulationConfig population;
 };
 
 // Per-board load snapshot, assembled at sub-fleet barriers (fresh for the
@@ -204,6 +211,11 @@ struct FleetBoardStats {
   uint64_t iterations = 0;       // app iterations completed on this board
   int migrations_in = 0;
   int migrations_out = 0;
+  // Generated population: arrivals spawned on this board and how many of
+  // them ran to completion. Both are fingerprinted — the determinism
+  // contract extends to the population.
+  uint64_t popgen_spawned = 0;
+  uint64_t popgen_completed = 0;
   // Discrete events the board's engine fired over the run. Observability
   // only: excluded from Fingerprint() so fingerprints survive engine-internal
   // changes to event decomposition; determinism of the count itself is pinned

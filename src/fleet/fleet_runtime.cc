@@ -50,6 +50,14 @@ void FleetRuntime::BuildShards() {
     shard->board = std::make_unique<Board>(board_config);
     shard->kernel = std::make_unique<Kernel>(shard->board.get(), spec.kernel);
     shard->manager = std::make_unique<PsboxManager>(shard->kernel.get());
+    if (scenario_.population.enabled()) {
+      // An independent deterministic stream per board, keyed off the
+      // population's own seed space (stream indices disjoint from the
+      // board/fault streams above by construction — different master seed).
+      shard->population = std::make_unique<BoardPopulation>(
+          scenario_.population, DeriveSeed(scenario_.population.seed, i),
+          static_cast<int>(i), shard->kernel.get(), shard->manager.get());
+    }
     shards_.push_back(std::move(shard));
   }
 
@@ -80,7 +88,7 @@ void FleetRuntime::SpawnOn(FleetAppRuntime& app, int board_index,
     label += "@b" + std::to_string(board_index);
   }
   spawn_log->push_back({static_cast<int>(&app - apps_.data()), board_index,
-                        label, app.remaining});
+                        label, app.remaining, shard.now});
   app.handle = app.spec.factory(*shard.kernel, label, opts);
   app.board = board_index;
   app.draining = false;

@@ -21,6 +21,7 @@
 
 #include "src/fleet/fleet.h"
 #include "src/fleet/migration.h"
+#include "src/popgen/board_population.h"
 #include "src/psbox/psbox_manager.h"
 
 namespace psbox {
@@ -34,6 +35,8 @@ struct FleetShard {
   std::unique_ptr<Board> board;
   std::unique_ptr<Kernel> kernel;
   std::unique_ptr<PsboxManager> manager;
+  // Generated background population (null when the scenario disables it).
+  std::unique_ptr<BoardPopulation> population;
 };
 
 // Runtime state of one FleetAppSpec instance as it moves across boards.
@@ -78,6 +81,12 @@ struct SpawnRecord {
   int board = -1;
   std::string label;
   uint64_t iterations = 0;
+  // Target shard's local clock when the factory ran (the barrier instant; 0
+  // for initial spawns). Restore interleaves the replayed factory calls with
+  // regenerated population arrivals in time order — arrivals at a barrier
+  // instant precede the barrier's spawns, exactly as the live engine fired
+  // them before the barrier code ran.
+  TimeNs when = 0;
 };
 
 class FleetRuntime {

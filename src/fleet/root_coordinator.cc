@@ -1,6 +1,7 @@
 #include "src/fleet/root_coordinator.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 
 #include "src/base/check.h"
@@ -86,6 +87,15 @@ void RootCoordinator::Init(const std::vector<int>& threads_per_subfleet,
   }
 
   if (spawn) {
+    // Tenant principals first: their apps and sandboxes must precede every
+    // other app and box on a board so their ids stay deterministic and the
+    // generated arrivals can nest under them from the first epoch. The
+    // restore path recreates them inside the per-shard replay instead.
+    for (auto& shard : rt_.shards()) {
+      if (shard->population != nullptr) {
+        shard->population->CreateTenants(/*restoring=*/false);
+      }
+    }
     auto& apps = rt_.apps();
     for (size_t i = 0; i < apps.size(); ++i) {
       SubFleetCoordinator& sf =
@@ -356,7 +366,10 @@ FleetStats RootCoordinator::Run() {
         next < scenario.horizon && epochs_done >= next_checkpoint) {
       std::string error;
       if (!WriteCheckpoint(next, &error)) {
-        PSBOX_CHECK(false);  // census refusal: a serialiser lost a timer
+        // Census refusal: a serialiser lost a timer. Say which one.
+        std::fprintf(stderr, "[psbox] checkpoint write failed: %s\n",
+                     error.c_str());
+        PSBOX_CHECK(false);
       }
       next_checkpoint =
           (epochs_done / static_cast<uint64_t>(checkpoint_every_) + 1) *
@@ -411,6 +424,11 @@ bool RootCoordinator::WriteCheckpoint(TimeNs now, std::string* error) {
   w.F64(scenario.fleet_budget);
   w.F64(scenario.migration.energy_weight);
   w.F64(scenario.migration.rebalance_ratio);
+  // Population block (format v3). The generator carries no runtime state of
+  // its own: a restore re-derives every arrival up to each shard's clock by
+  // replaying the seeded stream, so the full config is the cursor — it rides
+  // in the file and is compared against the re-supplied scenario.
+  scenario.population.SaveState(w);
 
   w.I64(now);  // root boundary the restored run resumes at
 
@@ -448,6 +466,7 @@ bool RootCoordinator::WriteCheckpoint(TimeNs now, std::string* error) {
       w.I64(rec.board);
       w.Str(rec.label);
       w.U64(rec.iterations);
+      w.I64(rec.when);
     }
     write_migrations(sf->migrations());
   }
@@ -583,6 +602,16 @@ bool RootCoordinator::LoadCheckpoint(SnapshotReader& r, std::string* error) {
         "checkpoint was written under a different fleet scenario "
         "(hierarchy/budget mismatch)");
   }
+  PopulationConfig population;
+  population.RestoreState(r);
+  if (!r.ok()) {
+    return fail(r.error());
+  }
+  if (!(population == scenario.population)) {
+    return fail(
+        "checkpoint was written under a different fleet scenario "
+        "(population mismatch)");
+  }
 
   resume_t_ = r.I64();
 
@@ -613,7 +642,7 @@ bool RootCoordinator::LoadCheckpoint(SnapshotReader& r, std::string* error) {
   };
 
   for (auto& sf : subfleets_) {
-    const size_t spawn_count = r.Count(3 * sizeof(int64_t));
+    const size_t spawn_count = r.Count(4 * sizeof(int64_t));
     std::vector<SpawnRecord>& log = sf->spawn_log();
     log.clear();
     log.reserve(spawn_count);
@@ -623,6 +652,7 @@ bool RootCoordinator::LoadCheckpoint(SnapshotReader& r, std::string* error) {
       rec.board = static_cast<int>(r.I64());
       rec.label = r.Str();
       rec.iterations = r.U64();
+      rec.when = r.I64();
       if (rec.app_index < 0 ||
           static_cast<size_t>(rec.app_index) >= apps.size() ||
           !sf->Owns(rec.board)) {
@@ -702,12 +732,23 @@ bool RootCoordinator::LoadCheckpoint(SnapshotReader& r, std::string* error) {
     const std::vector<int>& last =
         last_spawn[static_cast<size_t>(owner.index())];
     auto replay = [this, s, &owner, &last] {
+      // Reconstruct the shard's app/task population in the exact live
+      // creation order: tenant principals, then the board's spawn records
+      // merged in time order with the regenerated population arrivals
+      // (arrivals at a barrier instant fired before the barrier's spawns
+      // ran, so each record is preceded by every arrival at <= its instant).
+      if (s->population != nullptr) {
+        s->population->CreateTenants(/*restoring=*/true);
+      }
       const std::vector<SpawnRecord>& log = owner.spawn_log();
       auto& all_apps = rt_.apps();
       for (size_t i = 0; i < log.size(); ++i) {
         const SpawnRecord& rec = log[i];
         if (rec.board != s->index) {
           continue;
+        }
+        if (s->population != nullptr) {
+          s->population->ReplayArrivalsThrough(rec.when);
         }
         FleetAppRuntime& app = all_apps[static_cast<size_t>(rec.app_index)];
         AppOptions opts = app.spec.options;
@@ -720,6 +761,9 @@ bool RootCoordinator::LoadCheckpoint(SnapshotReader& r, std::string* error) {
           app.stop = std::move(stop);
           app.handle = handle;
         }
+      }
+      if (s->population != nullptr) {
+        s->population->ReplayArrivalsThrough(s->now);
       }
     };
     if (!RestoreBoardShard(r, *s->board, *s->kernel, *s->manager, replay,
@@ -771,6 +815,10 @@ FleetStats RootCoordinator::Aggregate() {
     b.ran_until = shard.now;
     b.iterations = rt_.board_iterations()[i];
     b.events_fired = shard.kernel->sim().total_fired();
+    if (shard.population != nullptr) {
+      b.popgen_spawned = shard.population->spawned();
+      b.popgen_completed = shard.population->CompletedCount();
+    }
     for (size_t c = 0; c < kNumHwComponents; ++c) {
       const HwComponent hw = static_cast<HwComponent>(c);
       b.rail_energy += shard.board->RailFor(hw).EnergyOver(0, shard.now);

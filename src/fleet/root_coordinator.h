@@ -95,6 +95,13 @@ class RootCoordinator {
   Kernel& kernel(int board) {
     return *rt_.shards()[static_cast<size_t>(board)]->kernel;
   }
+  PsboxManager& manager(int board) {
+    return *rt_.shards()[static_cast<size_t>(board)]->manager;
+  }
+  // Generated population of |board| (null when the scenario disables it).
+  BoardPopulation* population(int board) {
+    return rt_.shards()[static_cast<size_t>(board)]->population.get();
+  }
 
  private:
   struct RestoreTag {};

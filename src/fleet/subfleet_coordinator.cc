@@ -50,7 +50,16 @@ void SubFleetCoordinator::RunRound(TimeNs from, TimeNs until) {
       if (target <= s->now) {
         continue;
       }
-      pool_.Submit([s, target] { s->kernel->RunUntil(target); });
+      pool_.Submit([s, target] {
+        if (s->population != nullptr) {
+          // Arm the window (now, target] of generated arrivals before the
+          // shard runs it: RunUntil(target) fires events at <= target, so
+          // every arrival drains before the barrier and a checkpoint cut at
+          // a root boundary never sees a pending arrival event.
+          s->population->ScheduleWindow(target);
+        }
+        s->kernel->RunUntil(target);
+      });
       s->now = target;
     }
     pool_.WaitIdle();

@@ -886,7 +886,13 @@ void CpuScheduler::StartBalloon(CoreId initiator, TaskGroup* group) {
     pc.loan = 0.0;
     pc.wants_resched = false;
   }
-  JoinBalloon(initiator, group);
+  // Arm the shootdown IPIs, the owned-notify, and the slice timer BEFORE
+  // joining the initiator: switching the group in can end the balloon
+  // synchronously (its only runnable task exits on the switched-in slice),
+  // and EndBalloon can only cancel timers it already knows about. Arming
+  // after the join would leave timers of an already-ended balloon pending —
+  // untracked by any serialiser and orphaned once the group's next balloon
+  // overwrites slice_timer_.
   // Task shootdown: IPIs to all other cores (§4.2 step 2).
   const TimeNs owned_from =
       num_cores() > 1 ? sim_->Now() + config_.ipi_delay : sim_->Now();
@@ -904,6 +910,7 @@ void CpuScheduler::StartBalloon(CoreId initiator, TaskGroup* group) {
       EndBalloon(group, /*group_blocked=*/false);
     }
   });
+  JoinBalloon(initiator, group);
 }
 
 void CpuScheduler::JoinBalloon(CoreId core, TaskGroup* group) {
@@ -998,6 +1005,32 @@ void CpuScheduler::EndBalloon(TaskGroup* group, bool group_blocked) {
     sim_->Cancel(group->slice_timer_);
     group->slice_timer_ = kInvalidEventId;
   }
+  // A balloon can end before its shootdown IPIs / owned-notify fired (a tiny
+  // group drains within ipi_delay). Cancel the stragglers: if the group
+  // started another balloon within the delay, a stale IPI would join a core
+  // it already holds and a stale notify would double-open the ownership
+  // window.
+  const int ended = GroupIndex(group);
+  std::erase_if(ipi_events_, [&](const IpiEvent& e) {
+    if (!sim_->IsPending(e.event)) {
+      return true;
+    }
+    if (e.group != ended) {
+      return false;
+    }
+    sim_->Cancel(e.event);
+    return true;
+  });
+  std::erase_if(notify_events_, [&](const NotifyEvent& e) {
+    if (!sim_->IsPending(e.event)) {
+      return true;
+    }
+    if (e.group != ended) {
+      return false;
+    }
+    sim_->Cancel(e.event);
+    return true;
+  });
   if (group->owned_notified_ && observer_ != nullptr) {
     NotifyBalloonOut(group->psbox(), sim_->Now());
     group->owned_notified_ = false;

@@ -23,6 +23,15 @@ class PsboxService {
   // box handle (>= 0).
   virtual int CreateBox(AppId app, const std::vector<HwComponent>& hw) = 0;
 
+  // psbox_create() with a tenant: creates a sandbox nested inside |parent|
+  // (an existing box whose hardware binding is a superset of |hw|). |budget|
+  // is the energy slice the child claims from the parent (clamped to what
+  // the parent has left when the parent is budgeted; 0 requests none).
+  // Balloon ownership and accounting compose through the hierarchy: energy
+  // served to the child bills the child's window and every ancestor's.
+  virtual int CreateNestedBox(AppId app, const std::vector<HwComponent>& hw,
+                              int parent, Joules budget) = 0;
+
   // psbox_enter()/psbox_leave(). Mode changes take effect at the kernel's
   // next scheduling decision.
   virtual void EnterBox(int box) = 0;

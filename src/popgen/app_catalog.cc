@@ -1,0 +1,49 @@
+#include "src/popgen/app_catalog.h"
+
+namespace psbox {
+
+const std::vector<CatalogEntry>& AppCatalog() {
+  static const std::vector<CatalogEntry> kCatalog = {
+      {"calib3d", &SpawnCalib3d},
+      {"bodytrack", &SpawnBodytrack},
+      {"dedup", &SpawnDedup},
+      {"gpu_browser", &SpawnGpuBrowser},
+      {"browser_stream", &SpawnBrowserStream},
+      {"magic", &SpawnMagic},
+      {"cube", &SpawnCube},
+      {"triangle", &SpawnTriangle},
+      {"sgemm", &SpawnSgemm},
+      {"dgemm", &SpawnDgemm},
+      {"monte", &SpawnMonte},
+      {"wifi_browser", &SpawnWifiBrowser},
+      {"scp", &SpawnScp},
+      {"wget", &SpawnWget},
+      {"photo_sync", &SpawnPhotoSync},
+      {"media_scan", &SpawnMediaScan},
+      {"camouflage", &SpawnAttackerCamouflage},
+  };
+  return kCatalog;
+}
+
+int FindCatalogIndex(const std::string& name) {
+  const auto& catalog = AppCatalog();
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    if (name == catalog[i].name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int CamouflageIndex() { return FindCatalogIndex("camouflage"); }
+
+std::vector<PopulationMixEntry> DefaultMix() {
+  return {
+      {"calib3d", 3.0},  {"bodytrack", 2.0}, {"dedup", 2.0},
+      {"gpu_browser", 2.0}, {"cube", 1.0},   {"magic", 1.0},
+      {"sgemm", 1.0},    {"monte", 1.0},     {"wifi_browser", 2.0},
+      {"wget", 1.0},     {"photo_sync", 1.0}, {"media_scan", 1.0},
+  };
+}
+
+}  // namespace psbox

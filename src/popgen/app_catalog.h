@@ -1,0 +1,39 @@
+// AppCatalog: the name -> factory registry the population generator draws
+// from. Every entry is a behavior-library factory (table5_apps.h) reachable
+// from a PopulationConfig mix row by name.
+
+#ifndef SRC_POPGEN_APP_CATALOG_H_
+#define SRC_POPGEN_APP_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/popgen/population_config.h"
+#include "src/workloads/table5_apps.h"
+
+namespace psbox {
+
+using PopAppFactory = AppHandle (*)(Kernel&, const std::string&, AppOptions);
+
+struct CatalogEntry {
+  const char* name;
+  PopAppFactory factory;
+};
+
+// All spawnable population apps, in a fixed order (indices are stable —
+// GeneratedArrival records them).
+const std::vector<CatalogEntry>& AppCatalog();
+
+// Index of |name| in AppCatalog(), or -1 if unknown.
+int FindCatalogIndex(const std::string& name);
+
+// Catalog index of the camouflage probe app adversarial arrivals turn into.
+int CamouflageIndex();
+
+// The default app mix used when a PopulationConfig carries no mix rows:
+// short CPU work dominates, with GPU/DSP/WiFi/storage tails.
+std::vector<PopulationMixEntry> DefaultMix();
+
+}  // namespace psbox
+
+#endif  // SRC_POPGEN_APP_CATALOG_H_

@@ -1,0 +1,100 @@
+#include "src/popgen/population_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/check.h"
+#include "src/popgen/app_catalog.h"
+
+namespace psbox {
+
+PopulationGenerator::PopulationGenerator(const PopulationConfig& cfg,
+                                         uint64_t stream_seed)
+    : cfg_(cfg), rng_(stream_seed) {
+  PSBOX_CHECK(cfg_.enabled());
+  PSBOX_CHECK_LE(cfg_.min_iterations, cfg_.max_iterations);
+  const std::vector<PopulationMixEntry> mix =
+      cfg_.mix.empty() ? DefaultMix() : cfg_.mix;
+  for (const auto& m : mix) {
+    const int idx = FindCatalogIndex(m.app);
+    PSBOX_CHECK_GE(idx, 0);
+    PSBOX_CHECK_GT(m.weight, 0.0);
+    mix_index_.push_back(idx);
+    total_weight_ += m.weight;
+    cum_weights_.push_back(total_weight_);
+  }
+  peak_rate_ = cfg_.base_rate_hz * (1.0 + cfg_.diurnal_amplitude) *
+               std::max(1.0, cfg_.flash_multiplier);
+}
+
+double PopulationGenerator::RateAt(TimeNs t) const {
+  double rate = cfg_.base_rate_hz;
+  if (cfg_.diurnal_amplitude > 0.0 && cfg_.diurnal_period > 0) {
+    const double frac =
+        static_cast<double>(t % cfg_.diurnal_period) /
+        static_cast<double>(cfg_.diurnal_period);
+    rate *= 1.0 + cfg_.diurnal_amplitude * std::sin(2.0 * M_PI * frac);
+  }
+  if (cfg_.flash_duration > 0 && t >= cfg_.flash_start &&
+      t < cfg_.flash_start + cfg_.flash_duration) {
+    rate *= cfg_.flash_multiplier;
+  }
+  return rate;
+}
+
+GeneratedArrival PopulationGenerator::Next() {
+  // Thinning: exponential candidate gaps at the peak rate, accepted with
+  // probability rate(t)/peak. peak >= rate(t) everywhere by construction.
+  for (;;) {
+    const double gap_s = rng_.Exponential(1.0 / peak_rate_);
+    const auto gap =
+        static_cast<DurationNs>(std::min(gap_s * 1e9, 9.0e15));  // finite clamp
+    clock_ += std::max<DurationNs>(1, gap);
+    if (rng_.NextDouble() * peak_rate_ <= RateAt(clock_)) {
+      break;
+    }
+  }
+  GeneratedArrival a;
+  a.when = clock_;
+  a.seq = seq_++;
+  // Adversarial phase: recurring windows (period 0 = always in phase) in
+  // which arrivals turn into camouflage probes with the configured odds.
+  bool in_phase = cfg_.adversarial_fraction > 0.0;
+  if (in_phase && cfg_.adversarial_period > 0) {
+    const auto phase = static_cast<double>(a.when % cfg_.adversarial_period);
+    in_phase = phase < cfg_.adversarial_duty *
+                           static_cast<double>(cfg_.adversarial_period);
+  }
+  // Fixed draw order (mix pick, then Pareto, then the adversarial coin) so
+  // the stream stays stable however the arrival is classified.
+  const double pick = rng_.NextDouble() * total_weight_;
+  const auto it =
+      std::upper_bound(cum_weights_.begin(), cum_weights_.end(), pick);
+  const size_t mi = std::min<size_t>(
+      static_cast<size_t>(it - cum_weights_.begin()), mix_index_.size() - 1);
+  a.catalog_index = mix_index_[mi];
+  // Bounded Pareto on [min, max] with shape alpha (heavy-tailed work sizes).
+  const double lo = static_cast<double>(cfg_.min_iterations);
+  const double hi = static_cast<double>(cfg_.max_iterations);
+  uint64_t iters = cfg_.min_iterations;
+  if (cfg_.max_iterations > cfg_.min_iterations) {
+    const double u = rng_.NextDouble();
+    const double x =
+        lo / std::pow(1.0 - u * (1.0 - std::pow(lo / hi, cfg_.pareto_alpha)),
+                      1.0 / cfg_.pareto_alpha);
+    iters = static_cast<uint64_t>(x);
+    iters = std::max(cfg_.min_iterations, std::min(cfg_.max_iterations, iters));
+  }
+  a.iterations = iters;
+  if (in_phase && rng_.Bernoulli(cfg_.adversarial_fraction)) {
+    a.adversarial = true;
+    a.catalog_index = CamouflageIndex();
+  }
+  if (cfg_.tenants_per_board > 0) {
+    a.tenant = static_cast<int>(a.seq %
+                                static_cast<uint64_t>(cfg_.tenants_per_board));
+  }
+  return a;
+}
+
+}  // namespace psbox

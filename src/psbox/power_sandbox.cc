@@ -8,9 +8,9 @@
 namespace psbox {
 
 PowerSandbox::PowerSandbox(PsboxId id, AppId app, std::vector<HwComponent> hw,
-                           TimeNs created)
+                           TimeNs created, PsboxId parent, Joules budget)
     : id_(id), app_(app), hw_(std::move(hw)), meter_start_(created),
-      sample_cursor_(created) {
+      sample_cursor_(created), parent_(parent), budget_(budget) {
   open_since_.fill(-1);
   direct_from_.fill(created);
 }
@@ -19,17 +19,40 @@ bool PowerSandbox::BoundTo(HwComponent hw) const {
   return std::find(hw_.begin(), hw_.end(), hw) != hw_.end();
 }
 
+Joules PowerSandbox::ClaimChildBudget(Joules requested) {
+  Joules granted = requested;
+  if (budget_ > 0.0) {
+    granted = std::min(requested, std::max(0.0, budget_ - children_budget_));
+  }
+  children_budget_ += granted;
+  return granted;
+}
+
+void PowerSandbox::ReleaseChildBudget(Joules granted) {
+  children_budget_ -= granted;
+  if (children_budget_ < 0.0) {
+    children_budget_ = 0.0;  // float drift guard; the ledger is claim/release balanced
+  }
+}
+
 void PowerSandbox::OnOwnershipStart(HwComponent hw, TimeNs when) {
-  auto& since = open_since_[static_cast<size_t>(hw)];
-  PSBOX_CHECK_EQ(since, -1);
-  since = when;
+  const size_t i = static_cast<size_t>(hw);
+  auto& since = open_since_[i];
+  if (compose_depth_[i]++ == 0) {
+    PSBOX_CHECK_EQ(since, -1);
+    since = when;
+  }
 }
 
 void PowerSandbox::OnOwnershipEnd(HwComponent hw, TimeNs when) {
-  auto& since = open_since_[static_cast<size_t>(hw)];
+  const size_t i = static_cast<size_t>(hw);
+  auto& since = open_since_[i];
+  PSBOX_CHECK_GT(compose_depth_[i], 0);
   PSBOX_CHECK_GE(since, 0);
-  owned_[static_cast<size_t>(hw)].Add(since, when);
-  since = -1;
+  if (--compose_depth_[i] == 0) {
+    owned_[i].Add(since, when);
+    since = -1;
+  }
 }
 
 void PowerSandbox::ResetMeter(TimeNs now) {
@@ -290,6 +313,15 @@ void PowerSandbox::SaveState(SnapshotWriter& w) const {
   }
   w.U64(samples_lost_);
   w.F64(transferred_base_);
+  // v3: hierarchy state. parent_/budget_ double as an identity check against
+  // the replayed creation; the rest is mutable ledger state.
+  w.I64(parent_);
+  w.F64(budget_);
+  w.F64(children_budget_);
+  w.Bool(budget_claimed_);
+  for (size_t i = 0; i < kNumHwComponents; ++i) {
+    w.U32(static_cast<uint32_t>(compose_depth_[i]));
+  }
 }
 
 void PowerSandbox::RestoreState(SnapshotReader& r) {
@@ -324,6 +356,16 @@ void PowerSandbox::RestoreState(SnapshotReader& r) {
   }
   samples_lost_ = r.U64();
   transferred_base_ = r.F64();
+  if (static_cast<PsboxId>(r.I64()) != parent_) {
+    r.Fail("sandbox parent mismatch between snapshot and replayed creation");
+    return;
+  }
+  budget_ = r.F64();
+  children_budget_ = r.F64();
+  budget_claimed_ = r.Bool();
+  for (size_t i = 0; i < kNumHwComponents && r.ok(); ++i) {
+    compose_depth_[i] = static_cast<int32_t>(r.U32());
+  }
 }
 
 uint64_t PowerSandbox::DropSampleBacklogBefore(TimeNs horizon, DurationNs period) {

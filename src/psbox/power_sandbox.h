@@ -39,7 +39,8 @@ class SnapshotWriter;
 
 class PowerSandbox {
  public:
-  PowerSandbox(PsboxId id, AppId app, std::vector<HwComponent> hw, TimeNs created);
+  PowerSandbox(PsboxId id, AppId app, std::vector<HwComponent> hw, TimeNs created,
+               PsboxId parent = -1, Joules budget = 0.0);
 
   PsboxId id() const { return id_; }
   AppId app() const { return app_; }
@@ -49,7 +50,35 @@ class PowerSandbox {
   bool inside() const { return inside_; }
   void set_inside(bool inside) { inside_ = inside; }
 
-  // Kernel balloon-edge notifications (via the manager).
+  // --- hierarchy (nested / tenant sandboxes) ------------------------------
+  // A box created with a parent is nested: its hardware binding is a subset
+  // of the parent's, its budget subdivides the parent's, and every balloon
+  // it is granted is composed onto all its ancestors' virtual meters (the
+  // child's served energy bills its own window AND the enclosing tenant's).
+  PsboxId parent() const { return parent_; }
+  // Energy budget carved out of the parent at creation (0 = unbudgeted).
+  Joules budget() const { return budget_; }
+  // Re-claiming after a leave may clamp tighter (siblings claimed meanwhile).
+  void set_budget(Joules b) { budget_ = b; }
+  // Sum of the budgets currently claimed by live (not-yet-left) children.
+  Joules children_budget() const { return children_budget_; }
+  // Budget subdivision ledger: a child claims its slice from the parent at
+  // creation and returns it when its app leaves the box. With an unbudgeted
+  // parent (budget 0) claims are unconstrained; otherwise the grant clamps
+  // to what remains, so the subdivision invariant
+  //     sum(live children budgets) <= parent budget
+  // holds at every level by construction.
+  Joules ClaimChildBudget(Joules requested);
+  void ReleaseChildBudget(Joules granted);
+  bool budget_claimed() const { return budget_claimed_; }
+  void set_budget_claimed(bool claimed) { budget_claimed_ = claimed; }
+
+  // Kernel balloon-edge notifications (via the manager, which walks the
+  // ancestor chain). Ownership composes through the hierarchy as a nesting
+  // counter per component: the interval opens on the 0->1 transition and
+  // closes on 1->0, so a box's own balloon and a descendant's back-to-back
+  // balloons merge into one composed interval instead of tripping the
+  // single-owner invariant.
   void OnOwnershipStart(HwComponent hw, TimeNs when);
   void OnOwnershipEnd(HwComponent hw, TimeNs when);
 
@@ -167,6 +196,18 @@ class PowerSandbox {
   TimeNs sample_cursor_;
   std::array<IntervalSet, kNumHwComponents> owned_;
   std::array<TimeNs, kNumHwComponents> open_since_;  // filled with -1 in ctor
+  // Hierarchy: enclosing tenant box (-1 = top-level), the budget slice this
+  // box claimed from it, the slices live children currently hold of ours,
+  // and whether our own claim against the parent is outstanding (released
+  // when the app leaves the box, re-claimed on re-entry).
+  PsboxId parent_ = -1;
+  Joules budget_ = 0.0;
+  Joules children_budget_ = 0.0;
+  bool budget_claimed_ = false;
+  // Per-component balloon nesting depth: this box's own balloon plus any
+  // descendant balloons composed onto it. The owned interval spans the
+  // outermost 0->1 .. 1->0 pair.
+  std::array<int32_t, kNumHwComponents> compose_depth_{};
   // Retention bases: energy of trimmed ownership history. plain_base_ backs
   // ObservedEnergy; detail_base_ backs ObservedEnergyDetail (its .estimated
   // is always 0 — estimation is derived from the aggregated measured average

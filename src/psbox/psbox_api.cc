@@ -19,6 +19,11 @@ int psbox_create(TaskEnv& env, const std::vector<HwComponent>& hw) {
   return ServiceOf(env).CreateBox(env.task->app(), hw);
 }
 
+int psbox_create_in(TaskEnv& env, const std::vector<HwComponent>& hw, int parent,
+                    Joules budget) {
+  return ServiceOf(env).CreateNestedBox(env.task->app(), hw, parent, budget);
+}
+
 void psbox_enter(TaskEnv& env, int box) { ServiceOf(env).EnterBox(box); }
 
 void psbox_leave(TaskEnv& env, int box) { ServiceOf(env).LeaveBox(box); }

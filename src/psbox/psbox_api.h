@@ -25,6 +25,13 @@ namespace psbox {
 // Creates a power sandbox for the calling task's app, bound to |hw|.
 int psbox_create(TaskEnv& env, const std::vector<HwComponent>& hw);
 
+// Creates a power sandbox nested inside |parent| (a tenant box): |hw| must
+// be a subset of the parent's binding, and |budget| joules are claimed from
+// the parent's slice (clamped to what the parent has left). The child's
+// served energy bills both its own meter and every ancestor's.
+int psbox_create_in(TaskEnv& env, const std::vector<HwComponent>& hw, int parent,
+                    Joules budget);
+
 // Enters/leaves the sandbox; effective at the kernel's next scheduling point.
 void psbox_enter(TaskEnv& env, int box);
 void psbox_leave(TaskEnv& env, int box);

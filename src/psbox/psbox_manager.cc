@@ -29,9 +29,37 @@ const PowerSandbox& PsboxManager::sandbox(int box) const {
 }
 
 int PsboxManager::CreateBox(AppId app, const std::vector<HwComponent>& hw) {
+  return CreateBoxInternal(app, hw, /*parent=*/-1, /*budget=*/0.0, /*claim=*/false);
+}
+
+int PsboxManager::CreateNestedBox(AppId app, const std::vector<HwComponent>& hw,
+                                  int parent, Joules budget) {
+  PSBOX_CHECK_GE(parent, 0);
+  PSBOX_CHECK_LT(static_cast<size_t>(parent), boxes_.size());
+  PSBOX_CHECK_GE(budget, 0.0);
+  // The child's binding must be a subset of the tenant's: every balloon the
+  // child is granted composes onto the ancestors, which requires them bound
+  // to the same component.
+  for (HwComponent component : hw) {
+    PSBOX_CHECK(sandbox(parent).BoundTo(component));
+  }
+  return CreateBoxInternal(app, hw, static_cast<PsboxId>(parent), budget,
+                           /*claim=*/true);
+}
+
+int PsboxManager::CreateBoxInternal(AppId app, const std::vector<HwComponent>& hw,
+                                    PsboxId parent, Joules budget, bool claim) {
   PSBOX_CHECK(!hw.empty());
   const PsboxId id = static_cast<PsboxId>(boxes_.size());
-  boxes_.push_back(std::make_unique<PowerSandbox>(id, app, hw, kernel_->Now()));
+  Joules granted = budget;
+  if (claim && parent >= 0) {
+    granted = sandbox(parent).ClaimChildBudget(budget);
+  }
+  boxes_.push_back(
+      std::make_unique<PowerSandbox>(id, app, hw, kernel_->Now(), parent, granted));
+  if (claim && parent >= 0) {
+    boxes_.back()->set_budget_claimed(true);
+  }
   for (HwComponent component : hw) {
     // Each bound resource domain does its one-time per-box setup (the CPU
     // domain creates the task group and DVFS context; direct-metered
@@ -65,6 +93,12 @@ void PsboxManager::EnterBox(int box) {
   if (sb.inside()) {
     return;
   }
+  // Re-entering a nested box re-claims its budget slice from the tenant
+  // (clamped to what siblings left available in the meantime).
+  if (sb.parent() >= 0 && !sb.budget_claimed()) {
+    sb.set_budget(sandbox(sb.parent()).ClaimChildBudget(sb.budget()));
+    sb.set_budget_claimed(true);
+  }
   sb.set_inside(true);
   // Defer the kernel mode switch to the next scheduling point: EnterBox is
   // called from task context (the behaviour is mid-dispatch) and the group
@@ -86,6 +120,11 @@ void PsboxManager::LeaveBox(int box) {
   PowerSandbox& sb = sandbox(box);
   if (!sb.inside()) {
     return;
+  }
+  // A leaving child returns its budget slice to the tenant.
+  if (sb.parent() >= 0 && sb.budget_claimed()) {
+    sandbox(sb.parent()).ReleaseChildBudget(sb.budget());
+    sb.set_budget_claimed(false);
   }
   sb.set_inside(false);
   kernel_->sim().ScheduleAfter(0, [this, box] { ApplyLeave(box); });
@@ -285,6 +324,10 @@ void PsboxManager::SaveState(SnapshotWriter& w) const {
     for (HwComponent hw : bp->hardware()) {
       w.U8(static_cast<uint8_t>(hw));
     }
+    // v3: creation parameters for the hierarchy (needed to rebuild the box
+    // before its state record overwrites the mutable ledger).
+    w.I64(bp->parent());
+    w.F64(bp->budget());
     bp->SaveState(w);
   }
 }
@@ -320,17 +363,81 @@ void PsboxManager::RestoreState(SnapshotReader& r) {
       r.Fail("sandbox with no bound hardware in snapshot");
       return;
     }
-    const int box = CreateBox(app, hw);
+    const PsboxId parent = static_cast<PsboxId>(r.I64());
+    const Joules budget = r.F64();
+    if (parent >= static_cast<PsboxId>(i)) {
+      r.Fail("sandbox parent must precede child in snapshot");
+      return;
+    }
+    if (!r.ok()) {
+      return;
+    }
+    // claim=false: the parent's children_budget ledger was snapshotted after
+    // the original claims and is restored verbatim below — claiming again
+    // during replay would double-count.
+    const int box = CreateBoxInternal(app, hw, parent, budget, /*claim=*/false);
     boxes_[static_cast<size_t>(box)]->RestoreState(r);
   }
 }
 
 void PsboxManager::OnBalloonIn(PsboxId box, HwComponent hw, TimeNs when) {
-  sandbox(box).OnOwnershipStart(hw, when);
+  // Compose the edge up the hierarchy: the owner and every ancestor tenant
+  // open (or deepen) an ownership interval. CreateNestedBox enforces that a
+  // child's binding is a subset of its parent's, so every ancestor is bound.
+  for (PsboxId b = box; b >= 0; b = sandbox(b).parent()) {
+    sandbox(b).OnOwnershipStart(hw, when);
+  }
 }
 
 void PsboxManager::OnBalloonOut(PsboxId box, HwComponent hw, TimeNs when) {
-  sandbox(box).OnOwnershipEnd(hw, when);
+  for (PsboxId b = box; b >= 0; b = sandbox(b).parent()) {
+    sandbox(b).OnOwnershipEnd(hw, when);
+  }
+}
+
+size_t PsboxManager::AccountingViolations(double bound) {
+  const TimeNs now = kernel_->Now();
+  // Sum each tenant's live children over balloon-metered components (the
+  // direct-metered §7 components never compose — no balloons), then check
+  // the one-sided bound: a tenant's composed meter covers every child
+  // balloon, so children may only exceed it by the protocol slack.
+  std::vector<Joules> child_sum(boxes_.size(), 0.0);
+  std::vector<bool> is_tenant(boxes_.size(), false);
+  for (const auto& bp : boxes_) {
+    PowerSandbox& sb = *bp;
+    if (sb.parent() < 0) {
+      continue;
+    }
+    is_tenant[static_cast<size_t>(sb.parent())] = true;
+    // Transferred bases are prior-board history (audited on the board that
+    // served them); this audit covers what composed HERE, on both sides.
+    Joules e = 0.0;
+    for (HwComponent hw : sb.hardware()) {
+      if (kernel_->domain(hw).direct_metered()) {
+        continue;
+      }
+      e += ComponentEnergy(sb, hw, now);
+    }
+    child_sum[static_cast<size_t>(sb.parent())] += e;
+  }
+  size_t violations = 0;
+  for (size_t i = 0; i < boxes_.size(); ++i) {
+    if (!is_tenant[i]) {
+      continue;
+    }
+    PowerSandbox& tenant = *boxes_[i];
+    Joules tenant_total = 0.0;
+    for (HwComponent hw : tenant.hardware()) {
+      if (kernel_->domain(hw).direct_metered()) {
+        continue;
+      }
+      tenant_total += ComponentEnergy(tenant, hw, now);
+    }
+    if (child_sum[i] > tenant_total * (1.0 + bound) + 1e-9) {
+      ++violations;
+    }
+  }
+  return violations;
 }
 
 }  // namespace psbox

@@ -30,6 +30,12 @@ class PsboxManager : public PsboxService, public BalloonObserver {
 
   // PsboxService:
   int CreateBox(AppId app, const std::vector<HwComponent>& hw) override;
+  // Nested (tenant) sandbox: |hw| must be a subset of the parent's binding;
+  // |budget| is claimed from the parent's slice (clamped to what remains
+  // when the parent is budgeted). LeaveBox returns the claim; EnterBox
+  // re-claims it.
+  int CreateNestedBox(AppId app, const std::vector<HwComponent>& hw, int parent,
+                      Joules budget) override;
   void EnterBox(int box) override;
   void LeaveBox(int box) override;
   Joules ReadEnergy(int box) override;
@@ -42,9 +48,18 @@ class PsboxManager : public PsboxService, public BalloonObserver {
   TimeNs TelemetryFloor(TimeNs desired) override;
   void TrimTelemetry(TimeNs horizon) override;
 
-  // BalloonObserver (forwarded by the kernel after its own context switch):
+  // BalloonObserver (forwarded by the kernel after its own context switch).
+  // A granted balloon composes up the sandbox hierarchy: the owning box and
+  // every ancestor record the edge, so a child's served energy bills its own
+  // virtual meter and the enclosing tenant's.
   void OnBalloonIn(PsboxId box, HwComponent hw, TimeNs when) override;
   void OnBalloonOut(PsboxId box, HwComponent hw, TimeNs when) override;
+
+  // Hierarchy audit: number of tenant boxes whose live children's summed
+  // balloon-metered energy exceeds the tenant's own composed meter by more
+  // than |bound| (the paper's ≤10% accounting bound, applied per level).
+  // 0 on a healthy board at every instant.
+  size_t AccountingViolations(double bound);
 
   // Per-component observed energy (benches/tests need the split).
   Joules ReadEnergyFor(int box, HwComponent hw);
@@ -77,6 +92,11 @@ class PsboxManager : public PsboxService, public BalloonObserver {
   void RestoreState(SnapshotReader& r);
 
  private:
+  // Shared creation path. |claim| gates the budget claim against the parent:
+  // live creation claims; snapshot replay must not (the parent's ledger is
+  // restored verbatim from the snapshot after the children are created).
+  int CreateBoxInternal(AppId app, const std::vector<HwComponent>& hw,
+                        PsboxId parent, Joules budget, bool claim);
   void ApplyEnter(int box);
   void ApplyLeave(int box);
   // Per-component observed energy over [meter_start, now); dispatches on the

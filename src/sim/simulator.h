@@ -151,6 +151,18 @@ class Simulator {
   void SetNextSeqForRestore(uint64_t seq) { next_seq_ = seq; }
 
   size_t pending_events() const { return live_; }
+  // Debug aid for census failures: (when, seq) of every live pending event,
+  // in slab order.
+  std::vector<PendingEventInfo> DebugPendingEvents() const {
+    std::vector<PendingEventInfo> out;
+    for (size_t i = 0; i < slab_.size(); ++i) {
+      const EventSlab::Slot& s = slab_[i];
+      if ((s.generation & 1u) == 1u) {
+        out.push_back(PendingEventInfo{s.when, s.seq});
+      }
+    }
+    return out;
+  }
   uint64_t total_fired() const { return total_fired_; }
   const EngineStats& stats() const { return stats_; }
 

@@ -39,7 +39,10 @@ namespace psbox {
 // Bump on any payload layout change; readers reject other versions.
 // v2: hierarchical fleet checkpoints — hierarchy/budget compat block,
 // per-sub-fleet spawn logs and allocations, cross-sub-fleet app state.
-inline constexpr uint32_t kSnapshotFormatVersion = 2;
+// v3: population + nested sandboxes — population config compat block,
+// per-spawn-record timestamps (arrival/spawn replay interleaving), sandbox
+// hierarchy state (parent, budget ledger, ownership compose depth).
+inline constexpr uint32_t kSnapshotFormatVersion = 3;
 inline constexpr char kSnapshotMagic[8] = {'P', 'S', 'B', 'X',
                                            'S', 'N', 'A', 'P'};
 inline constexpr size_t kSnapshotHeaderSize = 8 + 4 + 8 + 4;

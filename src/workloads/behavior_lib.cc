@@ -139,15 +139,19 @@ void LoopBehavior::RestoreState(SnapshotReader& r) {
 
 PsboxWrapBehavior::PsboxWrapBehavior(std::unique_ptr<Behavior> inner,
                                      std::vector<HwComponent> hw,
-                                     std::shared_ptr<WorkloadStats> stats)
-    : inner_(std::move(inner)), hw_(std::move(hw)), stats_(std::move(stats)) {
+                                     std::shared_ptr<WorkloadStats> stats,
+                                     int psbox_parent, Joules psbox_budget)
+    : inner_(std::move(inner)), hw_(std::move(hw)), stats_(std::move(stats)),
+      psbox_parent_(psbox_parent), psbox_budget_(psbox_budget) {
   PSBOX_CHECK(inner_ != nullptr);
   PSBOX_CHECK(!hw_.empty());
 }
 
 Action PsboxWrapBehavior::NextAction(TaskEnv& env) {
   if (box_ < 0) {
-    box_ = psbox_create(env, hw_);
+    box_ = psbox_parent_ >= 0
+               ? psbox_create_in(env, hw_, psbox_parent_, psbox_budget_)
+               : psbox_create(env, hw_);
     stats_->box = box_;
     psbox_enter(env, box_);
     psbox_reset(env, box_);

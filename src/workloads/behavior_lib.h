@@ -70,11 +70,15 @@ class LoopBehavior : public Behavior {
 };
 
 // Runs |inner| entirely inside a psbox bound to |hw|; on exit records the
-// observed energy into |stats|.
+// observed energy into |stats|. When |psbox_parent| >= 0 the box is created
+// nested inside that tenant box with |psbox_budget| joules claimed from its
+// slice. Parent/budget are construction parameters (like |hw|), re-supplied
+// by the spawn path on restore rather than serialized.
 class PsboxWrapBehavior : public Behavior {
  public:
   PsboxWrapBehavior(std::unique_ptr<Behavior> inner, std::vector<HwComponent> hw,
-                    std::shared_ptr<WorkloadStats> stats);
+                    std::shared_ptr<WorkloadStats> stats, int psbox_parent = -1,
+                    Joules psbox_budget = 0.0);
 
   Action NextAction(TaskEnv& env) override;
 
@@ -86,6 +90,8 @@ class PsboxWrapBehavior : public Behavior {
   std::unique_ptr<Behavior> inner_;
   std::vector<HwComponent> hw_;
   std::shared_ptr<WorkloadStats> stats_;
+  int psbox_parent_ = -1;
+  Joules psbox_budget_ = 0.0;
   int box_ = -1;
   bool finished_ = false;
 };

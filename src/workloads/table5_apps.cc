@@ -28,7 +28,8 @@ AppHandle SpawnLoopApp(Kernel& kernel, const std::string& name,
         opts.stop);
     if (opts.use_psbox && t == 0) {
       behavior = std::make_unique<PsboxWrapBehavior>(std::move(behavior), psbox_hw,
-                                                     handle.stats);
+                                                     handle.stats, opts.psbox_parent,
+                                                     opts.psbox_budget);
     }
     Task* task = kernel.SpawnTask(
         handle.app, threads > 1 ? name + "/" + std::to_string(t) : name,

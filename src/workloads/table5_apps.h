@@ -47,6 +47,11 @@ struct AppOptions {
   // energy recorded). The fleet migration path raises this on the source
   // board, then respawns the app's remaining work on the target.
   std::shared_ptr<bool> stop;
+  // Nested sandboxes: with use_psbox, a non-negative psbox_parent creates the
+  // app's box inside that tenant box, claiming psbox_budget joules from the
+  // tenant's slice (population-generated apps run under per-tenant boxes).
+  int psbox_parent = -1;
+  Joules psbox_budget = 0.0;
 };
 
 // --- CPU apps -------------------------------------------------------------

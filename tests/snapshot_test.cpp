@@ -352,12 +352,22 @@ FleetScenario GoldenScenario() {
   scp.options.deadline = scenario.horizon;
   scp.options.use_psbox = true;
   scenario.apps.push_back(scp);
+
+  // Generated population so the golden pins the v3 blocks too: the
+  // population compat block, per-record spawn timestamps, and the nested
+  // tenant sandbox state — the checkpoint cuts mid-population.
+  scenario.population.seed = 0x90D5;
+  scenario.population.base_rate_hz = 40.0;
+  scenario.population.diurnal_amplitude = 0.5;
+  scenario.population.tenants_per_board = 2;
+  scenario.population.tenant_budget = 0.5;
+  scenario.population.child_budget = 0.05;
   return scenario;
 }
 
 TEST(GoldenSnapshotTest, CommittedCheckpointStaysRestorable) {
   const std::string golden =
-      std::string(PSBOX_SOURCE_DIR) + "/tests/golden/fleet_checkpoint_v2.snap";
+      std::string(PSBOX_SOURCE_DIR) + "/tests/golden/fleet_checkpoint_v3.snap";
   if (std::getenv("PSBOX_REGEN_GOLDEN") != nullptr) {
     RootCoordinator fleet(GoldenScenario(), 2);
     // Cadence 25 with root boundaries on 20 ms multiples: the one
